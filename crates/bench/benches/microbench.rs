@@ -1,0 +1,105 @@
+//! Criterion microbenchmarks of the core memory-adaptive sorting machinery:
+//! run formation methods, the adaptive merge executor, merge planning, and
+//! the shared memory-budget handle.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use masort_core::merge::plan::StaticPlanSummary;
+use masort_core::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Tuple::synthetic(rng.gen::<u64>(), 64))
+        .collect()
+}
+
+fn small_cfg(mem: usize, spec: AlgorithmSpec) -> SortConfig {
+    SortConfig::default()
+        .with_page_size(2048)
+        .with_tuple_size(64)
+        .with_memory_pages(mem)
+        .with_algorithm(spec)
+}
+
+/// End-to-end external sort throughput for each run-formation method.
+fn bench_run_formation(c: &mut Criterion) {
+    let tuples = random_tuples(20_000, 1);
+    let mut group = c.benchmark_group("external_sort");
+    for alg in ["quick,opt,split", "repl1,opt,split", "repl6,opt,split"] {
+        let spec: AlgorithmSpec = alg.parse().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(alg), &spec, |b, spec| {
+            let sorter = ExternalSorter::new(small_cfg(16, *spec));
+            b.iter(|| sorter.sort_vec(tuples.clone()));
+        });
+    }
+    group.finish();
+}
+
+/// The three merge-phase adaptation strategies with a small fixed memory
+/// (forcing preliminary merge steps).
+fn bench_merge_adaptation(c: &mut Criterion) {
+    let tuples = random_tuples(20_000, 2);
+    let mut group = c.benchmark_group("merge_adaptation");
+    for alg in ["repl6,opt,susp", "repl6,opt,page", "repl6,opt,split"] {
+        let spec: AlgorithmSpec = alg.parse().unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(alg), &spec, |b, spec| {
+            let sorter = ExternalSorter::new(small_cfg(6, *spec));
+            b.iter(|| sorter.sort_vec(tuples.clone()));
+        });
+    }
+    group.finish();
+}
+
+/// Sort-merge join throughput.
+fn bench_join(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let left: Vec<Tuple> = (0..8_000)
+        .map(|_| Tuple::synthetic(rng.gen_range(0..4_000u64), 64))
+        .collect();
+    let right: Vec<Tuple> = (0..6_000)
+        .map(|_| Tuple::synthetic(rng.gen_range(0..4_000u64), 64))
+        .collect();
+    c.bench_function("sort_merge_join", |b| {
+        let join = SortMergeJoin::new(small_cfg(8, AlgorithmSpec::recommended()));
+        b.iter(|| join.join_vecs_count(left.clone(), right.clone()).matches);
+    });
+}
+
+/// Static merge planning (naive vs optimized) over many runs.
+fn bench_planning(c: &mut Criterion) {
+    let runs: Vec<usize> = (0..500).map(|i| 3 + (i * 7 % 23)).collect();
+    let mut group = c.benchmark_group("merge_planning");
+    group.bench_function("naive", |b| {
+        b.iter(|| StaticPlanSummary::plan(&runs, 38, MergePolicy::Naive).preliminary_pages())
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| StaticPlanSummary::plan(&runs, 38, MergePolicy::Optimized).preliminary_pages())
+    });
+    group.finish();
+}
+
+/// The shared memory-budget handle: polling and adjustment overhead.
+fn bench_budget(c: &mut Criterion) {
+    let budget = MemoryBudget::new(38);
+    c.bench_function("budget_poll_and_adjust", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            budget.set_target((i % 38) as usize, i as f64);
+            budget.record_held((i % 20) as usize, i as f64 + 0.5);
+            budget.target() + budget.held()
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_run_formation,
+    bench_merge_adaptation,
+    bench_join,
+    bench_planning,
+    bench_budget
+);
+criterion_main!(benches);

@@ -1,0 +1,371 @@
+//! Sort configuration and the paper's `X1,X2,X3` algorithm notation.
+//!
+//! Section 3.3 of the paper denotes an external sort algorithm by a string of
+//! the form `X1,X2,X3` where `X1 ∈ {quick, repl1, replN}` is the in-memory
+//! sorting method, `X2 ∈ {naive, opt}` the merging strategy, and
+//! `X3 ∈ {susp, page, split}` the merge-phase adaptation strategy.
+//! [`AlgorithmSpec`] captures the same triple and round-trips through the same
+//! textual notation (`"repl6,opt,split"`).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The in-memory sorting method used during the split phase (paper §2.1/§3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RunFormation {
+    /// Fill memory, quicksort it, write the whole run (`quick`).
+    Quicksort,
+    /// Replacement selection with `block_pages`-page block writes.
+    /// `block_pages == 1` is the classic algorithm (`repl1`); the paper's
+    /// preferred variant uses 6-page blocks (`repl6`).
+    ReplacementSelect {
+        /// Number of pages written per block write.
+        block_pages: usize,
+    },
+    /// Replacement selection whose block-write size tracks the *current*
+    /// memory allocation (roughly one sixth of it, clamped to the given
+    /// bounds). This is the buffer-size-adjustment extension sketched in the
+    /// paper's future work (§7): larger allocations get larger, cheaper block
+    /// writes while small allocations keep the long runs of `repl1`.
+    AdaptiveReplacement {
+        /// Smallest block size ever used (pages).
+        min_block: usize,
+        /// Largest block size ever used (pages).
+        max_block: usize,
+    },
+}
+
+impl RunFormation {
+    /// Classic Quicksort run formation.
+    pub fn quick() -> Self {
+        RunFormation::Quicksort
+    }
+
+    /// Replacement selection with `n`-page block writes (`repl{n}`).
+    pub fn repl(n: usize) -> Self {
+        assert!(n >= 1, "block size must be at least one page");
+        RunFormation::ReplacementSelect { block_pages: n }
+    }
+
+    /// Replacement selection with memory-tracking block writes (`adapt`).
+    pub fn adaptive() -> Self {
+        RunFormation::AdaptiveReplacement {
+            min_block: 1,
+            max_block: 32,
+        }
+    }
+}
+
+impl fmt::Display for RunFormation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunFormation::Quicksort => write!(f, "quick"),
+            RunFormation::ReplacementSelect { block_pages } => write!(f, "repl{block_pages}"),
+            RunFormation::AdaptiveReplacement { .. } => write!(f, "adapt"),
+        }
+    }
+}
+
+/// The merging strategy used when preliminary merge steps are necessary
+/// (paper §2.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MergePolicy {
+    /// Every preliminary step merges as many runs as memory allows.
+    Naive,
+    /// The first preliminary step merges just enough runs so that every
+    /// subsequent step merges `m - 1` runs (Graefe's optimized merging).
+    Optimized,
+}
+
+impl fmt::Display for MergePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergePolicy::Naive => write!(f, "naive"),
+            MergePolicy::Optimized => write!(f, "opt"),
+        }
+    }
+}
+
+/// The merge-phase adaptation strategy (paper §3.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MergeAdaptation {
+    /// Release all buffers and wait until memory returns (§3.2.1).
+    Suspension,
+    /// Keep merging with MRU paging of input buffers (§3.2.2).
+    Paging,
+    /// Dynamic splitting: split the executing merge step into sub-steps that
+    /// fit the remaining memory, and combine steps when memory grows (§3.2.3).
+    DynamicSplitting,
+}
+
+impl fmt::Display for MergeAdaptation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeAdaptation::Suspension => write!(f, "susp"),
+            MergeAdaptation::Paging => write!(f, "page"),
+            MergeAdaptation::DynamicSplitting => write!(f, "split"),
+        }
+    }
+}
+
+/// A complete external-sort algorithm: in-memory sorting method, merging
+/// strategy, and merge-phase adaptation strategy (paper Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AlgorithmSpec {
+    /// Split-phase in-memory sorting method.
+    pub formation: RunFormation,
+    /// Merge planning policy.
+    pub policy: MergePolicy,
+    /// Merge-phase adaptation strategy.
+    pub adaptation: MergeAdaptation,
+}
+
+impl AlgorithmSpec {
+    /// Construct an algorithm spec from its three components.
+    pub fn new(formation: RunFormation, policy: MergePolicy, adaptation: MergeAdaptation) -> Self {
+        AlgorithmSpec {
+            formation,
+            policy,
+            adaptation,
+        }
+    }
+
+    /// The paper's recommended combination: `repl6,opt,split`.
+    pub fn recommended() -> Self {
+        AlgorithmSpec::new(
+            RunFormation::repl(6),
+            MergePolicy::Optimized,
+            MergeAdaptation::DynamicSplitting,
+        )
+    }
+
+    /// All 18 algorithm combinations evaluated in the paper
+    /// (3 in-memory methods × 2 merging strategies × 3 adaptation strategies),
+    /// with `replN` instantiated at N = `block_pages`.
+    pub fn all(block_pages: usize) -> Vec<AlgorithmSpec> {
+        let formations = [
+            RunFormation::Quicksort,
+            RunFormation::repl(1),
+            RunFormation::repl(block_pages),
+        ];
+        let policies = [MergePolicy::Naive, MergePolicy::Optimized];
+        let adaptations = [
+            MergeAdaptation::Suspension,
+            MergeAdaptation::Paging,
+            MergeAdaptation::DynamicSplitting,
+        ];
+        let mut out = Vec::with_capacity(18);
+        for f in formations {
+            for p in policies {
+                for a in adaptations {
+                    out.push(AlgorithmSpec::new(f, p, a));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for AlgorithmSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{},{},{}", self.formation, self.policy, self.adaptation)
+    }
+}
+
+/// Error returned when parsing an [`AlgorithmSpec`] from its textual form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAlgorithmError {
+    /// The offending input.
+    pub input: String,
+    /// Human-readable reason.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParseAlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid algorithm spec `{}`: {}", self.input, self.reason)
+    }
+}
+
+impl std::error::Error for ParseAlgorithmError {}
+
+impl FromStr for AlgorithmSpec {
+    type Err = ParseAlgorithmError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason| ParseAlgorithmError {
+            input: s.to_string(),
+            reason,
+        };
+        let parts: Vec<&str> = s.split(',').map(str::trim).collect();
+        if parts.len() != 3 {
+            return Err(err("expected three comma-separated components"));
+        }
+        let formation = if parts[0] == "quick" {
+            RunFormation::Quicksort
+        } else if parts[0] == "adapt" {
+            RunFormation::adaptive()
+        } else if let Some(n) = parts[0].strip_prefix("repl") {
+            let n: usize = n
+                .parse()
+                .map_err(|_| err("replN requires a numeric block size"))?;
+            if n == 0 {
+                return Err(err("replN block size must be at least 1"));
+            }
+            RunFormation::repl(n)
+        } else {
+            return Err(err("unknown in-memory sorting method"));
+        };
+        let policy = match parts[1] {
+            "naive" => MergePolicy::Naive,
+            "opt" => MergePolicy::Optimized,
+            _ => return Err(err("unknown merging strategy (expected naive|opt)")),
+        };
+        let adaptation = match parts[2] {
+            "susp" => MergeAdaptation::Suspension,
+            "page" => MergeAdaptation::Paging,
+            "split" => MergeAdaptation::DynamicSplitting,
+            _ => {
+                return Err(err(
+                    "unknown merge-phase adaptation (expected susp|page|split)",
+                ))
+            }
+        };
+        Ok(AlgorithmSpec::new(formation, policy, adaptation))
+    }
+}
+
+/// Configuration of a single external sort or sort-merge join.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SortConfig {
+    /// Page size in bytes (paper default: 8 KB).
+    pub page_size: usize,
+    /// Nominal tuple size in bytes (paper default: 256 B).
+    pub tuple_size: usize,
+    /// Initial memory allocation in pages. The [`crate::MemoryBudget`] starts
+    /// at this value; the owner may change it at any time.
+    pub memory_pages: usize,
+    /// The algorithm combination to run.
+    pub algorithm: AlgorithmSpec,
+}
+
+impl Default for SortConfig {
+    fn default() -> Self {
+        // Paper defaults: 8 KB pages, 256 B tuples, M = 0.3 MB ≈ 38 pages,
+        // repl6,opt,split.
+        SortConfig {
+            page_size: 8 * 1024,
+            tuple_size: 256,
+            memory_pages: 38,
+            algorithm: AlgorithmSpec::recommended(),
+        }
+    }
+}
+
+impl SortConfig {
+    /// Number of tuples that fit in one page (at least 1).
+    pub fn tuples_per_page(&self) -> usize {
+        (self.page_size / self.tuple_size).max(1)
+    }
+
+    /// Builder-style override of the memory allocation.
+    pub fn with_memory_pages(mut self, pages: usize) -> Self {
+        self.memory_pages = pages.max(1);
+        self
+    }
+
+    /// Builder-style override of the algorithm combination.
+    pub fn with_algorithm(mut self, algorithm: AlgorithmSpec) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Builder-style override of the page size in bytes.
+    pub fn with_page_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "page size must be positive");
+        self.page_size = bytes;
+        self
+    }
+
+    /// Builder-style override of the nominal tuple size in bytes.
+    pub fn with_tuple_size(mut self, bytes: usize) -> Self {
+        assert!(bytes > 0, "tuple size must be positive");
+        self.tuple_size = bytes;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = SortConfig::default();
+        assert_eq!(c.page_size, 8192);
+        assert_eq!(c.tuple_size, 256);
+        assert_eq!(c.tuples_per_page(), 32);
+        assert_eq!(c.algorithm.to_string(), "repl6,opt,split");
+    }
+
+    #[test]
+    fn algorithm_notation_round_trips() {
+        for spec in AlgorithmSpec::all(6) {
+            let text = spec.to_string();
+            let parsed: AlgorithmSpec = text.parse().unwrap();
+            assert_eq!(parsed, spec, "round trip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn all_produces_18_distinct_algorithms() {
+        let all = AlgorithmSpec::all(6);
+        assert_eq!(all.len(), 18);
+        let set: std::collections::HashSet<String> =
+            all.iter().map(|a| a.to_string()).collect();
+        assert_eq!(set.len(), 18);
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        assert!("quick,opt".parse::<AlgorithmSpec>().is_err());
+        assert!("quack,opt,susp".parse::<AlgorithmSpec>().is_err());
+        assert!("repl0,opt,susp".parse::<AlgorithmSpec>().is_err());
+        assert!("quick,optimal,susp".parse::<AlgorithmSpec>().is_err());
+        assert!("quick,opt,pause".parse::<AlgorithmSpec>().is_err());
+        let e = "replX,opt,split".parse::<AlgorithmSpec>().unwrap_err();
+        assert!(e.to_string().contains("numeric"));
+    }
+
+    #[test]
+    fn parse_accepts_whitespace() {
+        let spec: AlgorithmSpec = " repl6 , opt , split ".parse().unwrap();
+        assert_eq!(spec, AlgorithmSpec::recommended());
+    }
+
+    #[test]
+    fn tuples_per_page_never_zero() {
+        let c = SortConfig::default()
+            .with_page_size(64)
+            .with_tuple_size(256);
+        assert_eq!(c.tuples_per_page(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "block size")]
+    fn repl_zero_panics() {
+        RunFormation::repl(0);
+    }
+
+    #[test]
+    fn adaptive_notation_round_trips() {
+        let spec = AlgorithmSpec::new(
+            RunFormation::adaptive(),
+            MergePolicy::Optimized,
+            MergeAdaptation::DynamicSplitting,
+        );
+        assert_eq!(spec.to_string(), "adapt,opt,split");
+        let parsed: AlgorithmSpec = "adapt,opt,split".parse().unwrap();
+        assert_eq!(parsed, spec);
+    }
+}

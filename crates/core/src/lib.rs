@@ -1,0 +1,95 @@
+//! # masort-core — Memory-Adaptive External Sorting
+//!
+//! This crate implements the algorithms described in *"Memory-Adaptive External
+//! Sorting"* (Pang, Carey & Livny, VLDB 1993): external sorts (and sort-merge
+//! joins) that keep executing correctly and efficiently while the amount of
+//! memory allocated to them **shrinks and grows during their lifetime**.
+//!
+//! The crate is organised around the paper's decomposition of an external sort:
+//!
+//! * **Split phase** ([`run_formation`]) — an in-memory sorting method consumes
+//!   the input relation and produces sorted runs. Three methods are provided:
+//!   Quicksort (`quick`), replacement selection (`repl1`), and replacement
+//!   selection with N-page block writes (`replN`). All three react to memory
+//!   shrink requests by writing tuples out and to growth by absorbing more
+//!   input pages.
+//! * **Merge phase** ([`merge`]) — merge steps combine runs into the final
+//!   sorted result. Two planning policies (naive / optimized) and three
+//!   adaptation strategies are provided: *suspension*, *MRU paging* and the
+//!   paper's **dynamic splitting**, which splits an executing merge step into
+//!   sub-steps that fit the reduced memory and re-combines steps when memory
+//!   returns.
+//! * **Sort-merge join** ([`join`]) — the same machinery extended to joins
+//!   (Section 6 of the paper), with preliminary merge steps restricted to runs
+//!   of a single relation.
+//!
+//! The algorithms operate on real tuples through three small abstractions so
+//! that the *same* code drives both production use and the paper's simulation
+//! harness (`masort-dbsim`):
+//!
+//! * [`InputSource`] — where input pages come from,
+//! * [`RunStore`] — where sorted runs live (in memory, temp files, or a
+//!   simulated disk),
+//! * [`SortEnv`] — clock + CPU-cost accounting + "wait for memory" hook.
+//!
+//! Memory is governed by a shared [`MemoryBudget`] handle: the owner (a DBMS
+//! buffer manager, another thread, or a simulation) moves the page target up
+//! and down; the sorter polls it at well-defined adaptation points, releases
+//! buffers when asked, and records how long each release took (the paper's
+//! split-phase / merge-phase *delays*).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use masort_core::prelude::*;
+//!
+//! // 2000 tuples with random keys, sorted with 16 pages of memory using the
+//! // paper's preferred algorithm combination repl6,opt,split.
+//! let cfg = SortConfig::default().with_memory_pages(16);
+//! let tuples: Vec<Tuple> = (0..2000u64)
+//!     .map(|i| Tuple::synthetic(i.wrapping_mul(0x9E3779B97F4A7C15), 256))
+//!     .collect();
+//! let sorted = ExternalSorter::new(cfg).sort_vec(tuples.clone());
+//! assert_eq!(sorted.len(), tuples.len());
+//! assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod budget;
+pub mod config;
+pub mod env;
+pub mod input;
+pub mod join;
+pub mod merge;
+pub mod run_formation;
+pub mod sorter;
+pub mod store;
+pub mod tuple;
+pub mod verify;
+
+pub use budget::{DelaySample, MemoryBudget, SortPhase};
+pub use config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig};
+pub use env::{CpuOp, RealEnv, SortEnv};
+pub use input::{GenSource, InputSource, IterSource, VecSource};
+pub use join::{JoinOutcome, SortMergeJoin};
+pub use merge::{MergeStats, StaticPlanSummary};
+pub use run_formation::SplitStats;
+pub use sorter::{ExternalSorter, SortOutcome};
+pub use store::{FileStore, MemStore, RunId, RunMeta, RunStore};
+pub use tuple::{Page, Payload, Tuple};
+
+/// Convenient glob import of the most commonly used types.
+pub mod prelude {
+    pub use crate::budget::{MemoryBudget, SortPhase};
+    pub use crate::config::{
+        AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig,
+    };
+    pub use crate::env::{CpuOp, RealEnv, SortEnv};
+    pub use crate::input::{GenSource, InputSource, IterSource, VecSource};
+    pub use crate::join::{JoinOutcome, SortMergeJoin};
+    pub use crate::sorter::{ExternalSorter, SortOutcome};
+    pub use crate::store::{FileStore, MemStore, RunId, RunMeta, RunStore};
+    pub use crate::tuple::{Page, Payload, Tuple};
+}

@@ -1,0 +1,170 @@
+//! A read cursor over a stored run: one buffered page at a time, exactly as
+//! the merge phase consumes its input runs.
+
+use crate::env::{CpuOp, SortEnv};
+use crate::store::{RunId, RunStore};
+use crate::tuple::Tuple;
+use std::collections::VecDeque;
+
+/// Cursor over a run held in a [`RunStore`], buffering one page of tuples.
+#[derive(Debug)]
+pub struct RunCursor {
+    /// The run being read.
+    pub run: RunId,
+    /// Index of the next page to read from the store.
+    pub next_page: usize,
+    /// Tuples of the currently buffered page that have not been consumed yet.
+    pub buf: VecDeque<Tuple>,
+    /// Total tuples consumed through this cursor.
+    pub consumed: usize,
+    /// Pages read through this cursor.
+    pub pages_read: usize,
+}
+
+impl RunCursor {
+    /// Create a cursor positioned at the beginning of `run`.
+    pub fn new(run: RunId) -> Self {
+        RunCursor {
+            run,
+            next_page: 0,
+            buf: VecDeque::new(),
+            consumed: 0,
+            pages_read: 0,
+        }
+    }
+
+    /// Load the next page into the buffer if the buffer is empty and more
+    /// pages exist. Returns `true` if at least one tuple is buffered after
+    /// the call.
+    pub fn ensure_loaded<S: RunStore, E: SortEnv>(&mut self, store: &mut S, env: &mut E) -> bool {
+        while self.buf.is_empty() {
+            if self.next_page >= store.run_pages(self.run) {
+                return false;
+            }
+            env.charge_cpu(CpuOp::StartIo, 1);
+            let page = store.read_page(self.run, self.next_page);
+            self.next_page += 1;
+            self.pages_read += 1;
+            self.buf = page.tuples.into();
+            // Empty pages are legal (loop again).
+        }
+        true
+    }
+
+    /// Key of the next tuple, loading a page if necessary.
+    pub fn peek_key<S: RunStore, E: SortEnv>(
+        &mut self,
+        store: &mut S,
+        env: &mut E,
+    ) -> Option<u64> {
+        if self.ensure_loaded(store, env) {
+            self.buf.front().map(|t| t.key)
+        } else {
+            None
+        }
+    }
+
+    /// Remove and return the next tuple, loading a page if necessary.
+    pub fn pop<S: RunStore, E: SortEnv>(&mut self, store: &mut S, env: &mut E) -> Option<Tuple> {
+        if self.ensure_loaded(store, env) {
+            self.consumed += 1;
+            self.buf.pop_front()
+        } else {
+            None
+        }
+    }
+
+    /// True when the buffered page and the store both have nothing left.
+    pub fn exhausted<S: RunStore>(&self, store: &S) -> bool {
+        self.buf.is_empty() && self.next_page >= store.run_pages(self.run)
+    }
+
+    /// Remaining data in pages (buffered fraction counts as one page); used
+    /// when picking the "shortest runs" for a preliminary merge step.
+    pub fn remaining_pages<S: RunStore>(&self, store: &S) -> usize {
+        let unread = store.run_pages(self.run).saturating_sub(self.next_page);
+        unread + usize::from(!self.buf.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::CountingEnv;
+    use crate::store::MemStore;
+    use crate::tuple::{paginate, Tuple};
+
+    fn setup(n: usize, per_page: usize) -> (MemStore, RunId) {
+        let mut s = MemStore::new();
+        let r = s.create_run();
+        let tuples: Vec<Tuple> = (0..n as u64).map(|k| Tuple::synthetic(k, 16)).collect();
+        for p in paginate(tuples, per_page) {
+            s.append_page(r, p);
+        }
+        (s, r)
+    }
+
+    #[test]
+    fn cursor_streams_all_tuples_in_order() {
+        let (mut store, run) = setup(10, 3);
+        let mut env = CountingEnv::new();
+        let mut c = RunCursor::new(run);
+        let mut got = Vec::new();
+        while let Some(t) = c.pop(&mut store, &mut env) {
+            got.push(t.key);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<u64>>());
+        assert!(c.exhausted(&store));
+        assert_eq!(c.pages_read, 4);
+        assert_eq!(c.consumed, 10);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let (mut store, run) = setup(4, 2);
+        let mut env = CountingEnv::new();
+        let mut c = RunCursor::new(run);
+        assert_eq!(c.peek_key(&mut store, &mut env), Some(0));
+        assert_eq!(c.peek_key(&mut store, &mut env), Some(0));
+        assert_eq!(c.pop(&mut store, &mut env).unwrap().key, 0);
+        assert_eq!(c.peek_key(&mut store, &mut env), Some(1));
+    }
+
+    #[test]
+    fn remaining_pages_counts_buffered_page() {
+        let (mut store, run) = setup(9, 3);
+        let mut env = CountingEnv::new();
+        let mut c = RunCursor::new(run);
+        assert_eq!(c.remaining_pages(&store), 3);
+        c.pop(&mut store, &mut env);
+        assert_eq!(c.remaining_pages(&store), 3); // 2 unread + partial buffer
+        for _ in 0..3 {
+            c.pop(&mut store, &mut env);
+        }
+        assert_eq!(c.remaining_pages(&store), 2);
+    }
+
+    #[test]
+    fn empty_run_is_immediately_exhausted() {
+        let mut store = MemStore::new();
+        let run = store.create_run();
+        let mut env = CountingEnv::new();
+        let mut c = RunCursor::new(run);
+        assert!(c.exhausted(&store));
+        assert_eq!(c.peek_key(&mut store, &mut env), None);
+        assert_eq!(c.pop(&mut store, &mut env), None);
+    }
+
+    #[test]
+    fn cursor_sees_pages_appended_after_creation() {
+        // Dynamic splitting consumes a child's output run that grows while
+        // the child executes; the cursor must pick up newly appended pages.
+        let mut store = MemStore::new();
+        let run = store.create_run();
+        let mut env = CountingEnv::new();
+        let mut c = RunCursor::new(run);
+        assert_eq!(c.pop(&mut store, &mut env), None);
+        store.append_page(run, crate::tuple::Page::from_tuples(vec![Tuple::synthetic(5, 16)]));
+        assert_eq!(c.pop(&mut store, &mut env).unwrap().key, 5);
+    }
+}

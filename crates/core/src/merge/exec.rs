@@ -1,0 +1,1043 @@
+//! The adaptation-aware merge executor.
+//!
+//! One executor drives both plain sorts and sort-merge joins. It owns a
+//! [`StepArena`] and repeatedly (a) polls the [`MemoryBudget`], (b) adapts —
+//! suspension, MRU paging or dynamic splitting — and (c) produces roughly one
+//! output page of work on the *active* step before polling again, so the sort
+//! reacts to memory fluctuations with page granularity.
+//!
+//! Dynamic splitting follows paper §3.2.3 precisely:
+//!
+//! * the merge phase starts with a single step over **all** runs; if it does
+//!   not fit it is split immediately;
+//! * a shortage splits the active step into a preliminary step (fan-in chosen
+//!   by the naive/optimized rule over the *shortest* remaining runs) plus the
+//!   original step, which now reads the preliminary step's output run;
+//! * growth switches execution back toward the final step; once a dormant
+//!   child's output run is fully consumed, the child's remaining inputs are
+//!   absorbed back into the consuming step (the paper's *combining*).
+
+use crate::budget::MemoryBudget;
+use crate::config::{MergeAdaptation, MergePolicy, SortConfig};
+use crate::env::{CpuOp, SortEnv};
+use crate::merge::plan::preliminary_fan_in;
+use crate::merge::step::{Input, Side, StepArena};
+use crate::store::{RunId, RunMeta, RunStore};
+use crate::tuple::{Page, Tuple};
+use std::collections::HashSet;
+
+/// Parameters of one merge-phase execution.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecParams {
+    /// Naive or optimized merge planning.
+    pub policy: MergePolicy,
+    /// Merge-phase adaptation strategy.
+    pub adaptation: MergeAdaptation,
+    /// Minimum number of pages the merge always keeps (2 inputs + 1 output).
+    pub min_pages: usize,
+}
+
+impl ExecParams {
+    /// Parameters derived from an algorithm specification.
+    pub fn from_algorithm(spec: &crate::config::AlgorithmSpec) -> Self {
+        ExecParams {
+            policy: spec.policy,
+            adaptation: spec.adaptation,
+            min_pages: 3,
+        }
+    }
+}
+
+impl Default for ExecParams {
+    fn default() -> Self {
+        ExecParams {
+            policy: MergePolicy::Optimized,
+            adaptation: MergeAdaptation::DynamicSplitting,
+            min_pages: 3,
+        }
+    }
+}
+
+/// Statistics describing one completed merge phase.
+#[derive(Clone, Debug, Default)]
+pub struct MergeStats {
+    /// Merge steps that produced at least one tuple.
+    pub steps_executed: usize,
+    /// Number of dynamic (or static) splits performed.
+    pub splits: usize,
+    /// Number of step combinations (a dormant child absorbed by its parent).
+    pub combines: usize,
+    /// Number of active-step switches (splits, growth switches, completions).
+    pub switches: usize,
+    /// Pages read from input runs.
+    pub pages_read: usize,
+    /// Pages written to output runs.
+    pub pages_written: usize,
+    /// Extra page reads caused by MRU paging faults.
+    pub extra_paging_reads: usize,
+    /// Pages re-fetched after suspension resumes and step switches.
+    pub refetched_pages: usize,
+    /// Total simulated/real time spent suspended waiting for memory.
+    pub suspended_time: f64,
+    /// Tuples written to output runs (or consumed, for joins).
+    pub tuples_output: u64,
+    /// Join result pairs produced (zero for plain sorts).
+    pub join_matches: u64,
+    /// Environment time at which the merge phase started.
+    pub started_at: f64,
+    /// Environment time at which the merge phase finished.
+    pub finished_at: f64,
+}
+
+impl MergeStats {
+    /// Duration of the merge phase in seconds.
+    pub fn duration(&self) -> f64 {
+        (self.finished_at - self.started_at).max(0.0)
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Progress {
+    Produced,
+    StepCompleted,
+    Done,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ExecMode {
+    Sort,
+    Join,
+}
+
+struct Exec<'a, S: RunStore, E: SortEnv> {
+    cfg: &'a SortConfig,
+    budget: &'a MemoryBudget,
+    store: &'a mut S,
+    env: &'a mut E,
+    params: ExecParams,
+    mode: ExecMode,
+    arena: StepArena,
+    stats: MergeStats,
+    /// Memory captured at merge-phase start; used for static planning by the
+    /// suspension and paging strategies.
+    plan_memory: usize,
+    /// MRU-paging residency state (keyed by run id of the active step's inputs).
+    resident: HashSet<RunId>,
+    recency: Vec<RunId>,
+}
+
+impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        cfg: &'a SortConfig,
+        budget: &'a MemoryBudget,
+        store: &'a mut S,
+        env: &'a mut E,
+        params: ExecParams,
+        mode: ExecMode,
+        inputs: Vec<Input>,
+        output: Option<RunId>,
+    ) -> Self {
+        let plan_memory = budget.target().max(params.min_pages);
+        Exec {
+            cfg,
+            budget,
+            store,
+            env,
+            params,
+            mode,
+            arena: StepArena::with_root(inputs, output),
+            stats: MergeStats::default(),
+            plan_memory,
+            resident: HashSet::new(),
+            recency: Vec::new(),
+        }
+    }
+
+    fn effective_target(&self) -> usize {
+        self.budget.target().max(self.params.min_pages)
+    }
+
+    // ------------------------------------------------------------------
+    // Adaptation
+    // ------------------------------------------------------------------
+
+    fn adapt(&mut self) {
+        match self.params.adaptation {
+            MergeAdaptation::DynamicSplitting => self.adapt_dynamic(),
+            MergeAdaptation::Suspension => self.adapt_static(true),
+            MergeAdaptation::Paging => self.adapt_static(false),
+        }
+    }
+
+    fn adapt_dynamic(&mut self) {
+        let target = self.effective_target();
+        let need = self.arena.active_step().pages_needed();
+        if need > target && self.arena.active_step().inputs.len() > 2 {
+            self.do_split(target);
+        } else if target > need {
+            // Combine only when memory actually grew past what it was when the
+            // active step was split off; otherwise a freshly created
+            // preliminary step would immediately bounce back to its parent.
+            let grew = target > self.arena.active_step().created_target;
+            if grew {
+                if let Some(parent) = self.arena.active_step().parent {
+                    if self.arena.steps[parent].pages_needed() <= target {
+                        self.switch_to_parent();
+                    }
+                }
+            }
+        }
+        let need_now = self.arena.active_step().pages_needed();
+        self.budget.record_held(need_now.min(target), self.env.now());
+    }
+
+    fn adapt_static(&mut self, suspend: bool) {
+        // Static planning: split with the memory available when the merge
+        // phase began, never re-plan afterwards (paper §3.2.1/§3.2.2).
+        while self.arena.active_step().pages_needed() > self.plan_memory
+            && self.arena.active_step().inputs.len() > 2
+        {
+            self.do_split(self.plan_memory);
+        }
+        let target = self.effective_target();
+        let need = self.arena.active_step().pages_needed();
+        if suspend {
+            if need > target {
+                // Give every buffer back, then stop until the memory returns.
+                self.budget.record_held(0, self.env.now());
+                let waited_from = self.env.now();
+                let _granted = self.env.wait_for_pages(self.budget, need);
+                self.stats.suspended_time += self.env.now() - waited_from;
+                // Fetch all the input buffers together on resume (one batch).
+                let refetch = need.saturating_sub(1);
+                self.env.charge_extra_read(refetch);
+                self.stats.refetched_pages += refetch;
+            }
+            let target_now = self.effective_target();
+            self.budget
+                .record_held(need.min(target_now), self.env.now());
+        } else {
+            if need <= target {
+                self.resident.clear();
+                self.recency.clear();
+            }
+            self.budget.record_held(need.min(target), self.env.now());
+        }
+    }
+
+    fn do_split(&mut self, memory: usize) {
+        let active = self.arena.active;
+        let n = self.arena.steps[active].inputs.len();
+        let fan = preliminary_fan_in(n, memory, self.params.policy)
+            .unwrap_or_else(|| memory.saturating_sub(1).max(2))
+            .min(n.saturating_sub(1))
+            .max(2);
+        let (indices, side) = match self.mode {
+            ExecMode::Sort => (
+                self.arena.shortest_inputs(&*self.store, active, fan, None),
+                Side::Left,
+            ),
+            ExecMode::Join => {
+                if self.arena.active != self.arena.root() {
+                    // Preliminary steps are single-relation by construction.
+                    let side = self.arena.steps[active]
+                        .inputs
+                        .first()
+                        .map_or(Side::Left, |i| i.side);
+                    (
+                        self.arena
+                            .shortest_inputs(&*self.store, active, fan, Some(side)),
+                        side,
+                    )
+                } else {
+                    self.choose_join_split(fan)
+                }
+            }
+        };
+        if indices.len() < 2 {
+            return; // cannot split any further
+        }
+        let child_out = self.store.create_run();
+        self.arena.split_active(indices, child_out, side, memory);
+        self.stats.splits += 1;
+        self.charge_switch();
+        self.reset_paging_state();
+    }
+
+    /// Pick the relation (and run indices) for a preliminary step of a join
+    /// root, following paper §6: prefer the relation whose `fan` shortest runs
+    /// are smaller overall; if one relation has too few runs, pick the one
+    /// with more runs so no extra merge steps are introduced.
+    fn choose_join_split(&mut self, fan: usize) -> (Vec<usize>, Side) {
+        let root = self.arena.root();
+        let n_left = self.arena.steps[root].side_count(Side::Left);
+        let n_right = self.arena.steps[root].side_count(Side::Right);
+        let sum_shortest = |exec: &Self, side: Side| -> usize {
+            let idx = exec.arena.shortest_inputs(&*exec.store, root, fan, Some(side));
+            idx.iter()
+                .map(|&i| {
+                    exec.arena.steps[root].inputs[i]
+                        .cursor
+                        .remaining_pages(&*exec.store)
+                })
+                .sum()
+        };
+        let side = if n_left >= fan && n_right >= fan {
+            if sum_shortest(self, Side::Left) <= sum_shortest(self, Side::Right) {
+                Side::Left
+            } else {
+                Side::Right
+            }
+        } else if n_left >= fan {
+            Side::Left
+        } else if n_right >= fan {
+            Side::Right
+        } else if n_left >= n_right {
+            Side::Left
+        } else {
+            Side::Right
+        };
+        let count = self.arena.steps[root].side_count(side);
+        let take = fan.min(count);
+        (
+            self.arena
+                .shortest_inputs(&*self.store, root, take, Some(side)),
+            side,
+        )
+    }
+
+    fn switch_to_parent(&mut self) {
+        self.flush_active_output(true);
+        if let Some(parent) = self.arena.active_step().parent {
+            self.arena.active = parent;
+            self.charge_switch();
+            self.reset_paging_state();
+        }
+    }
+
+    fn charge_switch(&mut self) {
+        let pages = self.arena.active_step().inputs.len();
+        self.env.charge_extra_read(pages);
+        self.stats.refetched_pages += pages;
+        self.stats.switches += 1;
+    }
+
+    fn reset_paging_state(&mut self) {
+        self.resident.clear();
+        self.recency.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Producing output
+    // ------------------------------------------------------------------
+
+    /// Find the input with the smallest next key, restricted to `side` if
+    /// given. Exhausted inputs encountered along the way are removed (and
+    /// their producing steps absorbed). Returns `(input index, key)`.
+    fn min_input(&mut self, side: Option<Side>) -> Option<(usize, u64)> {
+        let mut best: Option<(usize, u64)> = None;
+        let mut i = 0;
+        loop {
+            let active = self.arena.active;
+            let len = self.arena.steps[active].inputs.len();
+            if i >= len {
+                break;
+            }
+            if let Some(s) = side {
+                if self.arena.steps[active].inputs[i].side != s {
+                    i += 1;
+                    continue;
+                }
+            }
+            let key = self.arena.steps[active].inputs[i]
+                .cursor
+                .peek_key(self.store, self.env);
+            match key {
+                Some(k) => {
+                    if best.is_none_or(|(_, bk)| k < bk) {
+                        best = Some((i, k));
+                    }
+                    i += 1;
+                }
+                None => {
+                    self.handle_exhausted_input(i);
+                    best = None;
+                    i = 0;
+                }
+            }
+        }
+        let active = self.arena.active;
+        let fan = self.arena.steps[active].inputs.len().max(1) as u64;
+        // Cost of selecting the minimum with a selection tree / heap.
+        self.env
+            .charge_cpu(CpuOp::Compare, (64 - fan.leading_zeros() as u64).max(1));
+        best
+    }
+
+    fn handle_exhausted_input(&mut self, idx: usize) {
+        let active = self.arena.active;
+        let run = self.arena.steps[active].inputs[idx].cursor.run;
+        self.stats.pages_read += self.arena.steps[active].inputs[idx].cursor.pages_read;
+        let absorbed = self.arena.remove_input(active, idx);
+        self.store.delete_run(run);
+        if absorbed.is_some() {
+            self.stats.combines += 1;
+        }
+        self.reset_paging_state();
+    }
+
+    fn pop_input(&mut self, idx: usize) -> Tuple {
+        let active = self.arena.active;
+        let run = self.arena.steps[active].inputs[idx].cursor.run;
+        self.note_access(run);
+        let t = self.arena.steps[active].inputs[idx]
+            .cursor
+            .pop(self.store, self.env)
+            .expect("input had a peeked tuple");
+        self.env.charge_cpu(CpuOp::CopyTuple, 1);
+        t
+    }
+
+    /// MRU paging bookkeeping: charge a fault when the accessed run's buffer
+    /// is not resident while memory is short, and evict the most recently
+    /// used other buffer when over capacity (paper §3.2.2).
+    fn note_access(&mut self, run: RunId) {
+        if self.params.adaptation != MergeAdaptation::Paging {
+            return;
+        }
+        let target = self.effective_target();
+        let need = self.arena.active_step().pages_needed();
+        if need <= target {
+            return;
+        }
+        let capacity = target.saturating_sub(1).max(1);
+        if self.resident.contains(&run) {
+            self.recency.retain(|r| *r != run);
+            self.recency.push(run);
+            return;
+        }
+        self.stats.extra_paging_reads += 1;
+        self.env.charge_extra_read(1);
+        self.resident.insert(run);
+        self.recency.retain(|r| *r != run);
+        self.recency.push(run);
+        if self.resident.len() > capacity {
+            // Evict the most recently used buffer other than the one we just
+            // brought in.
+            if self.recency.len() >= 2 {
+                let victim = self.recency.remove(self.recency.len() - 2);
+                self.resident.remove(&victim);
+            }
+        }
+    }
+
+    fn flush_active_output(&mut self, force: bool) {
+        let tpp = self.cfg.tuples_per_page();
+        let active = self.arena.active;
+        let Some(out) = self.arena.steps[active].output else {
+            self.arena.steps[active].out_buf.clear();
+            return;
+        };
+        loop {
+            let len = self.arena.steps[active].out_buf.len();
+            if len >= tpp || (force && len > 0) {
+                let take = tpp.min(len);
+                let tuples: Vec<Tuple> = self.arena.steps[active].out_buf.drain(..take).collect();
+                self.env.charge_cpu(CpuOp::StartIo, 1);
+                self.store.append_page(out, Page::from_tuples(tuples));
+                self.stats.pages_written += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn complete_active(&mut self) -> Progress {
+        self.flush_active_output(true);
+        let active = self.arena.active;
+        self.arena.steps[active].completed = true;
+        match self.arena.steps[active].parent {
+            None => Progress::Done,
+            Some(parent) => {
+                self.arena.active = parent;
+                self.charge_switch();
+                self.reset_paging_state();
+                Progress::StepCompleted
+            }
+        }
+    }
+
+    /// Produce roughly one output page of merged tuples on the active step.
+    fn produce_unit(&mut self) -> Progress {
+        let tpp = self.cfg.tuples_per_page();
+        let mut produced = 0usize;
+        while produced < tpp {
+            match self.min_input(None) {
+                None => return self.complete_active(),
+                Some((idx, _)) => {
+                    let t = self.pop_input(idx);
+                    let active = self.arena.active;
+                    self.arena.steps[active].out_buf.push(t);
+                    self.arena.steps[active].produced_anything = true;
+                    self.stats.tuples_output += 1;
+                    produced += 1;
+                }
+            }
+        }
+        self.flush_active_output(false);
+        Progress::Produced
+    }
+
+    /// Produce roughly one page worth of join work on the root step.
+    fn produce_unit_join(&mut self, on_match: &mut dyn FnMut(&Tuple, &Tuple)) -> Progress {
+        let tpp = self.cfg.tuples_per_page();
+        let mut processed = 0usize;
+        while processed < tpp {
+            // NOTE: a `min_input` call may remove exhausted inputs (and absorb
+            // dormant child steps), which renumbers the remaining inputs — so
+            // an input *index* must never be held across another `min_input`
+            // call. Only the keys are kept here; the index is re-resolved
+            // immediately before each pop.
+            let lkey = self.min_input(Some(Side::Left)).map(|(_, k)| k);
+            let rkey = self.min_input(Some(Side::Right)).map(|(_, k)| k);
+            let (lk, rk) = match (lkey, rkey) {
+                (Some(l), Some(r)) => (l, r),
+                // One side exhausted: no further matches are possible.
+                _ => return self.complete_active(),
+            };
+            self.env.charge_cpu(CpuOp::JoinProbe, 1);
+            let active = self.arena.active;
+            self.arena.steps[active].produced_anything = true;
+            if lk < rk {
+                if let Some((idx, _)) = self.min_input(Some(Side::Left)) {
+                    self.pop_input(idx);
+                    self.stats.tuples_output += 1;
+                    processed += 1;
+                }
+            } else if rk < lk {
+                if let Some((idx, _)) = self.min_input(Some(Side::Right)) {
+                    self.pop_input(idx);
+                    self.stats.tuples_output += 1;
+                    processed += 1;
+                }
+            } else {
+                let key = lk;
+                // Gather the full right-hand group for this key.
+                let mut group: Vec<Tuple> = Vec::new();
+                while let Some((ri, rk)) = self.min_input(Some(Side::Right)) {
+                    if rk != key {
+                        break;
+                    }
+                    group.push(self.pop_input(ri));
+                    self.stats.tuples_output += 1;
+                    processed += 1;
+                }
+                // Every left tuple with this key matches the whole group.
+                while let Some((li, lk)) = self.min_input(Some(Side::Left)) {
+                    if lk != key {
+                        break;
+                    }
+                    let lt = self.pop_input(li);
+                    self.stats.tuples_output += 1;
+                    processed += 1;
+                    for rt in &group {
+                        self.env.charge_cpu(CpuOp::JoinProbe, 1);
+                        self.env.charge_cpu(CpuOp::CopyTuple, 1);
+                        on_match(&lt, rt);
+                        self.stats.join_matches += 1;
+                    }
+                }
+            }
+        }
+        Progress::Produced
+    }
+
+    // ------------------------------------------------------------------
+    // Top-level drivers
+    // ------------------------------------------------------------------
+
+    fn run_sort(&mut self) -> RunId {
+        self.stats.started_at = self.env.now();
+        let output = self.arena.steps[self.arena.root()]
+            .output
+            .expect("sort root has an output run");
+        if self.arena.steps[self.arena.root()].inputs.is_empty() {
+            self.stats.finished_at = self.env.now();
+            return output;
+        }
+        loop {
+            self.env.poll(self.budget);
+            self.adapt();
+            if self.arena.active == self.arena.root() {
+                // Splitting may have changed the active step; re-check.
+                if self.arena.steps[self.arena.root()].inputs.is_empty() {
+                    break;
+                }
+            }
+            match self.produce_unit() {
+                Progress::Done => break,
+                Progress::Produced | Progress::StepCompleted => {}
+            }
+        }
+        self.stats.steps_executed = self.arena.executed_steps();
+        self.stats.finished_at = self.env.now();
+        self.budget.record_held(0, self.env.now());
+        output
+    }
+
+    fn run_join(&mut self, on_match: &mut dyn FnMut(&Tuple, &Tuple)) {
+        self.stats.started_at = self.env.now();
+        loop {
+            self.env.poll(self.budget);
+            self.adapt();
+            let progress = if self.arena.active == self.arena.root() {
+                if self.arena.steps[self.arena.root()].inputs.is_empty() {
+                    break;
+                }
+                self.produce_unit_join(on_match)
+            } else {
+                self.produce_unit()
+            };
+            if progress == Progress::Done {
+                break;
+            }
+        }
+        self.stats.steps_executed = self.arena.executed_steps();
+        self.stats.finished_at = self.env.now();
+        self.budget.record_held(0, self.env.now());
+    }
+}
+
+/// Merge `runs` into a single sorted output run, adapting to memory
+/// fluctuations according to `params`. Returns the output run id and the
+/// merge statistics.
+pub fn execute_merge<S: RunStore, E: SortEnv>(
+    cfg: &SortConfig,
+    budget: &MemoryBudget,
+    runs: &[RunMeta],
+    store: &mut S,
+    env: &mut E,
+    params: ExecParams,
+) -> (RunId, MergeStats) {
+    let output = store.create_run();
+    let inputs: Vec<Input> = runs
+        .iter()
+        .map(|r| Input::from_run(r.id, Side::Left))
+        .collect();
+    let mut exec = Exec::new(
+        cfg,
+        budget,
+        store,
+        env,
+        params,
+        ExecMode::Sort,
+        inputs,
+        Some(output),
+    );
+    let out = exec.run_sort();
+    (out, exec.stats)
+}
+
+/// Merge-join two sets of runs (one per relation), adapting to memory
+/// fluctuations. `on_match` is called once per joined pair.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_join_merge<S: RunStore, E: SortEnv>(
+    cfg: &SortConfig,
+    budget: &MemoryBudget,
+    left_runs: &[RunMeta],
+    right_runs: &[RunMeta],
+    store: &mut S,
+    env: &mut E,
+    params: ExecParams,
+    on_match: &mut dyn FnMut(&Tuple, &Tuple),
+) -> MergeStats {
+    let mut inputs: Vec<Input> = Vec::with_capacity(left_runs.len() + right_runs.len());
+    inputs.extend(
+        left_runs
+            .iter()
+            .map(|r| Input::from_run(r.id, Side::Left)),
+    );
+    inputs.extend(
+        right_runs
+            .iter()
+            .map(|r| Input::from_run(r.id, Side::Right)),
+    );
+    let mut exec = Exec::new(
+        cfg,
+        budget,
+        store,
+        env,
+        params,
+        ExecMode::Join,
+        inputs,
+        None,
+    );
+    exec.run_join(on_match);
+    exec.stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MergeAdaptation, MergePolicy};
+    use crate::env::CountingEnv;
+    use crate::store::MemStore;
+    use crate::tuple::paginate;
+    use crate::verify::{assert_sorted_permutation, collect_run};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Build `n_runs` sorted runs of random lengths in a fresh store and
+    /// return the metadata plus the flattened input tuples.
+    fn make_runs(n_runs: usize, avg_pages: usize, seed: u64) -> (MemStore, Vec<RunMeta>, Vec<Tuple>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut store = MemStore::new();
+        let mut metas = Vec::new();
+        let mut all = Vec::new();
+        let tpp = 8;
+        for _ in 0..n_runs {
+            let pages = rng.gen_range(1..=avg_pages * 2);
+            let mut tuples: Vec<Tuple> = (0..pages * tpp)
+                .map(|_| Tuple::synthetic(rng.gen::<u64>() >> 16, 64))
+                .collect();
+            tuples.sort_unstable_by_key(|t| t.key);
+            all.extend(tuples.clone());
+            let run = store.create_run();
+            for p in paginate(tuples, tpp) {
+                store.append_page(run, p);
+            }
+            metas.push(store.meta(run));
+        }
+        (store, metas, all)
+    }
+
+    fn cfg_with_mem(pages: usize) -> SortConfig {
+        // 8 tuples per page to keep tests fast.
+        SortConfig::default()
+            .with_page_size(512)
+            .with_tuple_size(64)
+            .with_memory_pages(pages)
+    }
+
+    fn params(policy: MergePolicy, adaptation: MergeAdaptation) -> ExecParams {
+        ExecParams {
+            policy,
+            adaptation,
+            min_pages: 3,
+        }
+    }
+
+    #[test]
+    fn single_step_merge_with_ample_memory() {
+        let (mut store, metas, input) = make_runs(6, 3, 1);
+        let cfg = cfg_with_mem(16);
+        let budget = MemoryBudget::new(16);
+        let mut env = CountingEnv::new();
+        let (out, stats) = execute_merge(
+            &cfg,
+            &budget,
+            &metas,
+            &mut store,
+            &mut env,
+            params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
+        );
+        let result = collect_run(&mut store, out);
+        assert_sorted_permutation(&input, &result);
+        assert_eq!(stats.steps_executed, 1);
+        assert_eq!(stats.splits, 0);
+    }
+
+    #[test]
+    fn insufficient_memory_triggers_preliminary_steps() {
+        let (mut store, metas, input) = make_runs(10, 3, 2);
+        let cfg = cfg_with_mem(8);
+        let budget = MemoryBudget::new(8);
+        let mut env = CountingEnv::new();
+        let (out, stats) = execute_merge(
+            &cfg,
+            &budget,
+            &metas,
+            &mut store,
+            &mut env,
+            params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
+        );
+        let result = collect_run(&mut store, out);
+        assert_sorted_permutation(&input, &result);
+        assert!(stats.splits >= 1);
+        assert!(stats.steps_executed >= 2);
+    }
+
+    #[test]
+    fn all_adaptations_and_policies_produce_sorted_output() {
+        for adaptation in [
+            MergeAdaptation::Suspension,
+            MergeAdaptation::Paging,
+            MergeAdaptation::DynamicSplitting,
+        ] {
+            for policy in [MergePolicy::Naive, MergePolicy::Optimized] {
+                let (mut store, metas, input) = make_runs(12, 2, 3);
+                let cfg = cfg_with_mem(6);
+                let budget = MemoryBudget::new(6);
+                let mut env = CountingEnv::new();
+                let (out, _stats) = execute_merge(
+                    &cfg,
+                    &budget,
+                    &metas,
+                    &mut store,
+                    &mut env,
+                    params(policy, adaptation),
+                );
+                let result = collect_run(&mut store, out);
+                assert_sorted_permutation(&input, &result);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_run_edge_cases() {
+        let cfg = cfg_with_mem(8);
+        let budget = MemoryBudget::new(8);
+        let mut env = CountingEnv::new();
+        let mut store = MemStore::new();
+        let (out, stats) = execute_merge(
+            &cfg,
+            &budget,
+            &[],
+            &mut store,
+            &mut env,
+            ExecParams::default(),
+        );
+        assert_eq!(store.run_tuples(out), 0);
+        assert_eq!(stats.steps_executed, 0);
+
+        let (mut store, metas, input) = make_runs(1, 4, 9);
+        let (out, _) = execute_merge(
+            &cfg,
+            &budget,
+            &metas,
+            &mut store,
+            &mut env,
+            ExecParams::default(),
+        );
+        let result = collect_run(&mut store, out);
+        assert_sorted_permutation(&input, &result);
+    }
+
+    /// An environment that applies a scripted sequence of budget changes, each
+    /// firing once the clock passes its timestamp (clock advances on CPU
+    /// charges).
+    struct ScriptedEnv {
+        clock: f64,
+        script: Vec<(f64, usize)>,
+        next: usize,
+    }
+
+    impl ScriptedEnv {
+        fn new(script: Vec<(f64, usize)>) -> Self {
+            ScriptedEnv {
+                clock: 0.0,
+                script,
+                next: 0,
+            }
+        }
+    }
+
+    impl SortEnv for ScriptedEnv {
+        fn now(&self) -> f64 {
+            self.clock
+        }
+        fn charge_cpu(&mut self, _op: CpuOp, count: u64) {
+            self.clock += count as f64 * 5e-5;
+        }
+        fn charge_extra_read(&mut self, pages: usize) {
+            self.clock += pages as f64 * 1e-3;
+        }
+        fn poll(&mut self, budget: &MemoryBudget) {
+            while self.next < self.script.len() && self.script[self.next].0 <= self.clock {
+                budget.set_target(self.script[self.next].1, self.clock);
+                self.next += 1;
+            }
+        }
+        fn wait_for_pages(&mut self, budget: &MemoryBudget, pages: usize) -> bool {
+            // Jump the clock forward to the next scripted growth that
+            // satisfies the request.
+            while self.next < self.script.len() {
+                let (at, target) = self.script[self.next];
+                self.clock = self.clock.max(at);
+                budget.set_target(target, self.clock);
+                self.next += 1;
+                if target >= pages {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
+    #[test]
+    fn dynamic_splitting_survives_shrink_and_grow_mid_merge() {
+        let (mut store, metas, input) = make_runs(10, 4, 7);
+        let cfg = cfg_with_mem(12);
+        let budget = MemoryBudget::new(12);
+        // Shrink hard early, grow back later, shrink again.
+        let mut env = ScriptedEnv::new(vec![(0.02, 5), (0.2, 14), (0.5, 4), (0.9, 16)]);
+        let (out, stats) = execute_merge(
+            &cfg,
+            &budget,
+            &metas,
+            &mut store,
+            &mut env,
+            params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
+        );
+        let result = collect_run(&mut store, out);
+        assert_sorted_permutation(&input, &result);
+        assert!(stats.splits >= 1, "expected at least one dynamic split");
+        assert!(stats.switches >= 1);
+    }
+
+    #[test]
+    fn paging_and_suspension_survive_fluctuations() {
+        for adaptation in [MergeAdaptation::Paging, MergeAdaptation::Suspension] {
+            let (mut store, metas, input) = make_runs(9, 3, 11);
+            let cfg = cfg_with_mem(10);
+            let budget = MemoryBudget::new(10);
+            let mut env = ScriptedEnv::new(vec![(0.01, 4), (0.3, 12), (0.6, 5), (0.8, 12)]);
+            let (out, stats) = execute_merge(
+                &cfg,
+                &budget,
+                &metas,
+                &mut store,
+                &mut env,
+                params(MergePolicy::Optimized, adaptation),
+            );
+            let result = collect_run(&mut store, out);
+            assert_sorted_permutation(&input, &result);
+            if adaptation == MergeAdaptation::Paging {
+                assert!(stats.extra_paging_reads > 0, "paging should have faulted");
+            } else {
+                assert!(stats.refetched_pages > 0, "suspension should have refetched");
+            }
+        }
+    }
+
+    #[test]
+    fn growth_lets_dynamic_splitting_combine_steps() {
+        // Start with too little memory (forcing an immediate split), then grow
+        // so the sort switches back to the final step and absorbs the child.
+        let (mut store, metas, input) = make_runs(12, 3, 13);
+        let cfg = cfg_with_mem(5);
+        let budget = MemoryBudget::new(5);
+        let mut env = ScriptedEnv::new(vec![(0.05, 20)]);
+        let (out, stats) = execute_merge(
+            &cfg,
+            &budget,
+            &metas,
+            &mut store,
+            &mut env,
+            params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
+        );
+        let result = collect_run(&mut store, out);
+        assert_sorted_permutation(&input, &result);
+        assert!(stats.splits >= 1);
+        assert!(
+            stats.combines >= 1,
+            "growth should have let the sort combine steps (combines = {})",
+            stats.combines
+        );
+    }
+
+    #[test]
+    fn join_merge_with_many_tiny_runs_and_fluctuation() {
+        // Regression test: lots of single-page runs on both sides exhaust
+        // constantly during the join, so input indices are invalidated all the
+        // time; combined with a fluctuating budget this used to hit an
+        // out-of-bounds pop in `produce_unit_join`.
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut store = MemStore::new();
+        let tpp = 8;
+        let mut make_side = |n_runs: usize| {
+            let mut metas = Vec::new();
+            let mut all = Vec::new();
+            for _ in 0..n_runs {
+                let mut tuples: Vec<Tuple> = (0..tpp)
+                    .map(|_| Tuple::synthetic(rng.gen_range(0..40u64), 64))
+                    .collect();
+                tuples.sort_unstable_by_key(|t| t.key);
+                all.extend(tuples.clone());
+                let run = store.create_run();
+                for p in paginate(tuples, tpp) {
+                    store.append_page(run, p);
+                }
+                metas.push(store.meta(run));
+            }
+            (metas, all)
+        };
+        let (left_metas, left_all) = make_side(30);
+        let (right_metas, right_all) = make_side(25);
+        let expected = crate::verify::nested_loop_match_count(&left_all, &right_all);
+
+        let cfg = cfg_with_mem(5);
+        let budget = MemoryBudget::new(5);
+        let mut env = ScriptedEnv::new(vec![(0.001, 3), (0.01, 12), (0.05, 4), (0.2, 20)]);
+        let mut seen = 0u64;
+        let stats = execute_join_merge(
+            &cfg,
+            &budget,
+            &left_metas,
+            &right_metas,
+            &mut store,
+            &mut env,
+            params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
+            &mut |_l, _r| seen += 1,
+        );
+        assert_eq!(stats.join_matches, expected);
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn join_merge_counts_matches_correctly() {
+        // Keys drawn from a small domain so duplicates and matches are common.
+        let mut rng = StdRng::seed_from_u64(5);
+        let tpp = 8;
+        let mut store = MemStore::new();
+        let mut make_side = |n_runs: usize, pages: usize| {
+            let mut metas = Vec::new();
+            let mut all = Vec::new();
+            for _ in 0..n_runs {
+                let mut tuples: Vec<Tuple> = (0..pages * tpp)
+                    .map(|_| Tuple::synthetic(rng.gen_range(0..200u64), 64))
+                    .collect();
+                tuples.sort_unstable_by_key(|t| t.key);
+                all.extend(tuples.clone());
+                let run = store.create_run();
+                for p in paginate(tuples, tpp) {
+                    store.append_page(run, p);
+                }
+                metas.push(store.meta(run));
+            }
+            (metas, all)
+        };
+        let (left_metas, left_all) = make_side(5, 3);
+        let (right_metas, right_all) = make_side(4, 2);
+        let expected = crate::verify::nested_loop_match_count(&left_all, &right_all);
+
+        let cfg = cfg_with_mem(6);
+        let budget = MemoryBudget::new(6);
+        let mut env = CountingEnv::new();
+        let mut seen = 0u64;
+        let stats = execute_join_merge(
+            &cfg,
+            &budget,
+            &left_metas,
+            &right_metas,
+            &mut store,
+            &mut env,
+            params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
+            &mut |_l, _r| seen += 1,
+        );
+        assert_eq!(stats.join_matches, expected);
+        assert_eq!(seen, expected);
+        assert!(stats.splits >= 1, "6 pages cannot hold 9 runs + output");
+    }
+}

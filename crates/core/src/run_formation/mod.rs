@@ -1,0 +1,234 @@
+//! The split phase: consuming the input relation and producing sorted runs
+//! under a fluctuating memory budget.
+//!
+//! Three in-memory sorting methods are implemented (paper §2.1 / §3.1):
+//!
+//! * [`quicksort`] — fill memory, sort, write the whole run (`quick`);
+//! * [`replacement`] — replacement selection, writing either one page at a
+//!   time (`repl1`) or N-page blocks (`replN`).
+//!
+//! All methods poll the [`MemoryBudget`] before every page they absorb and
+//! react to shortages as described in the paper: Quicksort must sort and write
+//! everything in memory before it can release a page, whereas replacement
+//! selection only needs to emit enough pages (or hand over already-free
+//! buffers) to satisfy the request.
+
+pub mod quicksort;
+pub mod replacement;
+
+use crate::budget::MemoryBudget;
+use crate::config::{RunFormation, SortConfig};
+use crate::env::SortEnv;
+use crate::input::InputSource;
+use crate::store::{RunMeta, RunStore};
+
+/// Statistics describing one completed split phase.
+#[derive(Clone, Debug, Default)]
+pub struct SplitStats {
+    /// The sorted runs produced, in creation order.
+    pub runs: Vec<RunMeta>,
+    /// Input pages consumed.
+    pub pages_read: usize,
+    /// Run pages written.
+    pub pages_written: usize,
+    /// Number of distinct block writes issued (for seek accounting insight).
+    pub block_writes: usize,
+    /// Environment time at which the split phase started.
+    pub started_at: f64,
+    /// Environment time at which the split phase finished.
+    pub finished_at: f64,
+    /// Number of times the method had to shed pages due to a memory shortage.
+    pub shrink_events: usize,
+}
+
+impl SplitStats {
+    /// Duration of the split phase in seconds.
+    pub fn duration(&self) -> f64 {
+        (self.finished_at - self.started_at).max(0.0)
+    }
+
+    /// Number of runs produced.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Average run length in pages (0 if no runs were produced).
+    pub fn avg_run_pages(&self) -> f64 {
+        if self.runs.is_empty() {
+            0.0
+        } else {
+            self.runs.iter().map(|r| r.pages as f64).sum::<f64>() / self.runs.len() as f64
+        }
+    }
+
+    /// Total tuples across all produced runs.
+    pub fn total_tuples(&self) -> usize {
+        self.runs.iter().map(|r| r.tuples).sum()
+    }
+}
+
+/// Run the split phase with the configured in-memory sorting method.
+///
+/// Returns the produced runs plus statistics. Empty inputs produce zero runs.
+pub fn form_runs<S, I, E>(
+    cfg: &SortConfig,
+    budget: &MemoryBudget,
+    input: &mut I,
+    store: &mut S,
+    env: &mut E,
+) -> SplitStats
+where
+    S: RunStore,
+    I: InputSource,
+    E: SortEnv,
+{
+    match cfg.algorithm.formation {
+        RunFormation::Quicksort => quicksort::form_runs(cfg, budget, input, store, env),
+        RunFormation::ReplacementSelect { block_pages } => {
+            replacement::form_runs(cfg, budget, input, store, env, block_pages)
+        }
+        RunFormation::AdaptiveReplacement {
+            min_block,
+            max_block,
+        } => replacement::form_runs_adaptive(cfg, budget, input, store, env, min_block, max_block),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgorithmSpec;
+    use crate::env::CountingEnv;
+    use crate::input::VecSource;
+    use crate::store::MemStore;
+    use crate::tuple::Tuple;
+    use crate::verify::collect_run;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Tuple::synthetic(rng.gen::<u64>(), 256))
+            .collect()
+    }
+
+    fn run_split(formation: RunFormation, n_tuples: usize, mem_pages: usize) -> (SplitStats, MemStore) {
+        let cfg = SortConfig::default()
+            .with_memory_pages(mem_pages)
+            .with_algorithm(AlgorithmSpec {
+                formation,
+                ..AlgorithmSpec::recommended()
+            });
+        let budget = MemoryBudget::new(mem_pages);
+        let mut input = VecSource::from_tuples(random_tuples(n_tuples, 42), cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = CountingEnv::new();
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        (stats, store)
+    }
+
+    fn assert_runs_sorted_and_complete(stats: &SplitStats, store: &mut MemStore, expect: usize) {
+        let mut total = 0usize;
+        for run in &stats.runs {
+            let tuples = collect_run(store, run.id);
+            assert!(
+                tuples.windows(2).all(|w| w[0].key <= w[1].key),
+                "run {} not sorted",
+                run.id
+            );
+            assert_eq!(tuples.len(), run.tuples);
+            total += tuples.len();
+        }
+        assert_eq!(total, expect, "split phase lost or duplicated tuples");
+    }
+
+    #[test]
+    fn quicksort_runs_are_memory_sized() {
+        let (stats, mut store) = run_split(RunFormation::Quicksort, 32 * 40, 8);
+        // 40 pages of input with 8 pages of memory => 5 runs of 8 pages.
+        assert_eq!(stats.run_count(), 5);
+        assert!(stats.runs.iter().all(|r| r.pages == 8));
+        assert_runs_sorted_and_complete(&stats, &mut store, 32 * 40);
+    }
+
+    #[test]
+    fn replacement_selection_runs_are_about_twice_memory() {
+        let (stats, mut store) = run_split(RunFormation::repl(1), 32 * 64, 8);
+        assert_runs_sorted_and_complete(&stats, &mut store, 32 * 64);
+        let avg = stats.avg_run_pages();
+        assert!(
+            avg > 11.0 && avg < 21.0,
+            "replacement selection avg run length {avg} pages should be ~2x memory (16)"
+        );
+        // And strictly fewer runs than quicksort would produce (64/8 = 8).
+        assert!(stats.run_count() < 8);
+    }
+
+    #[test]
+    fn block_writes_shorten_runs_slightly_but_fewer_seeks() {
+        let (s1, _) = run_split(RunFormation::repl(1), 32 * 64, 8);
+        let (s6, _) = run_split(RunFormation::repl(6), 32 * 64, 8);
+        assert!(s6.block_writes < s1.block_writes, "block writes should reduce write operations");
+        assert!(s6.run_count() >= s1.run_count());
+        // Only marginally more runs (paper: "only marginally more than repl1").
+        assert!(s6.run_count() as f64 <= s1.run_count() as f64 * 2.0 + 1.0);
+    }
+
+    #[test]
+    fn empty_input_produces_no_runs() {
+        let (stats, _) = run_split(RunFormation::Quicksort, 0, 8);
+        assert_eq!(stats.run_count(), 0);
+        let (stats, _) = run_split(RunFormation::repl(6), 0, 8);
+        assert_eq!(stats.run_count(), 0);
+    }
+
+    #[test]
+    fn single_page_input_single_run() {
+        for f in [RunFormation::Quicksort, RunFormation::repl(1), RunFormation::repl(6)] {
+            let (stats, mut store) = run_split(f, 10, 8);
+            assert_eq!(stats.run_count(), 1, "formation {f:?}");
+            assert_runs_sorted_and_complete(&stats, &mut store, 10);
+        }
+    }
+
+    #[test]
+    fn one_page_of_memory_still_makes_progress() {
+        for f in [RunFormation::Quicksort, RunFormation::repl(1)] {
+            let (stats, mut store) = run_split(f, 32 * 6, 1);
+            assert_runs_sorted_and_complete(&stats, &mut store, 32 * 6);
+            assert!(stats.run_count() >= 1);
+        }
+    }
+
+    #[test]
+    fn presorted_input_gives_single_replacement_run() {
+        // Replacement selection on already-sorted input produces one run
+        // regardless of memory size (every incoming key >= last output).
+        let cfg = SortConfig::default().with_memory_pages(4);
+        let budget = MemoryBudget::new(4);
+        let tuples: Vec<Tuple> = (0..32 * 20).map(|k| Tuple::synthetic(k as u64, 256)).collect();
+        let mut input = VecSource::from_tuples(tuples, cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = CountingEnv::new();
+        let stats = replacement::form_runs(&cfg, &budget, &mut input, &mut store, &mut env, 1);
+        assert_eq!(stats.run_count(), 1);
+        assert_eq!(stats.runs[0].tuples, 32 * 20);
+    }
+
+    #[test]
+    fn reverse_sorted_input_gives_memory_sized_replacement_runs() {
+        // Worst case for replacement selection: every incoming key is smaller
+        // than the last output, so runs are roughly memory-sized.
+        let cfg = SortConfig::default().with_memory_pages(4);
+        let budget = MemoryBudget::new(4);
+        let n = 32 * 20;
+        let tuples: Vec<Tuple> = (0..n).rev().map(|k| Tuple::synthetic(k as u64, 256)).collect();
+        let mut input = VecSource::from_tuples(tuples, cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = CountingEnv::new();
+        let stats = replacement::form_runs(&cfg, &budget, &mut input, &mut store, &mut env, 1);
+        assert!(stats.run_count() >= 4, "expected many runs, got {}", stats.run_count());
+        assert_eq!(stats.total_tuples(), n);
+    }
+}

@@ -1,0 +1,215 @@
+//! Quicksort run formation (`quick`).
+//!
+//! The method repeatedly fills the available memory with input pages, sorts
+//! the memory-resident tuples, and writes the result out as one sorted run
+//! (paper §2.1). Because sorting is performed on a `(key, pointer)` list over
+//! whole pages, a typical implementation cannot release *any* buffer until the
+//! entire run has been sorted and written (paper §3.1) — which is exactly how
+//! the shortage path below behaves, and why Quicksort exhibits long
+//! split-phase delays in the experiments.
+
+use crate::budget::MemoryBudget;
+use crate::config::SortConfig;
+use crate::env::{CpuOp, SortEnv};
+use crate::input::InputSource;
+use crate::store::RunStore;
+use crate::tuple::{paginate, Tuple};
+
+use super::SplitStats;
+
+/// Execute the split phase with Quicksort run formation.
+pub fn form_runs<S, I, E>(
+    cfg: &SortConfig,
+    budget: &MemoryBudget,
+    input: &mut I,
+    store: &mut S,
+    env: &mut E,
+) -> SplitStats
+where
+    S: RunStore,
+    I: InputSource,
+    E: SortEnv,
+{
+    let tpp = cfg.tuples_per_page();
+    let mut stats = SplitStats {
+        started_at: env.now(),
+        ..SplitStats::default()
+    };
+    budget.record_held(0, env.now());
+
+    let mut exhausted = false;
+    while !exhausted {
+        // ------------------------------------------------------------------
+        // Fill memory with as many input pages as the allocation allows.
+        //
+        // The fill target is captured when the run starts; growth is picked
+        // up immediately ("the sort can immediately fill the newly allocated
+        // buffers", §3.1) but a shrink request cannot take effect until the
+        // whole memory load has been sorted and written out — the buffers are
+        // full of unsorted tuples referenced by the (key, pointer) list.
+        // This is exactly why Quicksort exhibits long split-phase delays.
+        // ------------------------------------------------------------------
+        let mut mem: Vec<Tuple> = Vec::new();
+        let mut held_pages = 0usize;
+        let mut fill_target = budget.target().max(1);
+        loop {
+            env.poll(budget);
+            fill_target = fill_target.max(budget.target()).max(1);
+            if held_pages >= fill_target {
+                break;
+            }
+            match input.next_page() {
+                Some(page) => {
+                    env.charge_cpu(CpuOp::StartIo, 1);
+                    env.charge_cpu(CpuOp::CopyTuple, page.len() as u64);
+                    stats.pages_read += 1;
+                    held_pages += 1;
+                    mem.extend(page.tuples);
+                    budget.record_held(held_pages, env.now());
+                }
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+
+        if mem.is_empty() {
+            break;
+        }
+        if held_pages > budget.target() {
+            stats.shrink_events += 1;
+        }
+
+        // ------------------------------------------------------------------
+        // Sort the memory-resident tuples (key/pointer sort): n log n compares
+        // plus ~n swaps of (key, pointer) pairs.
+        // ------------------------------------------------------------------
+        let n = mem.len() as u64;
+        let log_n = (usize::BITS - (mem.len().max(2) - 1).leading_zeros()) as u64;
+        env.charge_cpu(CpuOp::Compare, n * log_n);
+        env.charge_cpu(CpuOp::Swap, n);
+        mem.sort_unstable_by_key(|t| t.key);
+
+        // ------------------------------------------------------------------
+        // Write the run out in one sequential block. Only once the whole
+        // memory load has been sorted and queued for (asynchronous) writing
+        // can the buffers be handed back — this is why Quicksort reacts to
+        // memory shortages so much more slowly than replacement selection.
+        // ------------------------------------------------------------------
+        let pages = paginate(mem, tpp);
+        let run = store.create_run();
+        env.charge_cpu(CpuOp::StartIo, 1);
+        env.charge_cpu(CpuOp::CopyTuple, pages.iter().map(|p| p.len() as u64).sum());
+        stats.pages_written += pages.len();
+        stats.block_writes += 1;
+        store.append_block(run, pages);
+        stats.runs.push(store.meta(run));
+
+        // Only now — after the whole memory load has been sorted and written —
+        // can the buffers be handed back to the DBMS.
+        budget.record_held(0, env.now());
+    }
+
+    budget.record_held(0, env.now());
+    stats.finished_at = env.now();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::CountingEnv;
+    use crate::input::VecSource;
+    use crate::store::MemStore;
+    use crate::verify::collect_run;
+
+    fn cfg(mem: usize) -> SortConfig {
+        SortConfig::default().with_memory_pages(mem)
+    }
+
+    #[test]
+    fn shrink_during_fill_cuts_run_short_and_records_delay() {
+        // 8 pages of memory; shrink to 3 pages arrives after 4 pages are read.
+        let cfg = cfg(8);
+        let tpp = cfg.tuples_per_page();
+        let tuples: Vec<Tuple> = (0..(tpp * 16) as u64)
+            .rev()
+            .map(|k| Tuple::synthetic(k, 256))
+            .collect();
+        let budget = MemoryBudget::new(8);
+        let mut input = VecSource::from_tuples(tuples, tpp);
+        let mut store = MemStore::new();
+        let mut env = CountingEnv::new();
+
+        // Pre-arm the shortage: the budget drops before the sort starts its
+        // second run, so the second fill stops at 3 pages.
+        // first run forms with full memory
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        assert_eq!(stats.runs[0].pages, 8);
+
+        // Now run again on fresh input with a mid-fill shrink driven by poll:
+        // emulate by setting target lower before starting.
+        budget.set_target(3, env.now());
+        let tuples2: Vec<Tuple> = (0..(tpp * 8) as u64).map(|k| Tuple::synthetic(k, 256)).collect();
+        let mut input2 = VecSource::from_tuples(tuples2, tpp);
+        let stats2 = form_runs(&cfg, &budget, &mut input2, &mut store, &mut env);
+        assert!(stats2.runs.iter().all(|r| r.pages <= 3));
+    }
+
+    #[test]
+    fn growth_is_used_on_next_fill() {
+        let cfg = cfg(2);
+        let tpp = cfg.tuples_per_page();
+        let budget = MemoryBudget::new(2);
+        let tuples: Vec<Tuple> = (0..(tpp * 12) as u64).map(|k| Tuple::synthetic(k, 256)).collect();
+        let mut input = VecSource::from_tuples(tuples, tpp);
+        let mut store = MemStore::new();
+        let mut env = CountingEnv::new();
+        // Grow before starting: all runs should use the larger allocation.
+        budget.set_target(6, 0.0);
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        assert_eq!(stats.runs[0].pages, 6);
+    }
+
+    #[test]
+    fn output_runs_are_sorted_permutations() {
+        let cfg = cfg(4);
+        let tpp = cfg.tuples_per_page();
+        let budget = MemoryBudget::new(4);
+        let mut keys: Vec<u64> = (0..(tpp * 9) as u64).collect();
+        // deterministic shuffle
+        keys.reverse();
+        keys.rotate_left(7);
+        let tuples: Vec<Tuple> = keys.iter().map(|&k| Tuple::synthetic(k, 256)).collect();
+        let mut input = VecSource::from_tuples(tuples, tpp);
+        let mut store = MemStore::new();
+        let mut env = CountingEnv::new();
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        let mut all: Vec<u64> = Vec::new();
+        for r in &stats.runs {
+            let t = collect_run(&mut store, r.id);
+            assert!(t.windows(2).all(|w| w[0].key <= w[1].key));
+            all.extend(t.iter().map(|t| t.key));
+        }
+        all.sort_unstable();
+        let mut expect: Vec<u64> = keys;
+        expect.sort_unstable();
+        assert_eq!(all, expect);
+    }
+
+    #[test]
+    fn cpu_charges_are_reported() {
+        let cfg = cfg(4);
+        let tpp = cfg.tuples_per_page();
+        let budget = MemoryBudget::new(4);
+        let tuples: Vec<Tuple> = (0..(tpp * 4) as u64).map(|k| Tuple::synthetic(k, 256)).collect();
+        let mut input = VecSource::from_tuples(tuples, tpp);
+        let mut store = MemStore::new();
+        let mut env = CountingEnv::new();
+        form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        assert!(env.charged(CpuOp::Compare) > 0);
+        assert!(env.charged(CpuOp::CopyTuple) > 0);
+        assert!(env.charged(CpuOp::StartIo) > 0);
+    }
+}

@@ -1,0 +1,487 @@
+//! Replacement-selection run formation (`repl1` / `replN`).
+//!
+//! Input tuples are inserted into an ordered heap. Once memory is full, tuples
+//! with the smallest keys that are still ≥ the last key written to the current
+//! run are removed and written out, making room for more input. Tuples smaller
+//! than the last output key are tagged for the *next* run; when the heap
+//! contains only next-run tuples the current run is closed (paper §2.1).
+//!
+//! Writing happens in blocks of `block_pages` pages (`replN`): larger blocks
+//! reduce disk seeks at the cost of slightly shorter runs, and they leave a
+//! few free buffers lying around most of the time, which is what makes `replN`
+//! so responsive to memory shortages (paper §5.2).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::budget::MemoryBudget;
+use crate::config::SortConfig;
+use crate::env::{CpuOp, SortEnv};
+use crate::input::InputSource;
+use crate::store::{RunId, RunStore};
+use crate::tuple::{paginate, Tuple};
+
+use super::SplitStats;
+
+/// Heap entry: ordered by (run number, key) so that the current run's smallest
+/// key is always on top, and next-run tuples sink below every current-run one.
+struct Entry {
+    run_no: u32,
+    key: u64,
+    tuple: Tuple,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.run_no == other.run_no && self.key == other.key
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed so that BinaryHeap (a max-heap) pops the smallest
+        // (run_no, key) first.
+        (other.run_no, other.key).cmp(&(self.run_no, self.key))
+    }
+}
+
+/// How the block-write size is chosen.
+#[derive(Clone, Copy, Debug)]
+enum BlockPolicy {
+    /// A fixed number of pages per block write (`replN`).
+    Fixed(usize),
+    /// Track the current memory allocation: block ≈ target / 6, clamped to
+    /// `[min, max]` pages (the paper's future-work extension).
+    Adaptive { min: usize, max: usize },
+}
+
+impl BlockPolicy {
+    fn block_pages(&self, target_pages: usize) -> usize {
+        match *self {
+            BlockPolicy::Fixed(n) => n.max(1),
+            BlockPolicy::Adaptive { min, max } => (target_pages / 6).clamp(min.max(1), max.max(1)),
+        }
+    }
+}
+
+struct State<'a, S: RunStore> {
+    store: &'a mut S,
+    tpp: usize,
+    block_tuples: usize,
+    heap: BinaryHeap<Entry>,
+    out_buf: Vec<Tuple>,
+    current_run_no: u32,
+    current_run_id: Option<RunId>,
+    last_out: Option<u64>,
+}
+
+impl<'a, S: RunStore> State<'a, S> {
+    fn in_memory_tuples(&self) -> usize {
+        self.heap.len() + self.out_buf.len()
+    }
+
+    fn in_memory_pages(&self) -> usize {
+        self.in_memory_tuples().div_ceil(self.tpp)
+    }
+
+    /// Flush the output buffer (whatever it currently holds) as one block
+    /// write to the current run.
+    fn flush<E: SortEnv>(&mut self, env: &mut E, budget: &MemoryBudget, stats: &mut SplitStats) {
+        if self.out_buf.is_empty() {
+            return;
+        }
+        let run = *self
+            .current_run_id
+            .get_or_insert_with(|| self.store.create_run());
+        let tuples = std::mem::take(&mut self.out_buf);
+        env.charge_cpu(CpuOp::StartIo, 1);
+        let pages = paginate(tuples, self.tpp);
+        stats.pages_written += pages.len();
+        stats.block_writes += 1;
+        self.store.append_block(run, pages);
+        // The flushed buffers become available as soon as the block write
+        // completes; unlike Quicksort, only as many pages as necessary are
+        // written, which keeps replacement selection's delays short.
+        budget.record_held(self.in_memory_pages(), env.now());
+    }
+
+    /// Close the current run (flushing any buffered remainder first).
+    fn close_run<E: SortEnv>(&mut self, env: &mut E, budget: &MemoryBudget, stats: &mut SplitStats) {
+        self.flush(env, budget, stats);
+        if let Some(run) = self.current_run_id.take() {
+            stats.runs.push(self.store.meta(run));
+        }
+        self.current_run_no += 1;
+        self.last_out = None;
+    }
+
+    /// Pop tuples of the current run into the output buffer until either the
+    /// block is full, a run boundary is reached, or the heap is empty.
+    /// Returns `true` if a run boundary was hit.
+    fn emit<E: SortEnv>(&mut self, env: &mut E) -> bool {
+        self.emit_up_to(env, self.block_tuples)
+    }
+
+    /// Like [`emit`](Self::emit) but with an explicit output-buffer limit;
+    /// used when shedding memory, where the whole excess is popped before a
+    /// single (asynchronous) block write is issued.
+    fn emit_up_to<E: SortEnv>(&mut self, env: &mut E, limit_tuples: usize) -> bool {
+        while self.out_buf.len() < limit_tuples {
+            match self.heap.peek() {
+                Some(top) if top.run_no == self.current_run_no => {
+                    let e = self.heap.pop().expect("peeked entry");
+                    env.charge_cpu(CpuOp::HeapRemove, 1);
+                    env.charge_cpu(CpuOp::CopyTuple, 1);
+                    self.last_out = Some(e.key);
+                    self.out_buf.push(e.tuple);
+                }
+                Some(_) => return true, // only next-run tuples remain
+                None => return false,
+            }
+        }
+        false
+    }
+
+    fn insert_page<E: SortEnv>(&mut self, env: &mut E, page: crate::tuple::Page) {
+        env.charge_cpu(CpuOp::StartIo, 1);
+        env.charge_cpu(CpuOp::HeapInsert, page.len() as u64);
+        for tuple in page.tuples {
+            let run_no = match self.last_out {
+                Some(last) if tuple.key < last => self.current_run_no + 1,
+                _ => self.current_run_no,
+            };
+            self.heap.push(Entry {
+                run_no,
+                key: tuple.key,
+                tuple,
+            });
+        }
+    }
+}
+
+/// Execute the split phase with replacement selection and `block_pages`-page
+/// block writes.
+pub fn form_runs<S, I, E>(
+    cfg: &SortConfig,
+    budget: &MemoryBudget,
+    input: &mut I,
+    store: &mut S,
+    env: &mut E,
+    block_pages: usize,
+) -> SplitStats
+where
+    S: RunStore,
+    I: InputSource,
+    E: SortEnv,
+{
+    form_runs_impl(cfg, budget, input, store, env, BlockPolicy::Fixed(block_pages))
+}
+
+/// Execute the split phase with replacement selection whose block-write size
+/// tracks the current memory allocation (the paper's future-work extension,
+/// §7): roughly one sixth of the current target, clamped to
+/// `[min_block, max_block]` pages.
+pub fn form_runs_adaptive<S, I, E>(
+    cfg: &SortConfig,
+    budget: &MemoryBudget,
+    input: &mut I,
+    store: &mut S,
+    env: &mut E,
+    min_block: usize,
+    max_block: usize,
+) -> SplitStats
+where
+    S: RunStore,
+    I: InputSource,
+    E: SortEnv,
+{
+    form_runs_impl(
+        cfg,
+        budget,
+        input,
+        store,
+        env,
+        BlockPolicy::Adaptive {
+            min: min_block,
+            max: max_block.max(min_block),
+        },
+    )
+}
+
+fn form_runs_impl<S, I, E>(
+    cfg: &SortConfig,
+    budget: &MemoryBudget,
+    input: &mut I,
+    store: &mut S,
+    env: &mut E,
+    policy: BlockPolicy,
+) -> SplitStats
+where
+    S: RunStore,
+    I: InputSource,
+    E: SortEnv,
+{
+    let tpp = cfg.tuples_per_page();
+    let mut stats = SplitStats {
+        started_at: env.now(),
+        ..SplitStats::default()
+    };
+    let mut st = State {
+        store,
+        tpp,
+        block_tuples: policy.block_pages(budget.target().max(1)) * tpp,
+        heap: BinaryHeap::new(),
+        out_buf: Vec::new(),
+        current_run_no: 0,
+        current_run_id: None,
+        last_out: None,
+    };
+    budget.record_held(0, env.now());
+
+    let mut exhausted = false;
+    loop {
+        env.poll(budget);
+        let target = budget.target().max(1);
+        // Under the adaptive policy the block size follows the allocation.
+        st.block_tuples = policy.block_pages(target) * tpp;
+        let cap_tuples = target * tpp;
+        let in_mem = st.in_memory_tuples();
+
+        // --------------------------------------------------------------
+        // Memory shortage: shed pages by emitting and flushing blocks until
+        // the holding fits the new target (or nothing is left to shed).
+        // Unlike Quicksort, only as much as necessary is written out.
+        // --------------------------------------------------------------
+        if in_mem > cap_tuples {
+            stats.shrink_events += 1;
+            while st.in_memory_tuples() > cap_tuples {
+                // Pop the whole excess (CPU work only), then issue one block
+                // write for it; the freed buffers are handed back as soon as
+                // the write is issued.
+                let excess = st.in_memory_tuples() - cap_tuples;
+                let boundary = st.emit_up_to(env, st.out_buf.len() + excess);
+                if !st.out_buf.is_empty() {
+                    st.flush(env, budget, &mut stats);
+                }
+                if boundary {
+                    st.close_run(env, budget, &mut stats);
+                } else if st.heap.is_empty() {
+                    break;
+                }
+            }
+            budget.record_held(st.in_memory_pages(), env.now());
+            continue;
+        }
+
+        // --------------------------------------------------------------
+        // Absorb the next input page if it fits in the current target.
+        // --------------------------------------------------------------
+        if !exhausted && in_mem + tpp <= cap_tuples {
+            match input.next_page() {
+                Some(page) => {
+                    stats.pages_read += 1;
+                    st.insert_page(env, page);
+                    budget.record_held(st.in_memory_pages(), env.now());
+                }
+                None => exhausted = true,
+            }
+            continue;
+        }
+
+        // --------------------------------------------------------------
+        // Memory is full (steady state) or the input is exhausted: emit.
+        // --------------------------------------------------------------
+        if st.heap.is_empty() {
+            if exhausted {
+                st.close_run(env, budget, &mut stats);
+                break;
+            }
+            // Heap empty but a residual output buffer blocks the next page:
+            // flush it and retry.
+            if !st.out_buf.is_empty() {
+                st.flush(env, budget, &mut stats);
+            }
+            continue;
+        }
+
+        let boundary = st.emit(env);
+        if st.out_buf.len() >= st.block_tuples {
+            st.flush(env, budget, &mut stats);
+            budget.record_held(st.in_memory_pages(), env.now());
+        } else if boundary {
+            st.close_run(env, budget, &mut stats);
+            budget.record_held(st.in_memory_pages(), env.now());
+        } else {
+            // Heap ran dry before filling a block; flush what we have so the
+            // next input page can be absorbed.
+            st.flush(env, budget, &mut stats);
+            budget.record_held(st.in_memory_pages(), env.now());
+        }
+    }
+
+    budget.record_held(0, env.now());
+    stats.finished_at = env.now();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::CountingEnv;
+    use crate::input::VecSource;
+    use crate::store::MemStore;
+    use crate::verify::collect_run;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Tuple::synthetic(rng.gen::<u64>(), 256))
+            .collect()
+    }
+
+    fn split(n_tuples: usize, mem: usize, block: usize) -> (SplitStats, MemStore) {
+        let cfg = SortConfig::default().with_memory_pages(mem);
+        let budget = MemoryBudget::new(mem);
+        let mut input = VecSource::from_tuples(random_tuples(n_tuples, 7), cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = CountingEnv::new();
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env, block);
+        (stats, store)
+    }
+
+    #[test]
+    fn produces_sorted_runs_covering_all_tuples() {
+        let n = 32 * 50;
+        let (stats, mut store) = split(n, 8, 6);
+        let mut total = 0;
+        for r in &stats.runs {
+            let t = collect_run(&mut store, r.id);
+            assert!(t.windows(2).all(|w| w[0].key <= w[1].key));
+            total += t.len();
+        }
+        assert_eq!(total, n);
+    }
+
+    #[test]
+    fn block_writes_issue_fewer_write_operations() {
+        let n = 32 * 60;
+        let (s1, _) = split(n, 8, 1);
+        let (s6, _) = split(n, 8, 6);
+        assert!(s6.block_writes * 3 < s1.block_writes);
+        assert_eq!(s1.total_tuples(), n);
+        assert_eq!(s6.total_tuples(), n);
+    }
+
+    #[test]
+    fn shrink_mid_split_frees_memory_and_records_event() {
+        let cfg = SortConfig::default().with_memory_pages(8);
+        let tpp = cfg.tuples_per_page();
+        let budget = MemoryBudget::new(8);
+        let mut input = VecSource::from_tuples(random_tuples(32 * 30, 3), tpp);
+        let mut store = MemStore::new();
+
+        // An env that shrinks the budget to a single page once the clock passes 0.05 s.
+        struct ShrinkingEnv {
+            clock: f64,
+            fired: bool,
+        }
+        impl SortEnv for ShrinkingEnv {
+            fn now(&self) -> f64 {
+                self.clock
+            }
+            fn charge_cpu(&mut self, _op: CpuOp, count: u64) {
+                self.clock += count as f64 * 1e-4;
+            }
+            fn poll(&mut self, budget: &MemoryBudget) {
+                if !self.fired && self.clock > 0.05 {
+                    self.fired = true;
+                    budget.set_target(1, self.clock);
+                }
+            }
+            fn wait_for_pages(&mut self, _b: &MemoryBudget, _p: usize) -> bool {
+                true
+            }
+        }
+        let mut env = ShrinkingEnv {
+            clock: 0.0,
+            fired: false,
+        };
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env, 6);
+        assert!(env.fired);
+        assert!(stats.shrink_events >= 1);
+        assert_eq!(stats.total_tuples(), 32 * 30);
+        // The shortage must have been satisfied (delay recorded, none pending).
+        assert!(!budget.shrink_pending());
+        assert!(budget.delay_count() >= 1);
+    }
+
+    #[test]
+    fn runs_longer_than_memory_on_random_input() {
+        let (stats, _) = split(32 * 80, 10, 1);
+        assert!(stats.avg_run_pages() > 10.0 * 1.4);
+    }
+
+    #[test]
+    fn degenerate_block_equal_to_memory_behaves_like_load_sort_store() {
+        // When the block size equals the memory size the benefit of
+        // replacement selection is lost: run length ≈ number of buffers
+        // (paper §2.1).
+        let (stats, _) = split(32 * 64, 8, 8);
+        assert!(
+            stats.avg_run_pages() < 12.0,
+            "avg run pages {} should collapse towards memory size",
+            stats.avg_run_pages()
+        );
+    }
+
+    #[test]
+    fn adaptive_block_produces_sorted_runs_and_scales_block_size() {
+        let n = 32 * 60;
+        let cfg_small = SortConfig::default().with_memory_pages(6);
+        let cfg_big = SortConfig::default().with_memory_pages(60);
+        let run = |cfg: &SortConfig| {
+            let budget = MemoryBudget::new(cfg.memory_pages);
+            let mut input =
+                VecSource::from_tuples(random_tuples(n, 5), cfg.tuples_per_page());
+            let mut store = MemStore::new();
+            let mut env = CountingEnv::new();
+            let stats = form_runs_adaptive(cfg, &budget, &mut input, &mut store, &mut env, 1, 32);
+            (stats, store)
+        };
+        let (small, mut small_store) = run(&cfg_small);
+        let (big, mut big_store) = run(&cfg_big);
+        assert_eq!(small.total_tuples(), n);
+        assert_eq!(big.total_tuples(), n);
+        for r in &small.runs {
+            assert!(collect_run(&mut small_store, r.id).windows(2).all(|w| w[0].key <= w[1].key));
+        }
+        for r in &big.runs {
+            assert!(collect_run(&mut big_store, r.id).windows(2).all(|w| w[0].key <= w[1].key));
+        }
+        // With 60 pages of memory the adaptive policy writes ~10-page blocks,
+        // so it needs far fewer block writes per page written than with 6.
+        let small_ratio = small.pages_written as f64 / small.block_writes as f64;
+        let big_ratio = big.pages_written as f64 / big.block_writes as f64;
+        assert!(
+            big_ratio > small_ratio * 2.0,
+            "bigger memory should mean bigger blocks ({big_ratio:.1} vs {small_ratio:.1} pages/write)"
+        );
+    }
+
+    #[test]
+    fn tiny_memory_still_completes() {
+        let (stats, mut store) = split(32 * 5, 1, 1);
+        assert_eq!(stats.total_tuples(), 32 * 5);
+        for r in &stats.runs {
+            let t = collect_run(&mut store, r.id);
+            assert!(t.windows(2).all(|w| w[0].key <= w[1].key));
+        }
+    }
+}

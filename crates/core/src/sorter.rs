@@ -1,0 +1,273 @@
+//! The end-to-end external sorter: split phase + merge phase.
+
+use crate::budget::{DelaySample, MemoryBudget, SortPhase};
+use crate::config::SortConfig;
+use crate::env::{RealEnv, SortEnv};
+use crate::input::{InputSource, VecSource};
+use crate::merge::exec::{execute_merge, ExecParams, MergeStats};
+use crate::run_formation::{form_runs, SplitStats};
+use crate::store::{MemStore, RunId, RunStore};
+use crate::tuple::Tuple;
+use crate::verify::collect_run;
+
+/// The result of a complete external sort.
+#[derive(Debug)]
+pub struct SortOutcome {
+    /// Run containing the fully sorted relation (inside the store that was
+    /// passed to [`ExternalSorter::sort`]).
+    pub output_run: RunId,
+    /// Split-phase statistics (runs formed, duration, shrink events, ...).
+    pub split: SplitStats,
+    /// Merge-phase statistics (steps, splits/combines, I/O, ...).
+    pub merge: MergeStats,
+    /// Total response time in environment seconds.
+    pub response_time: f64,
+    /// Delay samples recorded by the memory budget during this sort.
+    pub delays: Vec<DelaySample>,
+}
+
+impl SortOutcome {
+    /// Number of sorted runs the split phase produced.
+    pub fn runs_formed(&self) -> usize {
+        self.split.run_count()
+    }
+
+    /// Mean delay (seconds) experienced by memory-shrink requests during the
+    /// split phase.
+    pub fn mean_split_delay(&self) -> f64 {
+        mean_delay(&self.delays, SortPhase::Split)
+    }
+
+    /// Maximum delay (seconds) experienced by memory-shrink requests during
+    /// the split phase.
+    pub fn max_split_delay(&self) -> f64 {
+        self.delays
+            .iter()
+            .filter(|d| d.phase == SortPhase::Split)
+            .map(DelaySample::delay)
+            .fold(0.0, f64::max)
+    }
+
+    /// Mean delay (seconds) experienced by memory-shrink requests during the
+    /// merge phase.
+    pub fn mean_merge_delay(&self) -> f64 {
+        mean_delay(&self.delays, SortPhase::Merge)
+    }
+}
+
+fn mean_delay(delays: &[DelaySample], phase: SortPhase) -> f64 {
+    let relevant: Vec<f64> = delays
+        .iter()
+        .filter(|d| d.phase == phase)
+        .map(DelaySample::delay)
+        .collect();
+    if relevant.is_empty() {
+        0.0
+    } else {
+        relevant.iter().sum::<f64>() / relevant.len() as f64
+    }
+}
+
+/// A configurable, memory-adaptive external sorter.
+///
+/// The sorter is stateless between sorts; all per-sort state lives in the
+/// store, environment and budget supplied to [`sort`](Self::sort).
+#[derive(Clone, Debug)]
+pub struct ExternalSorter {
+    cfg: SortConfig,
+}
+
+impl ExternalSorter {
+    /// Create a sorter with the given configuration.
+    pub fn new(cfg: SortConfig) -> Self {
+        ExternalSorter { cfg }
+    }
+
+    /// The sorter's configuration.
+    pub fn config(&self) -> &SortConfig {
+        &self.cfg
+    }
+
+    /// Run a full external sort of `input`, storing runs (including the final
+    /// output run) in `store`, charging costs to `env`, and obeying `budget`.
+    pub fn sort<S, I, E>(
+        &self,
+        input: &mut I,
+        store: &mut S,
+        env: &mut E,
+        budget: &MemoryBudget,
+    ) -> SortOutcome
+    where
+        S: RunStore,
+        I: InputSource,
+        E: SortEnv,
+    {
+        let started = env.now();
+        budget.set_phase(SortPhase::Split);
+        let split = form_runs(&self.cfg, budget, input, store, env);
+
+        budget.set_phase(SortPhase::Merge);
+        let params = ExecParams::from_algorithm(&self.cfg.algorithm);
+        let (output_run, merge) = execute_merge(&self.cfg, budget, &split.runs, store, env, params);
+
+        let response_time = env.now() - started;
+        SortOutcome {
+            output_run,
+            split,
+            merge,
+            response_time,
+            delays: budget.take_delays(),
+        }
+    }
+
+    /// Convenience wrapper: sort an in-memory vector of tuples and return the
+    /// sorted vector. Uses an in-memory run store, the wall-clock environment
+    /// and a fixed budget of `memory_pages` from the configuration.
+    pub fn sort_vec(&self, tuples: Vec<Tuple>) -> Vec<Tuple> {
+        let budget = MemoryBudget::new(self.cfg.memory_pages);
+        let mut input = VecSource::from_tuples(tuples, self.cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = RealEnv::new();
+        let outcome = self.sort(&mut input, &mut store, &mut env, &budget);
+        collect_run(&mut store, outcome.output_run)
+    }
+
+    /// Like [`sort_vec`](Self::sort_vec) but also returns the full
+    /// [`SortOutcome`] (statistics) alongside the sorted data.
+    pub fn sort_vec_with_stats(&self, tuples: Vec<Tuple>) -> (Vec<Tuple>, SortOutcome) {
+        let budget = MemoryBudget::new(self.cfg.memory_pages);
+        let mut input = VecSource::from_tuples(tuples, self.cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = RealEnv::new();
+        let outcome = self.sort(&mut input, &mut store, &mut env, &budget);
+        let sorted = collect_run(&mut store, outcome.output_run);
+        (sorted, outcome)
+    }
+}
+
+impl Default for ExternalSorter {
+    fn default() -> Self {
+        ExternalSorter::new(SortConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation};
+    use crate::env::CountingEnv;
+    use crate::store::FileStore;
+    use crate::verify::assert_sorted_permutation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Tuple::synthetic(rng.gen::<u64>(), 64))
+            .collect()
+    }
+
+    fn small_cfg(mem: usize, spec: AlgorithmSpec) -> SortConfig {
+        SortConfig::default()
+            .with_page_size(512)
+            .with_tuple_size(64)
+            .with_memory_pages(mem)
+            .with_algorithm(spec)
+    }
+
+    #[test]
+    fn sort_vec_sorts_with_every_algorithm_combination() {
+        let input = random_tuples(3000, 99);
+        for spec in AlgorithmSpec::all(4) {
+            let cfg = small_cfg(6, spec);
+            let sorter = ExternalSorter::new(cfg);
+            let sorted = sorter.sort_vec(input.clone());
+            assert_sorted_permutation(&input, &sorted);
+        }
+    }
+
+    #[test]
+    fn sort_outcome_reports_runs_and_steps() {
+        let input = random_tuples(4000, 5);
+        let cfg = small_cfg(6, AlgorithmSpec::recommended());
+        let sorter = ExternalSorter::new(cfg);
+        let (sorted, outcome) = sorter.sort_vec_with_stats(input.clone());
+        assert_sorted_permutation(&input, &sorted);
+        assert!(outcome.runs_formed() > 1);
+        assert!(outcome.merge.steps_executed >= 1);
+        assert!(outcome.response_time >= 0.0);
+    }
+
+    #[test]
+    fn sort_with_file_store_round_trips() {
+        let input = random_tuples(2000, 17);
+        let cfg = small_cfg(5, AlgorithmSpec::recommended());
+        let sorter = ExternalSorter::new(cfg.clone());
+        let budget = MemoryBudget::new(cfg.memory_pages);
+        let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
+        let mut store = FileStore::in_temp_dir().unwrap();
+        let mut env = CountingEnv::new();
+        let outcome = sorter.sort(&mut source, &mut store, &mut env, &budget);
+        let sorted = collect_run(&mut store, outcome.output_run);
+        assert_sorted_permutation(&input, &sorted);
+    }
+
+    #[test]
+    fn budget_shrink_from_another_thread_is_respected() {
+        // A real concurrent shrink: the sorting thread keeps going and the
+        // result stays correct.
+        let input = random_tuples(20_000, 23);
+        let cfg = small_cfg(32, AlgorithmSpec::recommended());
+        let sorter = ExternalSorter::new(cfg.clone());
+        let budget = MemoryBudget::new(cfg.memory_pages);
+        let b2 = budget.clone();
+        let handle = std::thread::spawn(move || {
+            for step in 0..50 {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                let target = if step % 2 == 0 { 4 } else { 40 };
+                b2.set_target(target, step as f64);
+            }
+        });
+        let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = RealEnv::new();
+        let outcome = sorter.sort(&mut source, &mut store, &mut env, &budget);
+        handle.join().unwrap();
+        let sorted = collect_run(&mut store, outcome.output_run);
+        assert_sorted_permutation(&input, &sorted);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let sorter = ExternalSorter::new(small_cfg(4, AlgorithmSpec::recommended()));
+        let sorted = sorter.sort_vec(Vec::new());
+        assert!(sorted.is_empty());
+    }
+
+    #[test]
+    fn already_sorted_and_reverse_sorted_inputs() {
+        let asc: Vec<Tuple> = (0..2000u64).map(|k| Tuple::synthetic(k, 64)).collect();
+        let desc: Vec<Tuple> = (0..2000u64).rev().map(|k| Tuple::synthetic(k, 64)).collect();
+        for spec in [
+            AlgorithmSpec::recommended(),
+            AlgorithmSpec::new(
+                RunFormation::Quicksort,
+                MergePolicy::Naive,
+                MergeAdaptation::Paging,
+            ),
+        ] {
+            let sorter = ExternalSorter::new(small_cfg(5, spec));
+            assert_sorted_permutation(&asc, &sorter.sort_vec(asc.clone()));
+            assert_sorted_permutation(&desc, &sorter.sort_vec(desc.clone()));
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_preserved() {
+        let input: Vec<Tuple> = (0..3000u64).map(|k| Tuple::synthetic(k % 10, 64)).collect();
+        let sorter = ExternalSorter::new(small_cfg(5, AlgorithmSpec::recommended()));
+        let sorted = sorter.sort_vec(input.clone());
+        assert_sorted_permutation(&input, &sorted);
+    }
+}

@@ -1,0 +1,431 @@
+//! Run storage — where sorted runs live between the split and merge phases.
+//!
+//! The external sort never assumes anything about where its temporary runs are
+//! kept: it talks to a [`RunStore`]. Three families of implementations exist:
+//!
+//! * [`MemStore`] — runs held in memory; the default for tests, examples and
+//!   small inputs.
+//! * [`FileStore`] — runs spilled to temporary files on disk, for genuinely
+//!   external sorts.
+//! * `SimRunStore` (in `masort-dbsim`) — runs that only exist as page counts
+//!   plus key streams, with every access charged against the simulated disk
+//!   model of the paper.
+
+use crate::tuple::{Page, Payload, Tuple};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Identifier of a run within a [`RunStore`].
+pub type RunId = u32;
+
+/// Summary information about a finished run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunMeta {
+    /// The run's identifier.
+    pub id: RunId,
+    /// Number of pages in the run.
+    pub pages: usize,
+    /// Number of tuples in the run.
+    pub tuples: usize,
+}
+
+/// Abstract storage for sorted runs.
+///
+/// Implementations decide where pages live and what each access costs; the
+/// sort algorithms only append pages in order during run formation /
+/// preliminary merges and read pages (mostly sequentially per run) while
+/// merging.
+pub trait RunStore {
+    /// Create a new, empty run and return its id.
+    fn create_run(&mut self) -> RunId;
+
+    /// Append one page to the end of `run`.
+    fn append_page(&mut self, run: RunId, page: Page);
+
+    /// Append several pages at once (a *block write*). Implementations that
+    /// model I/O cost should charge a single seek for the whole block.
+    fn append_block(&mut self, run: RunId, pages: Vec<Page>) {
+        for p in pages {
+            self.append_page(run, p);
+        }
+    }
+
+    /// Read page `idx` of `run`. Panics if the page does not exist.
+    fn read_page(&mut self, run: RunId, idx: usize) -> Page;
+
+    /// Number of pages currently in `run`.
+    fn run_pages(&self, run: RunId) -> usize;
+
+    /// Number of tuples currently in `run`.
+    fn run_tuples(&self, run: RunId) -> usize;
+
+    /// Delete `run` and release its storage.
+    fn delete_run(&mut self, run: RunId);
+
+    /// Metadata snapshot for `run`.
+    fn meta(&self, run: RunId) -> RunMeta {
+        RunMeta {
+            id: run,
+            pages: self.run_pages(run),
+            tuples: self.run_tuples(run),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory store
+// ---------------------------------------------------------------------------
+
+/// A [`RunStore`] that keeps every run in memory.
+#[derive(Debug, Default)]
+pub struct MemStore {
+    runs: HashMap<RunId, Vec<Page>>,
+    tuple_counts: HashMap<RunId, usize>,
+    next: RunId,
+    pages_written: usize,
+    pages_read: usize,
+}
+
+impl MemStore {
+    /// Create an empty in-memory store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total pages appended over the store's lifetime (for tests/metrics).
+    pub fn pages_written(&self) -> usize {
+        self.pages_written
+    }
+
+    /// Total pages read over the store's lifetime (for tests/metrics).
+    pub fn pages_read(&self) -> usize {
+        self.pages_read
+    }
+
+    /// Number of runs currently stored.
+    pub fn live_runs(&self) -> usize {
+        self.runs.len()
+    }
+}
+
+impl RunStore for MemStore {
+    fn create_run(&mut self) -> RunId {
+        let id = self.next;
+        self.next += 1;
+        self.runs.insert(id, Vec::new());
+        self.tuple_counts.insert(id, 0);
+        id
+    }
+
+    fn append_page(&mut self, run: RunId, page: Page) {
+        self.pages_written += 1;
+        *self.tuple_counts.get_mut(&run).expect("unknown run") += page.len();
+        self.runs.get_mut(&run).expect("unknown run").push(page);
+    }
+
+    fn read_page(&mut self, run: RunId, idx: usize) -> Page {
+        self.pages_read += 1;
+        self.runs.get(&run).expect("unknown run")[idx].clone()
+    }
+
+    fn run_pages(&self, run: RunId) -> usize {
+        self.runs.get(&run).map_or(0, Vec::len)
+    }
+
+    fn run_tuples(&self, run: RunId) -> usize {
+        self.tuple_counts.get(&run).copied().unwrap_or(0)
+    }
+
+    fn delete_run(&mut self, run: RunId) {
+        self.runs.remove(&run);
+        self.tuple_counts.remove(&run);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File-backed store
+// ---------------------------------------------------------------------------
+
+/// Simple length-prefixed binary page format used by [`FileStore`].
+///
+/// Page layout: `u32` tuple count, then per tuple: `u64` key, `u8` payload tag
+/// (0 = synthetic, 1 = bytes), `u32` payload length, payload bytes (only for
+/// tag 1).
+fn encode_page(page: &Page, buf: &mut Vec<u8>) {
+    buf.clear();
+    buf.extend_from_slice(&(page.len() as u32).to_le_bytes());
+    for t in &page.tuples {
+        buf.extend_from_slice(&t.key.to_le_bytes());
+        match &t.payload {
+            Payload::Synthetic(n) => {
+                buf.push(0);
+                buf.extend_from_slice(&n.to_le_bytes());
+            }
+            Payload::Bytes(b) => {
+                buf.push(1);
+                buf.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                buf.extend_from_slice(b);
+            }
+        }
+    }
+}
+
+fn decode_page(buf: &[u8]) -> Page {
+    let mut pos = 0usize;
+    let read_u32 = |pos: &mut usize| {
+        let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap());
+        *pos += 4;
+        v
+    };
+    let count = read_u32(&mut pos) as usize;
+    let mut page = Page::with_capacity(count);
+    for _ in 0..count {
+        let key = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
+        pos += 8;
+        let tag = buf[pos];
+        pos += 1;
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        pos += 4;
+        let payload = if tag == 0 {
+            Payload::Synthetic(len)
+        } else {
+            let b = buf[pos..pos + len as usize].to_vec();
+            pos += len as usize;
+            Payload::Bytes(b)
+        };
+        page.push(Tuple { key, payload });
+    }
+    page
+}
+
+#[derive(Debug)]
+struct FileRun {
+    file: File,
+    /// (offset, encoded length) of each page.
+    index: Vec<(u64, u32)>,
+    tuples: usize,
+    write_pos: u64,
+    path: PathBuf,
+}
+
+/// A [`RunStore`] that spills each run into its own temporary file under a
+/// caller-supplied directory.
+///
+/// Files are deleted when the run is deleted or when the store is dropped.
+#[derive(Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+    runs: HashMap<RunId, FileRun>,
+    next: RunId,
+    own_dir: bool,
+}
+
+impl FileStore {
+    /// Create a store that places run files inside `dir` (which must exist).
+    pub fn new<P: AsRef<Path>>(dir: P) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        if !dir.is_dir() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("run directory {} does not exist", dir.display()),
+            ));
+        }
+        Ok(FileStore {
+            dir,
+            runs: HashMap::new(),
+            next: 0,
+            own_dir: false,
+        })
+    }
+
+    /// Create a store in a fresh private directory under the system temp dir.
+    pub fn in_temp_dir() -> std::io::Result<Self> {
+        let mut dir = std::env::temp_dir();
+        let unique = format!(
+            "masort-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        );
+        dir.push(unique);
+        std::fs::create_dir_all(&dir)?;
+        let mut s = FileStore::new(&dir)?;
+        s.own_dir = true;
+        Ok(s)
+    }
+
+    /// Directory holding the run files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for FileStore {
+    fn drop(&mut self) {
+        let ids: Vec<RunId> = self.runs.keys().copied().collect();
+        for id in ids {
+            self.delete_run(id);
+        }
+        if self.own_dir {
+            let _ = std::fs::remove_dir(&self.dir);
+        }
+    }
+}
+
+impl RunStore for FileStore {
+    fn create_run(&mut self) -> RunId {
+        let id = self.next;
+        self.next += 1;
+        let path = self.dir.join(format!("run-{id}.bin"));
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)
+            .expect("failed to create run file");
+        self.runs.insert(
+            id,
+            FileRun {
+                file,
+                index: Vec::new(),
+                tuples: 0,
+                write_pos: 0,
+                path,
+            },
+        );
+        id
+    }
+
+    fn append_page(&mut self, run: RunId, page: Page) {
+        let r = self.runs.get_mut(&run).expect("unknown run");
+        let mut buf = Vec::with_capacity(4 + page.len() * 16);
+        encode_page(&page, &mut buf);
+        r.file
+            .seek(SeekFrom::Start(r.write_pos))
+            .expect("seek failed");
+        r.file.write_all(&buf).expect("write failed");
+        r.index.push((r.write_pos, buf.len() as u32));
+        r.write_pos += buf.len() as u64;
+        r.tuples += page.len();
+    }
+
+    fn read_page(&mut self, run: RunId, idx: usize) -> Page {
+        let r = self.runs.get_mut(&run).expect("unknown run");
+        let (off, len) = r.index[idx];
+        let mut buf = vec![0u8; len as usize];
+        r.file.seek(SeekFrom::Start(off)).expect("seek failed");
+        r.file.read_exact(&mut buf).expect("read failed");
+        decode_page(&buf)
+    }
+
+    fn run_pages(&self, run: RunId) -> usize {
+        self.runs.get(&run).map_or(0, |r| r.index.len())
+    }
+
+    fn run_tuples(&self, run: RunId) -> usize {
+        self.runs.get(&run).map_or(0, |r| r.tuples)
+    }
+
+    fn delete_run(&mut self, run: RunId) {
+        if let Some(r) = self.runs.remove(&run) {
+            drop(r.file);
+            let _ = std::fs::remove_file(&r.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::paginate;
+
+    fn sample_pages() -> Vec<Page> {
+        let tuples: Vec<Tuple> = (0..10).map(|k| Tuple::synthetic(k, 32)).collect();
+        paginate(tuples, 4)
+    }
+
+    #[test]
+    fn memstore_roundtrip() {
+        let mut s = MemStore::new();
+        let r = s.create_run();
+        for p in sample_pages() {
+            s.append_page(r, p);
+        }
+        assert_eq!(s.run_pages(r), 3);
+        assert_eq!(s.run_tuples(r), 10);
+        assert_eq!(s.read_page(r, 1).tuples[0].key, 4);
+        let meta = s.meta(r);
+        assert_eq!(meta.pages, 3);
+        s.delete_run(r);
+        assert_eq!(s.run_pages(r), 0);
+        assert_eq!(s.live_runs(), 0);
+    }
+
+    #[test]
+    fn memstore_block_append() {
+        let mut s = MemStore::new();
+        let r = s.create_run();
+        s.append_block(r, sample_pages());
+        assert_eq!(s.run_pages(r), 3);
+        assert_eq!(s.pages_written(), 3);
+    }
+
+    #[test]
+    fn memstore_ids_are_unique() {
+        let mut s = MemStore::new();
+        let a = s.create_run();
+        let b = s.create_run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn filestore_roundtrip_synthetic_and_bytes() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let r = s.create_run();
+        let mut page = Page::new();
+        page.push(Tuple::synthetic(11, 64));
+        page.push(Tuple::new(7, vec![1, 2, 3, 4, 5]));
+        s.append_page(r, page.clone());
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(99, 16)]));
+        assert_eq!(s.run_pages(r), 2);
+        assert_eq!(s.run_tuples(r), 3);
+        let back = s.read_page(r, 0);
+        assert_eq!(back, page);
+        let back2 = s.read_page(r, 1);
+        assert_eq!(back2.tuples[0].key, 99);
+    }
+
+    #[test]
+    fn filestore_delete_removes_file() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let r = s.create_run();
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(1, 16)]));
+        let path = s.dir().join(format!("run-{r}.bin"));
+        assert!(path.exists());
+        s.delete_run(r);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn filestore_missing_dir_errors() {
+        assert!(FileStore::new("/definitely/not/a/real/dir/xyz").is_err());
+    }
+
+    #[test]
+    fn filestore_many_runs_interleaved() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let a = s.create_run();
+        let b = s.create_run();
+        for i in 0..5u64 {
+            s.append_page(a, Page::from_tuples(vec![Tuple::synthetic(i, 32)]));
+            s.append_page(b, Page::from_tuples(vec![Tuple::synthetic(100 + i, 32)]));
+        }
+        assert_eq!(s.read_page(a, 3).tuples[0].key, 3);
+        assert_eq!(s.read_page(b, 2).tuples[0].key, 102);
+    }
+}

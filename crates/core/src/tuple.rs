@@ -1,0 +1,217 @@
+//! Tuples and pages — the unit of data movement for the external sort.
+//!
+//! The paper models relations as sets of fixed-size tuples (256 bytes by
+//! default) grouped into 8 KB pages. Library users may attach a real payload
+//! to each tuple; the simulation harness uses a *synthetic* payload that only
+//! records its nominal size so that multi-gigabyte workloads can be simulated
+//! without materialising the bytes.
+
+/// The payload carried by a [`Tuple`] in addition to its sort key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// A payload that occupies `size` bytes but whose contents are irrelevant
+    /// (used by the simulation harness and synthetic workload generators).
+    Synthetic(u32),
+    /// A real payload.
+    Bytes(Vec<u8>),
+}
+
+impl Payload {
+    /// Number of payload bytes this payload accounts for.
+    pub fn len(&self) -> usize {
+        match self {
+            Payload::Synthetic(n) => *n as usize,
+            Payload::Bytes(b) => b.len(),
+        }
+    }
+
+    /// True when the payload occupies no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for Payload {
+    fn default() -> Self {
+        Payload::Synthetic(0)
+    }
+}
+
+/// A single record: a 64-bit sort key plus an opaque payload.
+///
+/// Keys are compared as unsigned integers. Ties between equal keys are broken
+/// arbitrarily (the sort is not stable, matching the paper's algorithms).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tuple {
+    /// The sort key.
+    pub key: u64,
+    /// The carried payload.
+    pub payload: Payload,
+}
+
+impl Tuple {
+    /// Create a tuple with a real byte payload.
+    pub fn new(key: u64, payload: Vec<u8>) -> Self {
+        Tuple {
+            key,
+            payload: Payload::Bytes(payload),
+        }
+    }
+
+    /// Create a tuple whose total nominal size is `tuple_size` bytes but whose
+    /// payload bytes are not materialised. Used for synthetic workloads.
+    pub fn synthetic(key: u64, tuple_size: usize) -> Self {
+        let pay = tuple_size.saturating_sub(KEY_BYTES) as u32;
+        Tuple {
+            key,
+            payload: Payload::Synthetic(pay),
+        }
+    }
+
+    /// Total size of the tuple in bytes (key + payload).
+    pub fn size(&self) -> usize {
+        KEY_BYTES + self.payload.len()
+    }
+}
+
+/// Number of bytes occupied by the key.
+pub const KEY_BYTES: usize = 8;
+
+/// A page: a bounded group of tuples, the unit of I/O.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Page {
+    /// Tuples stored in this page.
+    pub tuples: Vec<Tuple>,
+}
+
+impl Page {
+    /// Create an empty page.
+    pub fn new() -> Self {
+        Page { tuples: Vec::new() }
+    }
+
+    /// Create an empty page with room reserved for `n` tuples.
+    pub fn with_capacity(n: usize) -> Self {
+        Page {
+            tuples: Vec::with_capacity(n),
+        }
+    }
+
+    /// Build a page directly from a vector of tuples.
+    pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
+        Page { tuples }
+    }
+
+    /// Number of tuples in the page.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the page holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Total bytes occupied by the tuples in this page.
+    pub fn bytes(&self) -> usize {
+        self.tuples.iter().map(Tuple::size).sum()
+    }
+
+    /// Append a tuple to the page.
+    pub fn push(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    /// True when tuples appear in non-decreasing key order.
+    pub fn is_sorted(&self) -> bool {
+        self.tuples.windows(2).all(|w| w[0].key <= w[1].key)
+    }
+}
+
+/// Split a flat vector of tuples into pages of at most `tuples_per_page`
+/// tuples each, preserving order.
+pub fn paginate(tuples: Vec<Tuple>, tuples_per_page: usize) -> Vec<Page> {
+    assert!(tuples_per_page > 0, "tuples_per_page must be positive");
+    let mut pages = Vec::with_capacity(tuples.len().div_ceil(tuples_per_page));
+    let mut cur = Page::with_capacity(tuples_per_page);
+    for t in tuples {
+        cur.push(t);
+        if cur.len() == tuples_per_page {
+            pages.push(std::mem::replace(
+                &mut cur,
+                Page::with_capacity(tuples_per_page),
+            ));
+        }
+    }
+    if !cur.is_empty() {
+        pages.push(cur);
+    }
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_tuple_size_matches_nominal() {
+        let t = Tuple::synthetic(42, 256);
+        assert_eq!(t.size(), 256);
+        assert_eq!(t.payload.len(), 248);
+    }
+
+    #[test]
+    fn synthetic_tuple_smaller_than_key_clamps() {
+        let t = Tuple::synthetic(1, 4);
+        assert_eq!(t.size(), KEY_BYTES);
+    }
+
+    #[test]
+    fn real_payload_size() {
+        let t = Tuple::new(7, vec![0u8; 100]);
+        assert_eq!(t.size(), 108);
+        assert!(!t.payload.is_empty());
+    }
+
+    #[test]
+    fn page_push_and_bytes() {
+        let mut p = Page::new();
+        assert!(p.is_empty());
+        p.push(Tuple::synthetic(3, 64));
+        p.push(Tuple::synthetic(1, 64));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.bytes(), 128);
+        assert!(!p.is_sorted());
+    }
+
+    #[test]
+    fn page_is_sorted_detects_order() {
+        let p = Page::from_tuples(vec![
+            Tuple::synthetic(1, 16),
+            Tuple::synthetic(1, 16),
+            Tuple::synthetic(5, 16),
+        ]);
+        assert!(p.is_sorted());
+    }
+
+    #[test]
+    fn paginate_splits_evenly_and_keeps_order() {
+        let tuples: Vec<Tuple> = (0..10).map(|k| Tuple::synthetic(k, 16)).collect();
+        let pages = paginate(tuples, 4);
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[0].len(), 4);
+        assert_eq!(pages[1].len(), 4);
+        assert_eq!(pages[2].len(), 2);
+        let flat: Vec<u64> = pages
+            .iter()
+            .flat_map(|p| p.tuples.iter().map(|t| t.key))
+            .collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "tuples_per_page")]
+    fn paginate_rejects_zero_capacity() {
+        paginate(vec![Tuple::synthetic(1, 16)], 0);
+    }
+}

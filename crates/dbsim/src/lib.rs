@@ -1,0 +1,36 @@
+//! # masort-dbsim — the database system simulation model (paper §4)
+//!
+//! This crate glues the substrates together into the centralized-DBMS
+//! simulator the paper uses for its evaluation:
+//!
+//! * a **Source** submitting one external sort (or sort-merge join) after
+//!   another over synthetic relations ([`driver`]),
+//! * a **Transaction Manager** — the real `masort-core` algorithms executing
+//!   against simulated resources ([`mod@env`], [`store`], [`input`]),
+//! * a **Buffer Manager** with a reservation mechanism and two competing
+//!   memory-request streams (`masort-sysmodel`),
+//! * a **CPU Manager** (FCFS, 20 MIPS, Table 4 instruction counts) and a
+//!   **Disk Manager** (elevator, seek/rotate/transfer, Table 3 geometry,
+//!   `masort-diskmodel`).
+//!
+//! The experiment harness ([`experiments`]) reproduces every table and figure
+//! of the paper's Section 5 and the sort-merge-join study of Section 6; the
+//! binaries in `masort-bench` print them.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod driver;
+pub mod env;
+pub mod experiments;
+pub mod input;
+pub mod store;
+pub mod system;
+
+pub use config::SimConfig;
+pub use driver::{run_one_join, run_one_sort, run_sort_stream, JoinMetrics, SortRunMetrics};
+pub use env::SimEnv;
+pub use input::SimRelationSource;
+pub use store::SimRunStore;
+pub use system::{SharedSystem, SimSystem};

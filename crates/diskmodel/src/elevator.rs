@@ -1,0 +1,135 @@
+//! The elevator (SCAN) request scheduler used by each simulated disk
+//! (paper §4.2: "Each disk has its own queue and disk requests are serviced
+//! according to the elevator algorithm").
+
+/// A pending disk request, identified by an opaque tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiskRequest<T> {
+    /// Target cylinder of the request.
+    pub cylinder: usize,
+    /// Caller-supplied tag (e.g. a request id).
+    pub tag: T,
+}
+
+/// Sweep direction of the elevator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Direction {
+    Up,
+    Down,
+}
+
+/// An elevator / SCAN scheduler: requests are served in cylinder order along
+/// the current sweep direction; the direction flips when no requests remain
+/// ahead of the head.
+#[derive(Clone, Debug)]
+pub struct ElevatorQueue<T> {
+    pending: Vec<DiskRequest<T>>,
+    direction: Direction,
+}
+
+impl<T> Default for ElevatorQueue<T> {
+    fn default() -> Self {
+        ElevatorQueue {
+            pending: Vec::new(),
+            direction: Direction::Up,
+        }
+    }
+}
+
+impl<T> ElevatorQueue<T> {
+    /// Create an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a request to the queue.
+    pub fn push(&mut self, cylinder: usize, tag: T) {
+        self.pending.push(DiskRequest { cylinder, tag });
+    }
+
+    /// Number of pending requests.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no requests are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Pick the next request to serve given the current head position,
+    /// removing it from the queue.
+    pub fn next_for_head(&mut self, head: usize) -> Option<DiskRequest<T>>
+    where
+        T: Copy,
+    {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let pick_up = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.cylinder >= head)
+            .min_by_key(|(_, r)| r.cylinder)
+            .map(|(i, _)| i);
+        let pick_down = self
+            .pending
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.cylinder <= head)
+            .max_by_key(|(_, r)| r.cylinder)
+            .map(|(i, _)| i);
+        let idx = match self.direction {
+            Direction::Up => pick_up.or_else(|| {
+                self.direction = Direction::Down;
+                pick_down
+            }),
+            Direction::Down => pick_down.or_else(|| {
+                self.direction = Direction::Up;
+                pick_up
+            }),
+        }?;
+        Some(self.pending.swap_remove(idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_in_scan_order_going_up_then_down() {
+        let mut q = ElevatorQueue::new();
+        for (i, cyl) in [500usize, 100, 900, 450, 1200].into_iter().enumerate() {
+            q.push(cyl, i);
+        }
+        let mut head = 400usize;
+        let mut order = Vec::new();
+        while let Some(r) = q.next_for_head(head) {
+            head = r.cylinder;
+            order.push(r.cylinder);
+        }
+        // Going up from 400: 450, 500, 900, 1200; then down: 100.
+        assert_eq!(order, vec![450, 500, 900, 1200, 100]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn direction_flips_when_nothing_ahead() {
+        let mut q = ElevatorQueue::new();
+        q.push(10, "a");
+        q.push(5, "b");
+        let r = q.next_for_head(100).unwrap();
+        assert_eq!(r.cylinder, 10, "flips down and serves the nearest below");
+        let r = q.next_for_head(10).unwrap();
+        assert_eq!(r.cylinder, 5);
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let mut q: ElevatorQueue<u32> = ElevatorQueue::new();
+        assert!(q.next_for_head(0).is_none());
+        assert_eq!(q.len(), 0);
+    }
+}

@@ -1,0 +1,193 @@
+//! Data placement: relations on the middle cylinders, temporary files (sorted
+//! runs) on the inner and outer cylinders (paper §4.1).
+
+use crate::geometry::DiskGeometry;
+
+/// A coarse region of the disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Region {
+    /// Outer third of the cylinders (temporary files).
+    Outer,
+    /// Middle third of the cylinders (base relations).
+    Middle,
+    /// Inner third of the cylinders (temporary files).
+    Inner,
+}
+
+/// A contiguous extent of cylinders allocated to one temporary run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TempExtent {
+    /// First cylinder of the extent.
+    pub start_cylinder: usize,
+    /// Number of cylinders reserved.
+    pub cylinders: usize,
+}
+
+impl TempExtent {
+    /// Cylinder of the `page`-th page within this extent, given the geometry.
+    pub fn cylinder_of(&self, geometry: &DiskGeometry, page: usize) -> usize {
+        let offset = page / geometry.pages_per_cylinder;
+        self.start_cylinder + offset.min(self.cylinders.saturating_sub(1))
+    }
+}
+
+/// Placement of relations and temporary files on one disk.
+///
+/// Relations are assigned contiguous pages starting from the middle cylinders
+/// to minimise head movement; temporary extents are bump-allocated from the
+/// inner region first, overflowing to the outer region, and recycled when the
+/// allocator wraps around (runs are short-lived).
+#[derive(Clone, Debug)]
+pub struct DiskLayout {
+    geometry: DiskGeometry,
+    middle_start: usize,
+    middle_end: usize,
+    /// Next relation page to hand out (linear within the middle region).
+    next_relation_page: usize,
+    /// Next temporary cylinder to hand out.
+    next_temp_cylinder: usize,
+    /// Temporary cylinders: inner region [inner_start, cylinders) and outer
+    /// region [0, middle_start).
+    inner_start: usize,
+}
+
+impl DiskLayout {
+    /// Create a layout for a disk with the given geometry. The middle third of
+    /// the cylinders is reserved for relations.
+    pub fn new(geometry: DiskGeometry) -> Self {
+        let third = geometry.cylinders / 3;
+        let middle_start = third;
+        let middle_end = 2 * third;
+        DiskLayout {
+            geometry,
+            middle_start,
+            middle_end,
+            next_relation_page: 0,
+            next_temp_cylinder: 2 * third,
+            inner_start: 2 * third,
+        }
+    }
+
+    /// The geometry this layout is for.
+    pub fn geometry(&self) -> &DiskGeometry {
+        &self.geometry
+    }
+
+    /// Which region a cylinder belongs to.
+    pub fn region_of(&self, cylinder: usize) -> Region {
+        if cylinder < self.middle_start {
+            Region::Outer
+        } else if cylinder < self.middle_end {
+            Region::Middle
+        } else {
+            Region::Inner
+        }
+    }
+
+    /// Allocate `pages` contiguous pages for a relation and return the linear
+    /// page number of the first page (relative to the middle region).
+    pub fn allocate_relation(&mut self, pages: usize) -> usize {
+        let start = self.next_relation_page;
+        self.next_relation_page += pages;
+        start
+    }
+
+    /// Cylinder holding the `page`-th page of the relation area.
+    pub fn relation_cylinder(&self, page: usize) -> usize {
+        let cyl = self.middle_start + page / self.geometry.pages_per_cylinder;
+        cyl.min(self.middle_end.saturating_sub(1).max(self.middle_start))
+    }
+
+    /// Allocate a temporary extent able to hold `pages` pages.
+    ///
+    /// Extents are carved from the inner cylinders and wrap around (reusing
+    /// space) when the region is exhausted — temporary runs are deleted as
+    /// soon as they have been merged, so reuse is safe in the simulation.
+    pub fn allocate_temp(&mut self, pages: usize) -> TempExtent {
+        let need_cyls = pages.div_ceil(self.geometry.pages_per_cylinder).max(1);
+        if self.next_temp_cylinder + need_cyls > self.geometry.cylinders {
+            // Wrap around to the start of the inner region.
+            self.next_temp_cylinder = self.inner_start;
+        }
+        let start = self.next_temp_cylinder;
+        self.next_temp_cylinder += need_cyls;
+        TempExtent {
+            start_cylinder: start,
+            cylinders: need_cyls,
+        }
+    }
+
+    /// Reset the temporary allocator (e.g. between simulated sorts).
+    pub fn reset_temp(&mut self) {
+        self.next_temp_cylinder = self.inner_start;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_partition_the_disk() {
+        let layout = DiskLayout::new(DiskGeometry::default());
+        assert_eq!(layout.region_of(0), Region::Outer);
+        assert_eq!(layout.region_of(499), Region::Outer);
+        assert_eq!(layout.region_of(500), Region::Middle);
+        assert_eq!(layout.region_of(999), Region::Middle);
+        assert_eq!(layout.region_of(1000), Region::Inner);
+        assert_eq!(layout.region_of(1499), Region::Inner);
+    }
+
+    #[test]
+    fn relations_live_on_middle_cylinders() {
+        let mut layout = DiskLayout::new(DiskGeometry::default());
+        let start = layout.allocate_relation(2560);
+        assert_eq!(start, 0);
+        let first = layout.relation_cylinder(start);
+        let last = layout.relation_cylinder(start + 2559);
+        assert_eq!(layout.region_of(first), Region::Middle);
+        assert_eq!(layout.region_of(last), Region::Middle);
+        // A second relation goes right after the first.
+        let second = layout.allocate_relation(100);
+        assert_eq!(second, 2560);
+    }
+
+    #[test]
+    fn temp_extents_live_outside_the_middle_and_wrap() {
+        let mut layout = DiskLayout::new(DiskGeometry::default());
+        let e1 = layout.allocate_temp(90 * 3);
+        assert_eq!(layout.region_of(e1.start_cylinder), Region::Inner);
+        assert_eq!(e1.cylinders, 3);
+        let e2 = layout.allocate_temp(10);
+        assert_eq!(e2.start_cylinder, e1.start_cylinder + 3);
+        // Exhaust the inner region and confirm wrap-around.
+        let mut last = e2;
+        for _ in 0..300 {
+            last = layout.allocate_temp(90 * 2);
+        }
+        assert!(last.start_cylinder >= 1000);
+        assert!(last.start_cylinder < 1500);
+    }
+
+    #[test]
+    fn temp_extent_page_to_cylinder() {
+        let g = DiskGeometry::default();
+        let e = TempExtent {
+            start_cylinder: 1200,
+            cylinders: 4,
+        };
+        assert_eq!(e.cylinder_of(&g, 0), 1200);
+        assert_eq!(e.cylinder_of(&g, 89), 1200);
+        assert_eq!(e.cylinder_of(&g, 90), 1201);
+        assert_eq!(e.cylinder_of(&g, 90 * 10), 1203, "clamped to the extent");
+    }
+
+    #[test]
+    fn reset_temp_reuses_space() {
+        let mut layout = DiskLayout::new(DiskGeometry::default());
+        let a = layout.allocate_temp(90);
+        layout.reset_temp();
+        let b = layout.allocate_temp(90);
+        assert_eq!(a.start_cylinder, b.start_cylinder);
+    }
+}

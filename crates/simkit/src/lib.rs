@@ -1,0 +1,22 @@
+//! # masort-simkit — a small discrete-event simulation kernel
+//!
+//! The paper's simulator was written in DeNet \[Livn90\]. This crate provides
+//! the equivalent building blocks needed by `masort-dbsim`:
+//!
+//! * [`EventQueue`] — a time-ordered queue of typed events with stable FIFO
+//!   ordering for simultaneous events;
+//! * [`dist`] — the random distributions used by the workload model
+//!   (exponential inter-arrival/holding times, uniform fractions);
+//! * [`stats`] — online statistics collectors (mean, max, variance,
+//!   percentiles) used to summarise response times and delays.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dist;
+pub mod events;
+pub mod stats;
+
+pub use dist::Exponential;
+pub use events::EventQueue;
+pub use stats::{OnlineStats, Tally};

@@ -1,0 +1,199 @@
+//! The buffer manager: a fixed pool of `M` pages, operator reservations, and
+//! LRU replacement for unreserved pages (paper §4.2).
+//!
+//! In the simulation the sort operator reserves whatever is left after the
+//! competing memory requests have been granted; the [`BufferManager`] tracks
+//! both and exposes the reservation target the sort must adapt to.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+
+/// Identifier of a memory consumer (a sort operator or a competing request).
+pub type ConsumerId = u64;
+
+/// The buffer manager.
+#[derive(Debug, Clone)]
+pub struct BufferManager {
+    total_pages: usize,
+    /// Pages reserved per consumer.
+    reservations: HashMap<ConsumerId, usize>,
+    /// LRU list of unreserved (shared-pool) pages: front = least recently used.
+    lru: VecDeque<u64>,
+    lru_members: HashMap<u64, ()>,
+    next_consumer: ConsumerId,
+}
+
+impl BufferManager {
+    /// Create a buffer manager with `total_pages` pages.
+    pub fn new(total_pages: usize) -> Self {
+        BufferManager {
+            total_pages,
+            reservations: HashMap::new(),
+            lru: VecDeque::new(),
+            lru_members: HashMap::new(),
+            next_consumer: 0,
+        }
+    }
+
+    /// Total number of buffer pages (`M`).
+    pub fn total_pages(&self) -> usize {
+        self.total_pages
+    }
+
+    /// Register a new consumer and return its id.
+    pub fn register(&mut self) -> ConsumerId {
+        let id = self.next_consumer;
+        self.next_consumer += 1;
+        self.reservations.insert(id, 0);
+        id
+    }
+
+    /// Drop a consumer, releasing everything it reserved.
+    pub fn unregister(&mut self, id: ConsumerId) {
+        self.reservations.remove(&id);
+    }
+
+    /// Pages currently reserved by `id`.
+    pub fn reserved(&self, id: ConsumerId) -> usize {
+        self.reservations.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Pages reserved across all consumers.
+    pub fn total_reserved(&self) -> usize {
+        self.reservations.values().sum()
+    }
+
+    /// Pages not reserved by anyone (available to the shared LRU pool).
+    pub fn free_pages(&self) -> usize {
+        self.total_pages.saturating_sub(self.total_reserved())
+    }
+
+    /// Try to reserve `pages` additional pages for `id`. Returns the number of
+    /// pages actually granted (never more than what is free).
+    pub fn reserve(&mut self, id: ConsumerId, pages: usize) -> usize {
+        let grant = pages.min(self.free_pages());
+        if let Some(r) = self.reservations.get_mut(&id) {
+            *r += grant;
+            grant
+        } else {
+            0
+        }
+    }
+
+    /// Set the reservation of `id` to exactly `pages`, releasing or acquiring
+    /// as needed (acquisition is capped by the free pool). Returns the new
+    /// reservation.
+    pub fn set_reservation(&mut self, id: ConsumerId, pages: usize) -> usize {
+        let current = self.reserved(id);
+        if pages >= current {
+            let extra = self.reserve(id, pages - current);
+            current + extra
+        } else {
+            if let Some(r) = self.reservations.get_mut(&id) {
+                *r = pages;
+            }
+            pages
+        }
+    }
+
+    /// Release `pages` pages from `id`'s reservation.
+    pub fn release(&mut self, id: ConsumerId, pages: usize) {
+        if let Some(r) = self.reservations.get_mut(&id) {
+            *r = r.saturating_sub(pages);
+        }
+    }
+
+    /// Touch an unreserved (shared-pool) page, possibly evicting the least
+    /// recently used page to stay within the free pool. Returns the evicted
+    /// page, if any.
+    pub fn touch_shared(&mut self, page: u64) -> Option<u64> {
+        if self.lru_members.contains_key(&page) {
+            // Move to the back (most recently used).
+            if let Some(pos) = self.lru.iter().position(|&p| p == page) {
+                self.lru.remove(pos);
+            }
+            self.lru.push_back(page);
+            return None;
+        }
+        self.lru.push_back(page);
+        self.lru_members.insert(page, ());
+        if self.lru.len() > self.free_pages().max(1) {
+            let victim = self.lru.pop_front();
+            if let Some(v) = victim {
+                self.lru_members.remove(&v);
+            }
+            victim
+        } else {
+            None
+        }
+    }
+
+    /// Number of pages currently cached in the shared pool.
+    pub fn shared_cached(&self) -> usize {
+        self.lru.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reservations_are_bounded_by_total() {
+        let mut bm = BufferManager::new(38);
+        let sort = bm.register();
+        let other = bm.register();
+        assert_eq!(bm.reserve(sort, 30), 30);
+        assert_eq!(bm.reserve(other, 20), 8, "only 8 pages left");
+        assert_eq!(bm.total_reserved(), 38);
+        assert_eq!(bm.free_pages(), 0);
+        bm.release(sort, 10);
+        assert_eq!(bm.free_pages(), 10);
+    }
+
+    #[test]
+    fn set_reservation_grows_and_shrinks() {
+        let mut bm = BufferManager::new(20);
+        let a = bm.register();
+        assert_eq!(bm.set_reservation(a, 15), 15);
+        assert_eq!(bm.set_reservation(a, 5), 5);
+        assert_eq!(bm.free_pages(), 15);
+        let b = bm.register();
+        assert_eq!(bm.set_reservation(b, 100), 15, "capped at free pool");
+    }
+
+    #[test]
+    fn unregister_releases_everything() {
+        let mut bm = BufferManager::new(10);
+        let a = bm.register();
+        bm.reserve(a, 10);
+        assert_eq!(bm.free_pages(), 0);
+        bm.unregister(a);
+        assert_eq!(bm.free_pages(), 10);
+        assert_eq!(bm.reserved(a), 0);
+    }
+
+    #[test]
+    fn shared_pool_lru_evicts_least_recently_used() {
+        let mut bm = BufferManager::new(5);
+        let sort = bm.register();
+        bm.reserve(sort, 2); // 3 pages left for the shared pool
+        assert_eq!(bm.touch_shared(1), None);
+        assert_eq!(bm.touch_shared(2), None);
+        assert_eq!(bm.touch_shared(3), None);
+        // Touch 1 again so 2 becomes the LRU victim.
+        assert_eq!(bm.touch_shared(1), None);
+        assert_eq!(bm.touch_shared(4), Some(2));
+        assert_eq!(bm.shared_cached(), 3);
+    }
+
+    #[test]
+    fn shared_pool_handles_zero_free_pages() {
+        let mut bm = BufferManager::new(2);
+        let sort = bm.register();
+        bm.reserve(sort, 2);
+        // Free pool is empty; the LRU keeps at most one page in flight.
+        assert_eq!(bm.touch_shared(7), None);
+        assert_eq!(bm.touch_shared(8), Some(7));
+    }
+}

@@ -1,0 +1,21 @@
+//! # masort-sysmodel — CPU, buffer-manager and workload substrates
+//!
+//! * [`cpu`] — the CPU manager of paper Table 3/4: a single FCFS CPU with a
+//!   MIPS rating and per-operation instruction counts.
+//! * [`buffer`] — the buffer manager of paper §4.2: a fixed pool of `M`
+//!   pages, a reservation mechanism for operators (sorts) that manage their
+//!   own buffers, and LRU replacement for unreserved pages.
+//! * [`workload`] — the memory-contention model of paper §4: two Poisson
+//!   streams of competing memory requests (small and large) with uniformly
+//!   distributed sizes and exponentially distributed durations.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod cpu;
+pub mod workload;
+
+pub use buffer::BufferManager;
+pub use cpu::{CpuCosts, CpuModel};
+pub use workload::{MemoryRequest, MemoryWorkload, RequestClass, WorkloadConfig, WorkloadEvent};

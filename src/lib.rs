@@ -1,0 +1,63 @@
+//! # memory-adaptive-sort
+//!
+//! A Rust reproduction of **"Memory-Adaptive External Sorting"**
+//! (H. Pang, M. J. Carey, M. Livny — VLDB 1993): external sorts and
+//! sort-merge joins that adapt, while they run, to memory being taken away
+//! and given back by a DBMS buffer manager.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`core`] (`masort-core`) — the sorting library itself: run formation
+//!   (Quicksort, replacement selection, replacement selection with block
+//!   writes), merge planning (naive / optimized), the three merge-phase
+//!   adaptation strategies (suspension, MRU paging, **dynamic splitting**),
+//!   the shared [`core::MemoryBudget`] handle, and memory-adaptive sort-merge
+//!   joins.
+//! * [`simkit`], [`diskmodel`], [`sysmodel`] — the simulation substrates
+//!   (event kernel, analytic disk model, CPU/buffer/workload models).
+//! * [`dbsim`] — the paper's database-system simulation model and the
+//!   experiment harness that regenerates every table and figure of the
+//!   evaluation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use memory_adaptive_sort::prelude::*;
+//!
+//! let cfg = SortConfig::default().with_memory_pages(16);
+//! let sorter = ExternalSorter::new(cfg);
+//! let data: Vec<Tuple> = (0..5_000u64)
+//!     .map(|i| Tuple::synthetic(i.wrapping_mul(0x9E3779B97F4A7C15), 256))
+//!     .collect();
+//! let sorted = sorter.sort_vec(data);
+//! assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+//! ```
+//!
+//! See the `examples/` directory for end-to-end scenarios, including a sort
+//! whose memory budget is changed from another thread while it runs, and a
+//! priority-workload simulation comparing the adaptation strategies.
+
+pub use masort_core as core;
+pub use masort_dbsim as dbsim;
+pub use masort_diskmodel as diskmodel;
+pub use masort_simkit as simkit;
+pub use masort_sysmodel as sysmodel;
+
+/// The most commonly used types, re-exported flat.
+pub mod prelude {
+    pub use masort_core::prelude::*;
+    pub use masort_dbsim::{SimConfig, SimEnv, SimRelationSource, SimRunStore, SimSystem};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work() {
+        let sorted = ExternalSorter::new(SortConfig::default().with_memory_pages(8))
+            .sort_vec((0..100u64).rev().map(|k| Tuple::synthetic(k, 64)).collect());
+        assert_eq!(sorted.first().map(|t| t.key), Some(0));
+        assert_eq!(sorted.len(), 100);
+    }
+}

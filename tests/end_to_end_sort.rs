@@ -1,0 +1,120 @@
+//! Workspace-level integration tests: every algorithm combination sorts
+//! correctly end-to-end, including while its memory budget fluctuates.
+
+use memory_adaptive_sort::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Tuple::synthetic(rng.gen::<u64>() >> 8, 64))
+        .collect()
+}
+
+fn small_cfg(mem: usize, spec: AlgorithmSpec) -> SortConfig {
+    SortConfig::default()
+        .with_page_size(512)
+        .with_tuple_size(64)
+        .with_memory_pages(mem)
+        .with_algorithm(spec)
+}
+
+#[test]
+fn all_18_algorithms_sort_correctly() {
+    let input = random_tuples(4_000, 1);
+    for spec in AlgorithmSpec::all(6) {
+        let sorter = ExternalSorter::new(small_cfg(7, spec));
+        let sorted = sorter.sort_vec(input.clone());
+        masort_core::verify::assert_sorted_permutation(&input, &sorted);
+    }
+}
+
+#[test]
+fn concurrent_budget_fluctuation_preserves_correctness() {
+    let input = random_tuples(30_000, 2);
+    for alg in ["repl6,opt,split", "quick,opt,page", "repl1,naive,susp"] {
+        let spec: AlgorithmSpec = alg.parse().unwrap();
+        let cfg = small_cfg(32, spec);
+        let budget = MemoryBudget::new(cfg.memory_pages);
+        let b = budget.clone();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let fluctuator = std::thread::spawn(move || {
+            let mut i = 0u64;
+            while !stop2.load(std::sync::atomic::Ordering::Relaxed) {
+                i += 1;
+                let target = match i % 4 {
+                    0 => 3,
+                    1 => 40,
+                    2 => 10,
+                    _ => 24,
+                };
+                b.set_target(target, i as f64);
+                std::thread::sleep(std::time::Duration::from_micros(300));
+            }
+        });
+
+        let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = RealEnv::new();
+        let sorter = ExternalSorter::new(cfg);
+        let outcome = sorter.sort(&mut source, &mut store, &mut env, &budget);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        fluctuator.join().unwrap();
+
+        let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run);
+        masort_core::verify::assert_sorted_permutation(&input, &sorted);
+    }
+}
+
+#[test]
+fn file_store_backed_sort_survives_fluctuation() {
+    let input = random_tuples(8_000, 3);
+    let cfg = small_cfg(10, AlgorithmSpec::recommended());
+    let budget = MemoryBudget::new(cfg.memory_pages);
+    let b = budget.clone();
+    let handle = std::thread::spawn(move || {
+        for i in 0..200u64 {
+            b.set_target(if i % 2 == 0 { 4 } else { 16 }, i as f64);
+            std::thread::sleep(std::time::Duration::from_micros(100));
+        }
+    });
+    let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
+    let mut store = FileStore::in_temp_dir().unwrap();
+    let mut env = RealEnv::new();
+    let outcome = ExternalSorter::new(cfg).sort(&mut source, &mut store, &mut env, &budget);
+    handle.join().unwrap();
+    let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run);
+    masort_core::verify::assert_sorted_permutation(&input, &sorted);
+}
+
+#[test]
+fn tiny_memory_floor_still_sorts() {
+    // Even a budget of zero pages (the DBMS took everything) must not wedge
+    // the sort: it keeps a minimal working set and completes.
+    let input = random_tuples(2_000, 4);
+    for alg in ["repl6,opt,split", "quick,opt,split"] {
+        let cfg = small_cfg(1, alg.parse().unwrap());
+        let budget = MemoryBudget::new(0);
+        let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = RealEnv::new();
+        let outcome = ExternalSorter::new(cfg).sort(&mut source, &mut store, &mut env, &budget);
+        let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run);
+        masort_core::verify::assert_sorted_permutation(&input, &sorted);
+    }
+}
+
+#[test]
+fn outcome_statistics_are_consistent() {
+    let input = random_tuples(6_000, 5);
+    let cfg = small_cfg(6, AlgorithmSpec::recommended());
+    let sorter = ExternalSorter::new(cfg);
+    let (sorted, outcome) = sorter.sort_vec_with_stats(input.clone());
+    assert_eq!(sorted.len(), input.len());
+    assert_eq!(outcome.split.total_tuples(), input.len());
+    assert!(outcome.merge.steps_executed >= 1);
+    assert!(outcome.split.pages_written >= outcome.runs_formed());
+    assert!(outcome.response_time >= outcome.split.duration());
+}

@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * every algorithm combination produces a sorted permutation of its input,
+//!   for arbitrary inputs and arbitrary scripted budget fluctuations;
+//! * replacement-selection runs are individually sorted and cover the input;
+//! * merge planning respects its fan-in bounds and both policies always use
+//!   the same number of steps;
+//! * the sort-merge join finds exactly the matches a nested-loop join finds.
+
+use masort_core::merge::plan::{preliminary_fan_in, StaticPlanSummary};
+use memory_adaptive_sort::prelude::*;
+use proptest::prelude::*;
+
+/// A scripted environment that changes the budget after every N CPU charges,
+/// cycling through a list of targets — a deterministic stand-in for a DBMS
+/// taking and returning memory at arbitrary points.
+struct ScriptedBudgetEnv {
+    clock: f64,
+    charges: u64,
+    period: u64,
+    targets: Vec<usize>,
+    next: usize,
+}
+
+impl ScriptedBudgetEnv {
+    fn new(period: u64, targets: Vec<usize>) -> Self {
+        ScriptedBudgetEnv {
+            clock: 0.0,
+            charges: 0,
+            period: period.max(1),
+            targets,
+            next: 0,
+        }
+    }
+}
+
+impl masort_core::SortEnv for ScriptedBudgetEnv {
+    fn now(&self) -> f64 {
+        self.clock
+    }
+    fn charge_cpu(&mut self, _op: masort_core::CpuOp, count: u64) {
+        self.charges += count;
+        self.clock += count as f64 * 1e-6;
+    }
+    fn poll(&mut self, budget: &MemoryBudget) {
+        if !self.targets.is_empty() && self.charges / self.period >= self.next as u64 {
+            let t = self.targets[self.next % self.targets.len()];
+            budget.set_target(t, self.clock);
+            self.next += 1;
+        }
+    }
+    fn wait_for_pages(&mut self, budget: &MemoryBudget, pages: usize) -> bool {
+        // Force the budget up (the "DBMS" returns memory) so suspension can
+        // always resume.
+        budget.set_target(pages, self.clock);
+        true
+    }
+}
+
+fn algorithm_strategy() -> impl Strategy<Value = AlgorithmSpec> {
+    (0usize..3, 0usize..2, 0usize..3).prop_map(|(f, p, a)| {
+        let formation = match f {
+            0 => RunFormation::Quicksort,
+            1 => RunFormation::repl(1),
+            _ => RunFormation::repl(4),
+        };
+        let policy = if p == 0 {
+            MergePolicy::Naive
+        } else {
+            MergePolicy::Optimized
+        };
+        let adaptation = match a {
+            0 => MergeAdaptation::Suspension,
+            1 => MergeAdaptation::Paging,
+            _ => MergeAdaptation::DynamicSplitting,
+        };
+        AlgorithmSpec::new(formation, policy, adaptation)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sort_is_a_sorted_permutation_under_fluctuation(
+        keys in prop::collection::vec(any::<u32>(), 0..2_000),
+        spec in algorithm_strategy(),
+        mem in 1usize..12,
+        period in 50u64..2_000,
+        targets in prop::collection::vec(0usize..16, 1..6),
+    ) {
+        let input: Vec<Tuple> = keys.iter().map(|&k| Tuple::synthetic(k as u64, 64)).collect();
+        let cfg = SortConfig::default()
+            .with_page_size(512)
+            .with_tuple_size(64)
+            .with_memory_pages(mem)
+            .with_algorithm(spec);
+        let budget = MemoryBudget::new(mem);
+        let mut env = ScriptedBudgetEnv::new(period, targets);
+        let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let outcome = ExternalSorter::new(cfg).sort(&mut source, &mut store, &mut env, &budget);
+        let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run);
+        prop_assert!(masort_core::verify::is_sorted(&sorted));
+        prop_assert!(masort_core::verify::is_key_permutation(&input, &sorted));
+    }
+
+    #[test]
+    fn split_phase_runs_are_sorted_and_cover_input(
+        keys in prop::collection::vec(any::<u64>(), 0..3_000),
+        block in 1usize..8,
+        mem in 2usize..10,
+    ) {
+        let input: Vec<Tuple> = keys.iter().map(|&k| Tuple::synthetic(k, 64)).collect();
+        let cfg = SortConfig::default()
+            .with_page_size(512)
+            .with_tuple_size(64)
+            .with_memory_pages(mem)
+            .with_algorithm(AlgorithmSpec::new(
+                RunFormation::repl(block),
+                MergePolicy::Optimized,
+                MergeAdaptation::DynamicSplitting,
+            ));
+        let budget = MemoryBudget::new(mem);
+        let mut env = masort_core::env::CountingEnv::new();
+        let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let stats = masort_core::run_formation::form_runs(&cfg, &budget, &mut source, &mut store, &mut env);
+        let mut all = Vec::new();
+        for run in &stats.runs {
+            let tuples = masort_core::verify::collect_run(&mut store, run.id);
+            prop_assert!(masort_core::verify::is_sorted(&tuples), "run {} not sorted", run.id);
+            prop_assert_eq!(tuples.len(), run.tuples);
+            all.extend(tuples);
+        }
+        prop_assert!(masort_core::verify::is_key_permutation(&input, &all));
+    }
+
+    #[test]
+    fn merge_planning_invariants(
+        n in 0usize..400,
+        m in 3usize..64,
+    ) {
+        let runs: Vec<usize> = (0..n).map(|i| 1 + (i * 31 % 17)).collect();
+        let naive = StaticPlanSummary::plan(&runs, m, MergePolicy::Naive);
+        let opt = StaticPlanSummary::plan(&runs, m, MergePolicy::Optimized);
+        prop_assert_eq!(naive.step_count(), opt.step_count());
+        prop_assert!(opt.preliminary_pages() <= naive.preliminary_pages());
+        for policy in [MergePolicy::Naive, MergePolicy::Optimized] {
+            if let Some(f) = preliminary_fan_in(n, m, policy) {
+                prop_assert!(f >= 2);
+                prop_assert!(f < m);
+                prop_assert!(f <= n);
+            } else {
+                prop_assert!(n <= (m - 1).max(2));
+            }
+        }
+    }
+
+    #[test]
+    fn join_matches_nested_loop(
+        left_keys in prop::collection::vec(0u64..200, 0..800),
+        right_keys in prop::collection::vec(0u64..200, 0..800),
+        mem in 3usize..10,
+    ) {
+        let left: Vec<Tuple> = left_keys.iter().map(|&k| Tuple::synthetic(k, 64)).collect();
+        let right: Vec<Tuple> = right_keys.iter().map(|&k| Tuple::synthetic(k, 64)).collect();
+        let expected = masort_core::verify::nested_loop_match_count(&left, &right);
+        let cfg = SortConfig::default()
+            .with_page_size(512)
+            .with_tuple_size(64)
+            .with_memory_pages(mem)
+            .with_algorithm(AlgorithmSpec::recommended());
+        let outcome = SortMergeJoin::new(cfg).join_vecs_count(left, right);
+        prop_assert_eq!(outcome.matches, expected);
+    }
+}
