@@ -23,6 +23,21 @@ fn small_cfg(mem: usize, spec: AlgorithmSpec) -> SortConfig {
         .with_algorithm(spec)
 }
 
+/// One full sort of `tuples` through the `SortJob` builder, returning the
+/// sorted length so the optimizer cannot elide the work.
+fn sort_len(cfg: &SortConfig, tuples: Vec<Tuple>) -> usize {
+    SortJob::builder()
+        .config(cfg.clone())
+        .tuples(tuples)
+        .build()
+        .expect("benchmark config is valid")
+        .run()
+        .expect("in-memory sorts do not fail")
+        .into_sorted_vec()
+        .expect("in-memory streams do not fail")
+        .len()
+}
+
 /// End-to-end external sort throughput for each run-formation method.
 fn bench_run_formation(c: &mut Criterion) {
     let tuples = random_tuples(20_000, 1);
@@ -30,8 +45,8 @@ fn bench_run_formation(c: &mut Criterion) {
     for alg in ["quick,opt,split", "repl1,opt,split", "repl6,opt,split"] {
         let spec: AlgorithmSpec = alg.parse().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(alg), &spec, |b, spec| {
-            let sorter = ExternalSorter::new(small_cfg(16, *spec));
-            b.iter(|| sorter.sort_vec(tuples.clone()));
+            let cfg = small_cfg(16, *spec);
+            b.iter(|| sort_len(&cfg, tuples.clone()));
         });
     }
     group.finish();
@@ -45,8 +60,8 @@ fn bench_merge_adaptation(c: &mut Criterion) {
     for alg in ["repl6,opt,susp", "repl6,opt,page", "repl6,opt,split"] {
         let spec: AlgorithmSpec = alg.parse().unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(alg), &spec, |b, spec| {
-            let sorter = ExternalSorter::new(small_cfg(6, *spec));
-            b.iter(|| sorter.sort_vec(tuples.clone()));
+            let cfg = small_cfg(6, *spec);
+            b.iter(|| sort_len(&cfg, tuples.clone()));
         });
     }
     group.finish();
@@ -63,7 +78,11 @@ fn bench_join(c: &mut Criterion) {
         .collect();
     c.bench_function("sort_merge_join", |b| {
         let join = SortMergeJoin::new(small_cfg(8, AlgorithmSpec::recommended()));
-        b.iter(|| join.join_vecs_count(left.clone(), right.clone()).matches);
+        b.iter(|| {
+            join.join_vecs_count(left.clone(), right.clone())
+                .unwrap()
+                .matches
+        });
     });
 }
 

@@ -25,7 +25,14 @@ fn main() {
     let rows = experiments::fig5_table6(scale);
     print_table(
         "Figure 5 / Table 6: no memory fluctuation",
-        &["M (MB)", "algorithm", "resp (s)", "#runs", "#steps", "split (s)"],
+        &[
+            "M (MB)",
+            "algorithm",
+            "resp (s)",
+            "#runs",
+            "#steps",
+            "split (s)",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -45,7 +52,13 @@ fn main() {
     rows.sort_by(|a, b| a.response_s.partial_cmp(&b.response_s).unwrap());
     print_table(
         "Figure 6 / Tables 7-9: baseline",
-        &["algorithm", "resp (s)", "split (s)", "mean split delay (ms)", "max (ms)"],
+        &[
+            "algorithm",
+            "resp (s)",
+            "split (s)",
+            "mean split delay (ms)",
+            "max (ms)",
+        ],
         &rows
             .iter()
             .map(|r| {
@@ -63,7 +76,13 @@ fn main() {
     let rows = experiments::fig7_8_9(scale);
     print_table(
         "Figures 7/8/9: memory-ratio sweep",
-        &["M (MB)", "algorithm", "resp (s)", "mean delay (ms)", "max delay (ms)"],
+        &[
+            "M (MB)",
+            "algorithm",
+            "resp (s)",
+            "mean delay (ms)",
+            "max delay (ms)",
+        ],
         &rows
             .iter()
             .map(|r| {

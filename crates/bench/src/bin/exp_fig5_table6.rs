@@ -32,7 +32,14 @@ fn main() {
         .collect();
     print_table(
         "Figure 5 / Table 6: fixed memory allocation",
-        &["M (MB)", "algorithm", "resp (s)", "#runs", "#merge steps", "split (s)"],
+        &[
+            "M (MB)",
+            "algorithm",
+            "resp (s)",
+            "#runs",
+            "#merge steps",
+            "split (s)",
+        ],
         &table,
     );
 }

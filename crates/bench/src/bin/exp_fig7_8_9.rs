@@ -31,7 +31,13 @@ fn main() {
         .collect();
     print_table(
         "Figures 7/8/9: memory-ratio sweep",
-        &["M (MB)", "algorithm", "resp (s)", "mean split delay (ms)", "max split delay (ms)"],
+        &[
+            "M (MB)",
+            "algorithm",
+            "resp (s)",
+            "mean split delay (ms)",
+            "max split delay (ms)",
+        ],
         &table,
     );
 }

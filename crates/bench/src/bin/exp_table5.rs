@@ -18,13 +18,7 @@ fn main() {
     let table: Vec<Vec<String>> = rows
         .iter()
         .zip(paper.iter())
-        .map(|(r, p)| {
-            vec![
-                r.block_pages.to_string(),
-                f(r.avg_page_ms, 1),
-                f(*p, 0),
-            ]
-        })
+        .map(|(r, p)| vec![r.block_pages.to_string(), f(r.avg_page_ms, 1), f(*p, 0)])
         .collect();
     print_table(
         "Table 5: avg per-page disk access time (ms)",

@@ -18,8 +18,7 @@
 //! The handle is cheaply cloneable and thread-safe, so a real application can
 //! adjust the budget from another thread while the sort runs.
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 /// Which phase of the external sort a delay was incurred in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -72,6 +71,13 @@ pub struct MemoryBudget {
 }
 
 impl MemoryBudget {
+    /// Lock the shared state, recovering from a poisoned mutex (a panicking
+    /// budget owner must not wedge the sort — the state is a few plain
+    /// counters that are always internally consistent).
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Create a budget with an initial target of `initial_pages` pages.
     pub fn new(initial_pages: usize) -> Self {
         MemoryBudget {
@@ -88,24 +94,24 @@ impl MemoryBudget {
 
     /// Current page target (how many pages the sort is allowed to hold).
     pub fn target(&self) -> usize {
-        self.inner.lock().target
+        self.lock().target
     }
 
     /// Pages the sort most recently reported holding.
     pub fn held(&self) -> usize {
-        self.inner.lock().held
+        self.lock().held
     }
 
     /// How many pages the sort currently holds in excess of its target.
     pub fn shortfall(&self) -> usize {
-        let g = self.inner.lock();
+        let g = self.lock();
         g.held.saturating_sub(g.target)
     }
 
     /// Monotonic counter incremented on every [`set_target`](Self::set_target)
     /// call; pollers can compare versions to detect changes.
     pub fn version(&self) -> u64 {
-        self.inner.lock().version
+        self.lock().version
     }
 
     /// Change the allocation target at time `now`.
@@ -119,7 +125,7 @@ impl MemoryBudget {
     /// definition of split/merge-phase delays as "the time the method takes to
     /// respond to memory shortages".
     pub fn set_target(&self, pages: usize, now: f64) {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         g.target = pages;
         g.version += 1;
         if g.held > pages {
@@ -147,7 +153,7 @@ impl MemoryBudget {
     /// If a shrink request was pending and the new holding satisfies it, the
     /// delay is logged.
     pub fn record_held(&self, pages: usize, now: f64) {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         g.held = pages;
         if let Some(since) = g.pending_since {
             if pages <= g.target {
@@ -165,27 +171,27 @@ impl MemoryBudget {
     /// Tell the budget which sort phase is executing, so that delay samples
     /// are attributed correctly.
     pub fn set_phase(&self, phase: SortPhase) {
-        self.inner.lock().phase = phase;
+        self.lock().phase = phase;
     }
 
     /// Phase most recently declared with [`set_phase`](Self::set_phase).
     pub fn phase(&self) -> SortPhase {
-        self.inner.lock().phase
+        self.lock().phase
     }
 
     /// Drain and return all delay samples recorded so far.
     pub fn take_delays(&self) -> Vec<DelaySample> {
-        std::mem::take(&mut self.inner.lock().delays)
+        std::mem::take(&mut self.lock().delays)
     }
 
     /// Number of delay samples currently recorded (without draining them).
     pub fn delay_count(&self) -> usize {
-        self.inner.lock().delays.len()
+        self.lock().delays.len()
     }
 
     /// True if a shrink request is currently outstanding.
     pub fn shrink_pending(&self) -> bool {
-        self.inner.lock().pending_since.is_some()
+        self.lock().pending_since.is_some()
     }
 }
 

@@ -7,6 +7,8 @@
 //! [`AlgorithmSpec`] captures the same triple and round-trips through the same
 //! textual notation (`"repl6,opt,split"`).
 
+use crate::error::{SortError, SortResult};
+use crate::order::SortOrder;
 use std::fmt;
 use std::str::FromStr;
 
@@ -183,7 +185,11 @@ pub struct ParseAlgorithmError {
 
 impl fmt::Display for ParseAlgorithmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid algorithm spec `{}`: {}", self.input, self.reason)
+        write!(
+            f,
+            "invalid algorithm spec `{}`: {}",
+            self.input, self.reason
+        )
     }
 }
 
@@ -247,6 +253,8 @@ pub struct SortConfig {
     pub memory_pages: usize,
     /// The algorithm combination to run.
     pub algorithm: AlgorithmSpec,
+    /// The requested output order (direction + optional key extraction).
+    pub order: SortOrder,
 }
 
 impl Default for SortConfig {
@@ -258,6 +266,7 @@ impl Default for SortConfig {
             tuple_size: 256,
             memory_pages: 38,
             algorithm: AlgorithmSpec::recommended(),
+            order: SortOrder::ascending(),
         }
     }
 }
@@ -293,6 +302,63 @@ impl SortConfig {
         self.tuple_size = bytes;
         self
     }
+
+    /// Builder-style override of the output order.
+    pub fn with_order(mut self, order: SortOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Builder-style shorthand for a descending sort on [`crate::Tuple::key`].
+    pub fn descending(mut self) -> Self {
+        self.order = SortOrder::descending();
+        self
+    }
+
+    /// Check that this configuration describes a runnable sort.
+    ///
+    /// The `with_*` builder methods refuse most bad values eagerly, but the
+    /// fields are public (and a zero can arrive through a struct literal or
+    /// deserialization), so jobs validate at
+    /// [`build`](crate::job::SortJobBuilder::build) time via this method.
+    pub fn validate(&self) -> SortResult<()> {
+        if self.page_size == 0 {
+            return Err(SortError::invalid_config("page_size must be positive"));
+        }
+        if self.tuple_size == 0 {
+            return Err(SortError::invalid_config("tuple_size must be positive"));
+        }
+        if self.tuple_size > self.page_size {
+            return Err(SortError::invalid_config(format!(
+                "tuple_size ({} B) exceeds page_size ({} B): a tuple must fit in one page",
+                self.tuple_size, self.page_size
+            )));
+        }
+        if self.memory_pages == 0 {
+            return Err(SortError::invalid_config(
+                "memory_pages must be at least 1 (the sort cannot run with zero buffers)",
+            ));
+        }
+        if let RunFormation::ReplacementSelect { block_pages } = self.algorithm.formation {
+            if block_pages == 0 {
+                return Err(SortError::invalid_config(
+                    "replacement-selection block size must be at least one page",
+                ));
+            }
+        }
+        if let RunFormation::AdaptiveReplacement {
+            min_block,
+            max_block,
+        } = self.algorithm.formation
+        {
+            if min_block == 0 || max_block < min_block {
+                return Err(SortError::invalid_config(
+                    "adaptive replacement needs 1 <= min_block <= max_block",
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -321,8 +387,7 @@ mod tests {
     fn all_produces_18_distinct_algorithms() {
         let all = AlgorithmSpec::all(6);
         assert_eq!(all.len(), 18);
-        let set: std::collections::HashSet<String> =
-            all.iter().map(|a| a.to_string()).collect();
+        let set: std::collections::HashSet<String> = all.iter().map(|a| a.to_string()).collect();
         assert_eq!(set.len(), 18);
     }
 

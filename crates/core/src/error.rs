@@ -1,0 +1,121 @@
+//! The error type shared by every fallible operation in the sorting library.
+//!
+//! The external sorter is fallible end-to-end: input sources, run stores, the
+//! sorter and join entry points, and the streaming output all return
+//! `Result<_, SortError>` so that disk failures, corrupt run files and invalid
+//! configurations surface to the caller instead of panicking deep inside the
+//! merge loop.
+
+use crate::store::RunId;
+use std::fmt;
+
+/// Convenient alias for results produced by the sorting library.
+pub type SortResult<T> = Result<T, SortError>;
+
+/// Everything that can go wrong during an external sort or sort-merge join.
+#[derive(Debug)]
+pub enum SortError {
+    /// An underlying I/O operation failed (reading input, spilling a run,
+    /// reading a run back during the merge phase).
+    Io(std::io::Error),
+    /// A stored run could not be decoded — typically a truncated or
+    /// overwritten run file.
+    CorruptRun {
+        /// The run that failed to decode.
+        run: RunId,
+        /// Human-readable description of what was wrong.
+        detail: String,
+    },
+    /// An operation referenced a run id the store has never created (or has
+    /// already deleted).
+    UnknownRun(RunId),
+    /// The sort configuration is unusable (zero memory pages, a tuple larger
+    /// than a page, ...). Produced by [`crate::SortConfig::validate`] /
+    /// `SortJobBuilder::build`.
+    InvalidConfig(String),
+    /// The memory budget cannot ever satisfy the sort's minimal working set.
+    BudgetStarved {
+        /// Pages the sort needs at minimum.
+        needed: usize,
+        /// Pages the budget grants.
+        granted: usize,
+    },
+}
+
+impl SortError {
+    /// Shorthand constructor for [`SortError::CorruptRun`].
+    pub fn corrupt(run: RunId, detail: impl Into<String>) -> Self {
+        SortError::CorruptRun {
+            run,
+            detail: detail.into(),
+        }
+    }
+
+    /// Shorthand constructor for [`SortError::InvalidConfig`].
+    pub fn invalid_config(detail: impl Into<String>) -> Self {
+        SortError::InvalidConfig(detail.into())
+    }
+}
+
+impl fmt::Display for SortError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SortError::Io(e) => write!(f, "I/O error: {e}"),
+            SortError::CorruptRun { run, detail } => {
+                write!(f, "corrupt run {run}: {detail}")
+            }
+            SortError::UnknownRun(run) => write!(f, "unknown run {run}"),
+            SortError::InvalidConfig(detail) => write!(f, "invalid configuration: {detail}"),
+            SortError::BudgetStarved { needed, granted } => write!(
+                f,
+                "memory budget starved: the sort needs at least {needed} page(s) but the budget grants {granted}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SortError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SortError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SortError {
+    fn from(e: std::io::Error) -> Self {
+        SortError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let io: SortError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(io.to_string().contains("gone"));
+        assert!(SortError::corrupt(3, "short page header")
+            .to_string()
+            .contains("run 3"));
+        assert!(SortError::UnknownRun(9).to_string().contains('9'));
+        assert!(SortError::invalid_config("0 memory pages")
+            .to_string()
+            .contains("0 memory pages"));
+        let b = SortError::BudgetStarved {
+            needed: 3,
+            granted: 0,
+        };
+        assert!(b.to_string().contains("at least 3"));
+    }
+
+    #[test]
+    fn io_errors_keep_their_source() {
+        use std::error::Error;
+        let e: SortError = std::io::Error::other("disk on fire").into();
+        assert!(e.source().is_some());
+        assert!(SortError::UnknownRun(1).source().is_none());
+    }
+}

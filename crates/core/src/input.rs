@@ -1,5 +1,6 @@
 //! Input sources — where the pages of the relation being sorted come from.
 
+use crate::error::SortResult;
 use crate::tuple::{paginate, Page, Tuple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -8,10 +9,12 @@ use std::collections::VecDeque;
 /// A stream of input pages for the split phase.
 ///
 /// Sources may know their total size in advance (helpful for planning and for
-/// the simulator's relation placement) but are not required to.
+/// the simulator's relation placement) but are not required to. Producing a
+/// page is fallible so that sources reading from files, sockets or other
+/// operators can propagate real errors into the sort.
 pub trait InputSource {
-    /// Produce the next page, or `None` when the relation is exhausted.
-    fn next_page(&mut self) -> Option<Page>;
+    /// Produce the next page: `Ok(None)` when the relation is exhausted.
+    fn next_page(&mut self) -> SortResult<Option<Page>>;
 
     /// Total number of pages this source will produce, if known.
     fn total_pages(&self) -> Option<usize> {
@@ -50,8 +53,8 @@ impl VecSource {
 }
 
 impl InputSource for VecSource {
-    fn next_page(&mut self) -> Option<Page> {
-        self.pages.pop_front()
+    fn next_page(&mut self) -> SortResult<Option<Page>> {
+        Ok(self.pages.pop_front())
     }
 
     fn total_pages(&self) -> Option<usize> {
@@ -83,7 +86,7 @@ impl<I: Iterator<Item = Tuple>> IterSource<I> {
 }
 
 impl<I: Iterator<Item = Tuple>> InputSource for IterSource<I> {
-    fn next_page(&mut self) -> Option<Page> {
+    fn next_page(&mut self) -> SortResult<Option<Page>> {
         let mut page = Page::with_capacity(self.tuples_per_page);
         for t in self.iter.by_ref() {
             page.push(t);
@@ -92,9 +95,9 @@ impl<I: Iterator<Item = Tuple>> InputSource for IterSource<I> {
             }
         }
         if page.is_empty() {
-            None
+            Ok(None)
         } else {
-            Some(page)
+            Ok(Some(page))
         }
     }
 
@@ -132,16 +135,16 @@ impl GenSource {
 }
 
 impl InputSource for GenSource {
-    fn next_page(&mut self) -> Option<Page> {
+    fn next_page(&mut self) -> SortResult<Option<Page>> {
         if self.remaining == 0 {
-            return None;
+            return Ok(None);
         }
         self.remaining -= 1;
         let mut page = Page::with_capacity(self.tuples_per_page);
         for _ in 0..self.tuples_per_page {
             page.push(Tuple::synthetic(self.rng.gen::<u64>(), self.tuple_size));
         }
-        Some(page)
+        Ok(Some(page))
     }
 
     fn total_pages(&self) -> Option<usize> {
@@ -164,20 +167,20 @@ mod tests {
         assert_eq!(s.total_pages(), Some(3));
         assert_eq!(s.total_tuples(), Some(9));
         let mut keys = Vec::new();
-        while let Some(p) = s.next_page() {
+        while let Some(p) = s.next_page().unwrap() {
             keys.extend(p.tuples.iter().map(|t| t.key));
         }
         assert_eq!(keys, (0..9).collect::<Vec<_>>());
-        assert!(s.next_page().is_none());
+        assert!(s.next_page().unwrap().is_none());
     }
 
     #[test]
     fn iter_source_paginates_lazily() {
         let mut s = IterSource::new((0..7u64).map(|k| Tuple::synthetic(k, 16)), 3);
-        assert_eq!(s.next_page().unwrap().len(), 3);
-        assert_eq!(s.next_page().unwrap().len(), 3);
-        assert_eq!(s.next_page().unwrap().len(), 1);
-        assert!(s.next_page().is_none());
+        assert_eq!(s.next_page().unwrap().unwrap().len(), 3);
+        assert_eq!(s.next_page().unwrap().unwrap().len(), 3);
+        assert_eq!(s.next_page().unwrap().unwrap().len(), 1);
+        assert!(s.next_page().unwrap().is_none());
     }
 
     #[test]
@@ -185,7 +188,7 @@ mod tests {
         let collect = |seed| {
             let mut s = GenSource::new(3, 8, 256, seed);
             let mut keys = Vec::new();
-            while let Some(p) = s.next_page() {
+            while let Some(p) = s.next_page().unwrap() {
                 keys.extend(p.tuples.iter().map(|t| t.key));
             }
             keys

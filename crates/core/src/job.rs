@@ -1,0 +1,481 @@
+//! The builder-driven entry point: configure a sort once, run it, then stream
+//! or collect the result.
+//!
+//! ```
+//! use masort_core::prelude::*;
+//!
+//! let tuples: Vec<Tuple> = (0..10_000u64)
+//!     .map(|i| Tuple::synthetic(i.wrapping_mul(0x9E3779B97F4A7C15), 256))
+//!     .collect();
+//!
+//! let completion = SortJob::builder()
+//!     .config(SortConfig::default().with_memory_pages(16))
+//!     .tuples(tuples)
+//!     .build()?
+//!     .run()?;
+//! println!("runs formed: {}", completion.outcome.runs_formed());
+//!
+//! // Stream the result page by page instead of materialising it:
+//! for tuple in completion.into_stream() {
+//!     let tuple = tuple?;
+//!     // ... feed downstream operator ...
+//!     let _ = tuple.key;
+//! }
+//! # Ok::<(), masort_core::SortError>(())
+//! ```
+//!
+//! A job owns its input, store, environment and budget, with sensible
+//! defaults ([`MemStore`], [`RealEnv`], a fixed budget of
+//! `config.memory_pages`), and validates the configuration at
+//! [`build`](SortJobBuilder::build) time — before any data moves.
+
+use crate::budget::MemoryBudget;
+use crate::config::SortConfig;
+use crate::env::{RealEnv, SortEnv};
+use crate::error::{SortError, SortResult};
+use crate::input::{InputSource, VecSource};
+use crate::order::SortOrder;
+use crate::sorter::{ExternalSorter, SortOutcome};
+use crate::store::{MemStore, RunStore};
+use crate::stream::SortedStream;
+use crate::tuple::Tuple;
+
+/// Conversion of a builder input into a concrete [`InputSource`] at
+/// [`build`](SortJobBuilder::build) time, once the configuration is final.
+///
+/// Every [`InputSource`] converts to itself; [`TupleInput`] (produced by
+/// [`SortJobBuilder::tuples`]) paginates with the *final* page geometry, so
+/// the order of `tuples()` and `config()` calls does not matter.
+pub trait IntoInputSource {
+    /// The input source this converts into.
+    type Source: InputSource;
+    /// Perform the conversion using the job's final configuration.
+    fn into_input_source(self, cfg: &SortConfig) -> Self::Source;
+}
+
+impl<I: InputSource> IntoInputSource for I {
+    type Source = I;
+    fn into_input_source(self, _cfg: &SortConfig) -> I {
+        self
+    }
+}
+
+/// An in-memory tuple vector awaiting pagination with the job's final page
+/// geometry. Created by [`SortJobBuilder::tuples`].
+#[derive(Debug)]
+pub struct TupleInput(Vec<Tuple>);
+
+impl IntoInputSource for TupleInput {
+    type Source = VecSource;
+    fn into_input_source(self, cfg: &SortConfig) -> VecSource {
+        VecSource::from_tuples(self.0, cfg.tuples_per_page())
+    }
+}
+
+/// A fully configured, validated external sort, ready to run.
+///
+/// Construct one with [`SortJob::builder`]. The job owns its input source,
+/// run store, environment and memory budget; [`run`](Self::run) consumes the
+/// job and returns a [`SortCompletion`] that hands the store back for
+/// streaming.
+#[derive(Debug)]
+pub struct SortJob<I, S, E> {
+    cfg: SortConfig,
+    input: I,
+    store: S,
+    env: E,
+    budget: MemoryBudget,
+}
+
+impl SortJob<VecSource, MemStore, RealEnv> {
+    /// Start building a job with the default configuration, an empty input,
+    /// an in-memory store, the wall-clock environment, and a fixed budget of
+    /// `config.memory_pages` pages.
+    pub fn builder() -> SortJobBuilder<TupleInput, MemStore, RealEnv> {
+        SortJobBuilder {
+            cfg: SortConfig::default(),
+            input: TupleInput(Vec::new()),
+            store: MemStore::new(),
+            env: RealEnv::new(),
+            budget: None,
+        }
+    }
+}
+
+impl<I, S, E> SortJob<I, S, E>
+where
+    I: InputSource,
+    S: RunStore,
+    E: SortEnv,
+{
+    /// The job's configuration.
+    pub fn config(&self) -> &SortConfig {
+        &self.cfg
+    }
+
+    /// The job's memory budget handle. Clone it to grow/shrink the sort's
+    /// memory from another thread while [`run`](Self::run) executes.
+    pub fn budget(&self) -> &MemoryBudget {
+        &self.budget
+    }
+
+    /// Execute the sort. Returns the outcome plus the store holding the
+    /// output run.
+    pub fn run(mut self) -> SortResult<SortCompletion<S>> {
+        let sorter = ExternalSorter::new(self.cfg.clone());
+        let outcome = sorter.sort(
+            &mut self.input,
+            &mut self.store,
+            &mut self.env,
+            &self.budget,
+        )?;
+        Ok(SortCompletion {
+            outcome,
+            store: self.store,
+        })
+    }
+}
+
+/// A finished sort: statistics plus the store holding the output run.
+#[derive(Debug)]
+pub struct SortCompletion<S> {
+    /// Statistics and the output-run id.
+    pub outcome: SortOutcome,
+    /// The store the sort executed against (owns the output run).
+    pub store: S,
+}
+
+impl<S: RunStore> SortCompletion<S> {
+    /// Stream the sorted result page by page (at most one page buffered at a
+    /// time). The output run is deleted from the store once fully drained.
+    pub fn into_stream(self) -> SortedStream<S> {
+        self.outcome.into_stream(self.store)
+    }
+
+    /// Materialise the sorted result as a vector (convenience for small
+    /// relations; prefer [`into_stream`](Self::into_stream) for big ones).
+    pub fn into_sorted_vec(self) -> SortResult<Vec<Tuple>> {
+        self.into_stream().try_collect()
+    }
+}
+
+/// Builder for [`SortJob`]. See [`SortJob::builder`].
+#[derive(Debug)]
+pub struct SortJobBuilder<I, S, E> {
+    cfg: SortConfig,
+    input: I,
+    store: S,
+    env: E,
+    budget: Option<MemoryBudget>,
+}
+
+impl<I, S, E> SortJobBuilder<I, S, E>
+where
+    I: IntoInputSource,
+    S: RunStore,
+    E: SortEnv,
+{
+    fn replace_input<I2: IntoInputSource>(self, input: I2) -> SortJobBuilder<I2, S, E> {
+        SortJobBuilder {
+            cfg: self.cfg,
+            input,
+            store: self.store,
+            env: self.env,
+            budget: self.budget,
+        }
+    }
+
+    /// Replace the whole configuration.
+    pub fn config(mut self, cfg: SortConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Override the memory allocation (pages).
+    pub fn memory_pages(mut self, pages: usize) -> Self {
+        self.cfg.memory_pages = pages;
+        self
+    }
+
+    /// Override the algorithm combination.
+    pub fn algorithm(mut self, algorithm: crate::config::AlgorithmSpec) -> Self {
+        self.cfg.algorithm = algorithm;
+        self
+    }
+
+    /// Override the output order (direction and/or key extraction).
+    pub fn order(mut self, order: SortOrder) -> Self {
+        self.cfg.order = order;
+        self
+    }
+
+    /// Shorthand for a descending sort on [`Tuple::key`].
+    pub fn descending(self) -> Self {
+        self.order(SortOrder::descending())
+    }
+
+    /// Sort the given input source.
+    pub fn input<I2: InputSource>(self, input: I2) -> SortJobBuilder<I2, S, E> {
+        self.replace_input(input)
+    }
+
+    /// Sort an in-memory vector of tuples. Pagination happens at
+    /// [`build`](Self::build) with the final page geometry, so `tuples()`
+    /// and [`config`](Self::config) may be called in either order.
+    pub fn tuples(self, tuples: Vec<Tuple>) -> SortJobBuilder<TupleInput, S, E> {
+        self.replace_input(TupleInput(tuples))
+    }
+
+    /// Store runs in `store` instead of the default in-memory store (e.g. a
+    /// [`crate::FileStore`] for genuinely external sorts).
+    pub fn store<S2: RunStore>(self, store: S2) -> SortJobBuilder<I, S2, E> {
+        SortJobBuilder {
+            cfg: self.cfg,
+            input: self.input,
+            store,
+            env: self.env,
+            budget: self.budget,
+        }
+    }
+
+    /// Execute in `env` instead of the default wall-clock environment.
+    pub fn env<E2: SortEnv>(self, env: E2) -> SortJobBuilder<I, S, E2> {
+        SortJobBuilder {
+            cfg: self.cfg,
+            input: self.input,
+            store: self.store,
+            env,
+            budget: self.budget,
+        }
+    }
+
+    /// Obey `budget` instead of a private fixed budget of
+    /// `config.memory_pages` pages. Hand a clone to the component that grows
+    /// and shrinks the sort's memory.
+    pub fn budget(mut self, budget: MemoryBudget) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Validate the configuration and produce a runnable [`SortJob`].
+    ///
+    /// Fails with [`SortError::InvalidConfig`] on unusable configurations
+    /// (zero memory pages, a tuple bigger than a page, a zero block size) and
+    /// with [`SortError::BudgetStarved`] when an explicitly supplied budget
+    /// grants zero pages at build time. The budget check is best-effort
+    /// misuse detection (it catches `MemoryBudget::new(0)`); since the budget
+    /// is shared and mutable it cannot be a guarantee, and embedded callers
+    /// that legitimately submit sorts at a momentary zero-page allocation
+    /// (waiting for the buffer manager, as the simulation driver does) should
+    /// use the low-level [`ExternalSorter::sort`] engine instead.
+    pub fn build(self) -> SortResult<SortJob<I::Source, S, E>> {
+        let SortJobBuilder {
+            cfg,
+            input,
+            store,
+            env,
+            budget,
+        } = self;
+        cfg.validate()?;
+        if let Some(b) = &budget {
+            if b.target() == 0 {
+                return Err(SortError::BudgetStarved {
+                    needed: 1,
+                    granted: 0,
+                });
+            }
+        }
+        let budget = budget.unwrap_or_else(|| MemoryBudget::new(cfg.memory_pages));
+        let input = input.into_input_source(&cfg);
+        Ok(SortJob {
+            cfg,
+            input,
+            store,
+            env,
+            budget,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AlgorithmSpec;
+    use crate::store::FileStore;
+    use crate::verify::{assert_sorted_permutation, assert_sorted_permutation_by};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Tuple::synthetic(rng.gen::<u64>(), 64))
+            .collect()
+    }
+
+    fn small_cfg(mem: usize) -> SortConfig {
+        SortConfig::default()
+            .with_page_size(512)
+            .with_tuple_size(64)
+            .with_memory_pages(mem)
+    }
+
+    #[test]
+    fn builder_defaults_sort_in_memory() {
+        let input = random_tuples(2_000, 1);
+        let sorted = SortJob::builder()
+            .config(small_cfg(6))
+            .tuples(input.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+            .into_sorted_vec()
+            .unwrap();
+        assert_sorted_permutation(&input, &sorted);
+    }
+
+    #[test]
+    fn tuples_before_config_paginate_with_final_geometry() {
+        // Pagination is deferred to build(), so the call order of tuples()
+        // and config() must not matter: 512 B pages of 64 B tuples hold 8
+        // tuples, so 80 tuples must arrive as 10 input pages either way.
+        let input = random_tuples(80, 12);
+        for tuples_first in [true, false] {
+            let b = SortJob::builder();
+            let b = if tuples_first {
+                b.tuples(input.clone()).config(small_cfg(4))
+            } else {
+                b.config(small_cfg(4)).tuples(input.clone())
+            };
+            let completion = b.build().unwrap().run().unwrap();
+            assert_eq!(
+                completion.outcome.split.pages_read, 10,
+                "tuples_first={tuples_first}: pagination used the wrong geometry"
+            );
+            let sorted = completion.into_sorted_vec().unwrap();
+            assert_sorted_permutation(&input, &sorted);
+        }
+    }
+
+    #[test]
+    fn builder_with_file_store_and_stream() {
+        let input = random_tuples(1_500, 2);
+        let completion = SortJob::builder()
+            .config(small_cfg(5))
+            .tuples(input.clone())
+            .store(FileStore::in_temp_dir().unwrap())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let mut count = 0usize;
+        let mut last = 0u64;
+        for t in completion.into_stream() {
+            let t = t.unwrap();
+            assert!(t.key >= last);
+            last = t.key;
+            count += 1;
+        }
+        assert_eq!(count, input.len());
+    }
+
+    #[test]
+    fn builder_descending_order() {
+        let input = random_tuples(2_500, 3);
+        let completion = SortJob::builder()
+            .config(small_cfg(6))
+            .descending()
+            .tuples(input.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let order = SortOrder::descending();
+        let sorted = completion.into_sorted_vec().unwrap();
+        assert_sorted_permutation_by(&input, &sorted, &order);
+        assert!(sorted.first().unwrap().key >= sorted.last().unwrap().key);
+    }
+
+    #[test]
+    fn builder_custom_key_order() {
+        // Sort by the low 8 bits of the key.
+        let input = random_tuples(1_200, 4);
+        let order = SortOrder::by_key(|t| t.key & 0xFF);
+        let completion = SortJob::builder()
+            .config(small_cfg(5))
+            .order(order.clone())
+            .tuples(input.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let sorted = completion.into_sorted_vec().unwrap();
+        assert_sorted_permutation_by(&input, &sorted, &order);
+    }
+
+    #[test]
+    fn build_rejects_zero_memory_pages() {
+        let mut cfg = small_cfg(4);
+        cfg.memory_pages = 0;
+        let err = SortJob::builder().config(cfg).build().unwrap_err();
+        assert!(matches!(err, SortError::InvalidConfig(_)), "{err}");
+        assert!(err.to_string().contains("memory_pages"));
+    }
+
+    #[test]
+    fn build_rejects_tuple_larger_than_page() {
+        let mut cfg = small_cfg(4);
+        cfg.tuple_size = 4096;
+        cfg.page_size = 512;
+        let err = SortJob::builder().config(cfg).build().unwrap_err();
+        assert!(matches!(err, SortError::InvalidConfig(_)));
+        assert!(err.to_string().contains("page_size"));
+    }
+
+    #[test]
+    fn build_rejects_starved_budget() {
+        let err = SortJob::builder()
+            .config(small_cfg(4))
+            .budget(MemoryBudget::new(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SortError::BudgetStarved {
+                needed: 1,
+                granted: 0
+            }
+        ));
+    }
+
+    #[test]
+    fn external_budget_is_shared() {
+        let budget = MemoryBudget::new(8);
+        let job = SortJob::builder()
+            .config(small_cfg(8))
+            .tuples(random_tuples(500, 9))
+            .budget(budget.clone())
+            .build()
+            .unwrap();
+        budget.set_target(4, 0.0);
+        assert_eq!(job.budget().target(), 4);
+        let completion = job.run().unwrap();
+        assert_eq!(completion.outcome.split.total_tuples(), 500);
+    }
+
+    #[test]
+    fn algorithm_and_memory_shorthands() {
+        let input = random_tuples(1_000, 11);
+        let job = SortJob::builder()
+            .config(small_cfg(4))
+            .memory_pages(7)
+            .algorithm(AlgorithmSpec::recommended())
+            .tuples(input.clone())
+            .build()
+            .unwrap();
+        assert_eq!(job.config().memory_pages, 7);
+        let sorted = job.run().unwrap().into_sorted_vec().unwrap();
+        assert_sorted_permutation(&input, &sorted);
+    }
+}

@@ -12,6 +12,7 @@
 use crate::budget::{DelaySample, MemoryBudget, SortPhase};
 use crate::config::SortConfig;
 use crate::env::{RealEnv, SortEnv};
+use crate::error::SortResult;
 use crate::input::{InputSource, VecSource};
 use crate::merge::exec::{execute_join_merge, ExecParams, MergeStats};
 use crate::run_formation::{form_runs, SplitStats};
@@ -62,7 +63,7 @@ impl SortMergeJoin {
     }
 
     /// Join `left` and `right`, invoking `on_match` for every pair of tuples
-    /// with equal keys.
+    /// with equal sort keys (under the configured [`crate::order::SortOrder`]).
     pub fn join<S, L, R, E, F>(
         &self,
         left: &mut L,
@@ -71,7 +72,7 @@ impl SortMergeJoin {
         env: &mut E,
         budget: &MemoryBudget,
         mut on_match: F,
-    ) -> JoinOutcome
+    ) -> SortResult<JoinOutcome>
     where
         S: RunStore,
         L: InputSource,
@@ -81,8 +82,8 @@ impl SortMergeJoin {
     {
         let started = env.now();
         budget.set_phase(SortPhase::Split);
-        let left_split = form_runs(&self.cfg, budget, left, store, env);
-        let right_split = form_runs(&self.cfg, budget, right, store, env);
+        let left_split = form_runs(&self.cfg, budget, left, store, env)?;
+        let right_split = form_runs(&self.cfg, budget, right, store, env)?;
 
         budget.set_phase(SortPhase::Merge);
         let params = ExecParams::from_algorithm(&self.cfg.algorithm);
@@ -95,22 +96,26 @@ impl SortMergeJoin {
             env,
             params,
             &mut on_match,
-        );
+        )?;
 
-        JoinOutcome {
+        Ok(JoinOutcome {
             matches: merge.join_matches,
             left_split,
             right_split,
             response_time: env.now() - started,
             merge,
             delays: budget.take_delays(),
-        }
+        })
     }
 
     /// Convenience wrapper: join two in-memory tuple vectors and return the
     /// joined key pairs, using an in-memory store and the wall-clock
     /// environment.
-    pub fn join_vecs(&self, left: Vec<Tuple>, right: Vec<Tuple>) -> Vec<(Tuple, Tuple)> {
+    pub fn join_vecs(
+        &self,
+        left: Vec<Tuple>,
+        right: Vec<Tuple>,
+    ) -> SortResult<Vec<(Tuple, Tuple)>> {
         let budget = MemoryBudget::new(self.cfg.memory_pages);
         let tpp = self.cfg.tuples_per_page();
         let mut l = VecSource::from_tuples(left, tpp);
@@ -120,12 +125,12 @@ impl SortMergeJoin {
         let mut out = Vec::new();
         self.join(&mut l, &mut r, &mut store, &mut env, &budget, |a, b| {
             out.push((a.clone(), b.clone()));
-        });
-        out
+        })?;
+        Ok(out)
     }
 
     /// Convenience wrapper returning only the match count and statistics.
-    pub fn join_vecs_count(&self, left: Vec<Tuple>, right: Vec<Tuple>) -> JoinOutcome {
+    pub fn join_vecs_count(&self, left: Vec<Tuple>, right: Vec<Tuple>) -> SortResult<JoinOutcome> {
         let budget = MemoryBudget::new(self.cfg.memory_pages);
         let tpp = self.cfg.tuples_per_page();
         let mut l = VecSource::from_tuples(left, tpp);
@@ -172,7 +177,7 @@ mod tests {
         let expected = nested_loop_match_count(&left, &right);
         for spec in AlgorithmSpec::all(4) {
             let join = SortMergeJoin::new(small_cfg(6, spec));
-            let outcome = join.join_vecs_count(left.clone(), right.clone());
+            let outcome = join.join_vecs_count(left.clone(), right.clone()).unwrap();
             assert_eq!(
                 outcome.matches, expected,
                 "algorithm {spec} produced the wrong number of matches"
@@ -186,21 +191,20 @@ mod tests {
         let right = tuples_with_domain(700, 50, 4);
         let join = SortMergeJoin::default();
         let join = SortMergeJoin::new(small_cfg(8, join.config().algorithm));
-        let pairs = join.join_vecs(left.clone(), right.clone());
+        let pairs = join.join_vecs(left.clone(), right.clone()).unwrap();
         assert!(!pairs.is_empty());
         assert!(pairs.iter().all(|(a, b)| a.key == b.key));
-        assert_eq!(
-            pairs.len() as u64,
-            nested_loop_match_count(&left, &right)
-        );
+        assert_eq!(pairs.len() as u64, nested_loop_match_count(&left, &right));
     }
 
     #[test]
     fn disjoint_keys_produce_no_matches() {
         let left: Vec<Tuple> = (0..500u64).map(|k| Tuple::synthetic(k * 2, 64)).collect();
-        let right: Vec<Tuple> = (0..500u64).map(|k| Tuple::synthetic(k * 2 + 1, 64)).collect();
+        let right: Vec<Tuple> = (0..500u64)
+            .map(|k| Tuple::synthetic(k * 2 + 1, 64))
+            .collect();
         let join = SortMergeJoin::new(small_cfg(5, AlgorithmSpec::recommended()));
-        let outcome = join.join_vecs_count(left, right);
+        let outcome = join.join_vecs_count(left, right).unwrap();
         assert_eq!(outcome.matches, 0);
         assert!(outcome.runs_formed() >= 2);
     }
@@ -208,9 +212,14 @@ mod tests {
     #[test]
     fn empty_relations() {
         let join = SortMergeJoin::new(small_cfg(5, AlgorithmSpec::recommended()));
-        assert_eq!(join.join_vecs_count(Vec::new(), Vec::new()).matches, 0);
+        assert_eq!(
+            join.join_vecs_count(Vec::new(), Vec::new())
+                .unwrap()
+                .matches,
+            0
+        );
         let right = tuples_with_domain(100, 10, 9);
-        assert_eq!(join.join_vecs_count(Vec::new(), right).matches, 0);
+        assert_eq!(join.join_vecs_count(Vec::new(), right).unwrap().matches, 0);
     }
 
     #[test]
@@ -220,8 +229,11 @@ mod tests {
         let right: Vec<Tuple> = (0..900u64).map(|k| Tuple::synthetic(k % 7, 64)).collect();
         let expected = nested_loop_match_count(&left, &right);
         let join = SortMergeJoin::new(small_cfg(6, AlgorithmSpec::recommended()));
-        let outcome = join.join_vecs_count(left, right);
+        let outcome = join.join_vecs_count(left, right).unwrap();
         assert_eq!(outcome.matches, expected);
-        assert!(outcome.merge.splits >= 1, "small memory should force preliminary steps");
+        assert!(
+            outcome.merge.splits >= 1,
+            "small memory should force preliminary steps"
+        );
     }
 }

@@ -23,6 +23,59 @@
 //!   (Section 6 of the paper), with preliminary merge steps restricted to runs
 //!   of a single relation.
 //!
+//! ## The `SortJob` API
+//!
+//! The documented entry point is the [`SortJob`] builder: it owns the input,
+//! run store, environment and memory budget (with sensible defaults),
+//! validates the configuration before any data moves, and returns a result
+//! that can be **streamed** tuple by tuple or collected:
+//!
+//! ```
+//! use masort_core::prelude::*;
+//!
+//! let tuples: Vec<Tuple> = (0..2_000u64)
+//!     .map(|i| Tuple::synthetic(i.wrapping_mul(0x9E3779B97F4A7C15), 256))
+//!     .collect();
+//!
+//! let completion = SortJob::builder()
+//!     .config(SortConfig::default().with_memory_pages(16))
+//!     .tuples(tuples)
+//!     .build()?
+//!     .run()?;
+//!
+//! let mut previous = None;
+//! for tuple in completion.into_stream() {
+//!     let tuple = tuple?; // I/O and corruption surface here, not as panics
+//!     assert!(previous.is_none_or(|p| p <= tuple.key));
+//!     previous = Some(tuple.key);
+//! }
+//! # Ok::<(), masort_core::SortError>(())
+//! ```
+//!
+//! Descending and custom-key orders work with every algorithm combination via
+//! [`SortOrder`]:
+//!
+//! ```
+//! use masort_core::prelude::*;
+//!
+//! let sorted = SortJob::builder()
+//!     .config(SortConfig::default().with_memory_pages(8))
+//!     .descending()
+//!     .tuples((0..500u64).map(|k| Tuple::synthetic(k, 64)).collect())
+//!     .build()?
+//!     .run()?
+//!     .into_sorted_vec()?;
+//! assert_eq!(sorted.first().unwrap().key, 499);
+//! # Ok::<(), masort_core::SortError>(())
+//! ```
+//!
+//! Everything that moves data is fallible: [`InputSource`], [`RunStore`], the
+//! sorter and join entry points and the output stream all return
+//! `Result<_, `[`SortError`]`>`, so disk failures and corrupt run files
+//! surface to the caller instead of panicking inside the merge loop.
+//!
+//! ## Abstractions
+//!
 //! The algorithms operate on real tuples through three small abstractions so
 //! that the *same* code drives both production use and the paper's simulation
 //! harness (`masort-dbsim`):
@@ -37,22 +90,6 @@
 //! and down; the sorter polls it at well-defined adaptation points, releases
 //! buffers when asked, and records how long each release took (the paper's
 //! split-phase / merge-phase *delays*).
-//!
-//! ## Quick example
-//!
-//! ```
-//! use masort_core::prelude::*;
-//!
-//! // 2000 tuples with random keys, sorted with 16 pages of memory using the
-//! // paper's preferred algorithm combination repl6,opt,split.
-//! let cfg = SortConfig::default().with_memory_pages(16);
-//! let tuples: Vec<Tuple> = (0..2000u64)
-//!     .map(|i| Tuple::synthetic(i.wrapping_mul(0x9E3779B97F4A7C15), 256))
-//!     .collect();
-//! let sorted = ExternalSorter::new(cfg).sort_vec(tuples.clone());
-//! assert_eq!(sorted.len(), tuples.len());
-//! assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
-//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -60,24 +97,32 @@
 pub mod budget;
 pub mod config;
 pub mod env;
+pub mod error;
 pub mod input;
+pub mod job;
 pub mod join;
 pub mod merge;
+pub mod order;
 pub mod run_formation;
 pub mod sorter;
 pub mod store;
+pub mod stream;
 pub mod tuple;
 pub mod verify;
 
 pub use budget::{DelaySample, MemoryBudget, SortPhase};
 pub use config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig};
 pub use env::{CpuOp, RealEnv, SortEnv};
+pub use error::{SortError, SortResult};
 pub use input::{GenSource, InputSource, IterSource, VecSource};
+pub use job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};
 pub use join::{JoinOutcome, SortMergeJoin};
 pub use merge::{MergeStats, StaticPlanSummary};
+pub use order::{SortDirection, SortOrder};
 pub use run_formation::SplitStats;
 pub use sorter::{ExternalSorter, SortOutcome};
 pub use store::{FileStore, MemStore, RunId, RunMeta, RunStore};
+pub use stream::SortedStream;
 pub use tuple::{Page, Payload, Tuple};
 
 /// Convenient glob import of the most commonly used types.
@@ -87,9 +132,13 @@ pub mod prelude {
         AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig,
     };
     pub use crate::env::{CpuOp, RealEnv, SortEnv};
+    pub use crate::error::{SortError, SortResult};
     pub use crate::input::{GenSource, InputSource, IterSource, VecSource};
+    pub use crate::job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};
     pub use crate::join::{JoinOutcome, SortMergeJoin};
+    pub use crate::order::{SortDirection, SortOrder};
     pub use crate::sorter::{ExternalSorter, SortOutcome};
     pub use crate::store::{FileStore, MemStore, RunId, RunMeta, RunStore};
+    pub use crate::stream::SortedStream;
     pub use crate::tuple::{Page, Payload, Tuple};
 }

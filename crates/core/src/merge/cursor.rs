@@ -2,6 +2,8 @@
 //! the merge phase consumes its input runs.
 
 use crate::env::{CpuOp, SortEnv};
+use crate::error::SortResult;
+use crate::order::SortOrder;
 use crate::store::{RunId, RunStore};
 use crate::tuple::Tuple;
 use std::collections::VecDeque;
@@ -34,43 +36,53 @@ impl RunCursor {
     }
 
     /// Load the next page into the buffer if the buffer is empty and more
-    /// pages exist. Returns `true` if at least one tuple is buffered after
-    /// the call.
-    pub fn ensure_loaded<S: RunStore, E: SortEnv>(&mut self, store: &mut S, env: &mut E) -> bool {
+    /// pages exist. Returns `Ok(true)` if at least one tuple is buffered
+    /// after the call.
+    pub fn ensure_loaded<S: RunStore, E: SortEnv>(
+        &mut self,
+        store: &mut S,
+        env: &mut E,
+    ) -> SortResult<bool> {
         while self.buf.is_empty() {
             if self.next_page >= store.run_pages(self.run) {
-                return false;
+                return Ok(false);
             }
             env.charge_cpu(CpuOp::StartIo, 1);
-            let page = store.read_page(self.run, self.next_page);
+            let page = store.read_page(self.run, self.next_page)?;
             self.next_page += 1;
             self.pages_read += 1;
             self.buf = page.tuples.into();
             // Empty pages are legal (loop again).
         }
-        true
+        Ok(true)
     }
 
-    /// Key of the next tuple, loading a page if necessary.
-    pub fn peek_key<S: RunStore, E: SortEnv>(
+    /// Rank (see [`SortOrder::rank`]) of the next tuple under `order`, loading
+    /// a page if necessary.
+    pub fn peek_rank<S: RunStore, E: SortEnv>(
         &mut self,
+        order: &SortOrder,
         store: &mut S,
         env: &mut E,
-    ) -> Option<u64> {
-        if self.ensure_loaded(store, env) {
-            self.buf.front().map(|t| t.key)
+    ) -> SortResult<Option<u64>> {
+        if self.ensure_loaded(store, env)? {
+            Ok(self.buf.front().map(|t| order.rank(t)))
         } else {
-            None
+            Ok(None)
         }
     }
 
     /// Remove and return the next tuple, loading a page if necessary.
-    pub fn pop<S: RunStore, E: SortEnv>(&mut self, store: &mut S, env: &mut E) -> Option<Tuple> {
-        if self.ensure_loaded(store, env) {
+    pub fn pop<S: RunStore, E: SortEnv>(
+        &mut self,
+        store: &mut S,
+        env: &mut E,
+    ) -> SortResult<Option<Tuple>> {
+        if self.ensure_loaded(store, env)? {
             self.consumed += 1;
-            self.buf.pop_front()
+            Ok(self.buf.pop_front())
         } else {
-            None
+            Ok(None)
         }
     }
 
@@ -96,10 +108,10 @@ mod tests {
 
     fn setup(n: usize, per_page: usize) -> (MemStore, RunId) {
         let mut s = MemStore::new();
-        let r = s.create_run();
+        let r = s.create_run().unwrap();
         let tuples: Vec<Tuple> = (0..n as u64).map(|k| Tuple::synthetic(k, 16)).collect();
         for p in paginate(tuples, per_page) {
-            s.append_page(r, p);
+            s.append_page(r, p).unwrap();
         }
         (s, r)
     }
@@ -110,7 +122,7 @@ mod tests {
         let mut env = CountingEnv::new();
         let mut c = RunCursor::new(run);
         let mut got = Vec::new();
-        while let Some(t) = c.pop(&mut store, &mut env) {
+        while let Some(t) = c.pop(&mut store, &mut env).unwrap() {
             got.push(t.key);
         }
         assert_eq!(got, (0..10).collect::<Vec<u64>>());
@@ -123,11 +135,24 @@ mod tests {
     fn peek_does_not_consume() {
         let (mut store, run) = setup(4, 2);
         let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
         let mut c = RunCursor::new(run);
-        assert_eq!(c.peek_key(&mut store, &mut env), Some(0));
-        assert_eq!(c.peek_key(&mut store, &mut env), Some(0));
-        assert_eq!(c.pop(&mut store, &mut env).unwrap().key, 0);
-        assert_eq!(c.peek_key(&mut store, &mut env), Some(1));
+        assert_eq!(c.peek_rank(&asc, &mut store, &mut env).unwrap(), Some(0));
+        assert_eq!(c.peek_rank(&asc, &mut store, &mut env).unwrap(), Some(0));
+        assert_eq!(c.pop(&mut store, &mut env).unwrap().unwrap().key, 0);
+        assert_eq!(c.peek_rank(&asc, &mut store, &mut env).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn peek_rank_respects_descending_order() {
+        let (mut store, run) = setup(3, 2);
+        let mut env = CountingEnv::new();
+        let desc = SortOrder::descending();
+        let mut c = RunCursor::new(run);
+        assert_eq!(
+            c.peek_rank(&desc, &mut store, &mut env).unwrap(),
+            Some(!0u64)
+        );
     }
 
     #[test]
@@ -136,10 +161,10 @@ mod tests {
         let mut env = CountingEnv::new();
         let mut c = RunCursor::new(run);
         assert_eq!(c.remaining_pages(&store), 3);
-        c.pop(&mut store, &mut env);
+        c.pop(&mut store, &mut env).unwrap();
         assert_eq!(c.remaining_pages(&store), 3); // 2 unread + partial buffer
         for _ in 0..3 {
-            c.pop(&mut store, &mut env);
+            c.pop(&mut store, &mut env).unwrap();
         }
         assert_eq!(c.remaining_pages(&store), 2);
     }
@@ -147,12 +172,13 @@ mod tests {
     #[test]
     fn empty_run_is_immediately_exhausted() {
         let mut store = MemStore::new();
-        let run = store.create_run();
+        let run = store.create_run().unwrap();
         let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
         let mut c = RunCursor::new(run);
         assert!(c.exhausted(&store));
-        assert_eq!(c.peek_key(&mut store, &mut env), None);
-        assert_eq!(c.pop(&mut store, &mut env), None);
+        assert_eq!(c.peek_rank(&asc, &mut store, &mut env).unwrap(), None);
+        assert_eq!(c.pop(&mut store, &mut env).unwrap(), None);
     }
 
     #[test]
@@ -160,11 +186,46 @@ mod tests {
         // Dynamic splitting consumes a child's output run that grows while
         // the child executes; the cursor must pick up newly appended pages.
         let mut store = MemStore::new();
-        let run = store.create_run();
+        let run = store.create_run().unwrap();
         let mut env = CountingEnv::new();
         let mut c = RunCursor::new(run);
-        assert_eq!(c.pop(&mut store, &mut env), None);
-        store.append_page(run, crate::tuple::Page::from_tuples(vec![Tuple::synthetic(5, 16)]));
-        assert_eq!(c.pop(&mut store, &mut env).unwrap().key, 5);
+        assert_eq!(c.pop(&mut store, &mut env).unwrap(), None);
+        store
+            .append_page(
+                run,
+                crate::tuple::Page::from_tuples(vec![Tuple::synthetic(5, 16)]),
+            )
+            .unwrap();
+        assert_eq!(c.pop(&mut store, &mut env).unwrap().unwrap().key, 5);
+    }
+
+    #[test]
+    fn store_errors_propagate_through_cursor() {
+        let mut inner = MemStore::new();
+        let mut env = CountingEnv::new();
+        let run = inner.create_run().unwrap();
+        inner
+            .append_page(
+                run,
+                crate::tuple::Page::from_tuples(vec![Tuple::synthetic(1, 16)]),
+            )
+            .unwrap();
+        let mut store = crate::store::test_util::FailingReadStore { inner };
+        let asc = SortOrder::ascending();
+        let mut c = RunCursor::new(run);
+        // The run has pages, so the cursor must attempt the read and surface
+        // the store's error through ensure_loaded / peek_rank / pop.
+        assert!(matches!(
+            c.ensure_loaded(&mut store, &mut env),
+            Err(crate::error::SortError::CorruptRun { .. })
+        ));
+        assert!(matches!(
+            c.peek_rank(&asc, &mut store, &mut env),
+            Err(crate::error::SortError::CorruptRun { .. })
+        ));
+        assert!(matches!(
+            c.pop(&mut store, &mut env),
+            Err(crate::error::SortError::CorruptRun { .. })
+        ));
     }
 }

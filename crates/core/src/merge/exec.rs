@@ -20,6 +20,7 @@
 use crate::budget::MemoryBudget;
 use crate::config::{MergeAdaptation, MergePolicy, SortConfig};
 use crate::env::{CpuOp, SortEnv};
+use crate::error::SortResult;
 use crate::merge::plan::preliminary_fan_in;
 use crate::merge::step::{Input, Side, StepArena};
 use crate::store::{RunId, RunMeta, RunStore};
@@ -162,7 +163,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     // Adaptation
     // ------------------------------------------------------------------
 
-    fn adapt(&mut self) {
+    fn adapt(&mut self) -> SortResult<()> {
         match self.params.adaptation {
             MergeAdaptation::DynamicSplitting => self.adapt_dynamic(),
             MergeAdaptation::Suspension => self.adapt_static(true),
@@ -170,11 +171,11 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         }
     }
 
-    fn adapt_dynamic(&mut self) {
+    fn adapt_dynamic(&mut self) -> SortResult<()> {
         let target = self.effective_target();
         let need = self.arena.active_step().pages_needed();
         if need > target && self.arena.active_step().inputs.len() > 2 {
-            self.do_split(target);
+            self.do_split(target)?;
         } else if target > need {
             // Combine only when memory actually grew past what it was when the
             // active step was split off; otherwise a freshly created
@@ -183,22 +184,24 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             if grew {
                 if let Some(parent) = self.arena.active_step().parent {
                     if self.arena.steps[parent].pages_needed() <= target {
-                        self.switch_to_parent();
+                        self.switch_to_parent()?;
                     }
                 }
             }
         }
         let need_now = self.arena.active_step().pages_needed();
-        self.budget.record_held(need_now.min(target), self.env.now());
+        self.budget
+            .record_held(need_now.min(target), self.env.now());
+        Ok(())
     }
 
-    fn adapt_static(&mut self, suspend: bool) {
+    fn adapt_static(&mut self, suspend: bool) -> SortResult<()> {
         // Static planning: split with the memory available when the merge
         // phase began, never re-plan afterwards (paper §3.2.1/§3.2.2).
         while self.arena.active_step().pages_needed() > self.plan_memory
             && self.arena.active_step().inputs.len() > 2
         {
-            self.do_split(self.plan_memory);
+            self.do_split(self.plan_memory)?;
         }
         let target = self.effective_target();
         let need = self.arena.active_step().pages_needed();
@@ -224,9 +227,10 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             }
             self.budget.record_held(need.min(target), self.env.now());
         }
+        Ok(())
     }
 
-    fn do_split(&mut self, memory: usize) {
+    fn do_split(&mut self, memory: usize) -> SortResult<()> {
         let active = self.arena.active;
         let n = self.arena.steps[active].inputs.len();
         let fan = preliminary_fan_in(n, memory, self.params.policy)
@@ -256,13 +260,14 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             }
         };
         if indices.len() < 2 {
-            return; // cannot split any further
+            return Ok(()); // cannot split any further
         }
-        let child_out = self.store.create_run();
+        let child_out = self.store.create_run()?;
         self.arena.split_active(indices, child_out, side, memory);
         self.stats.splits += 1;
         self.charge_switch();
         self.reset_paging_state();
+        Ok(())
     }
 
     /// Pick the relation (and run indices) for a preliminary step of a join
@@ -274,7 +279,9 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         let n_left = self.arena.steps[root].side_count(Side::Left);
         let n_right = self.arena.steps[root].side_count(Side::Right);
         let sum_shortest = |exec: &Self, side: Side| -> usize {
-            let idx = exec.arena.shortest_inputs(&*exec.store, root, fan, Some(side));
+            let idx = exec
+                .arena
+                .shortest_inputs(&*exec.store, root, fan, Some(side));
             idx.iter()
                 .map(|&i| {
                     exec.arena.steps[root].inputs[i]
@@ -307,13 +314,14 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         )
     }
 
-    fn switch_to_parent(&mut self) {
-        self.flush_active_output(true);
+    fn switch_to_parent(&mut self) -> SortResult<()> {
+        self.flush_active_output(true)?;
         if let Some(parent) = self.arena.active_step().parent {
             self.arena.active = parent;
             self.charge_switch();
             self.reset_paging_state();
         }
+        Ok(())
     }
 
     fn charge_switch(&mut self) {
@@ -332,10 +340,11 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     // Producing output
     // ------------------------------------------------------------------
 
-    /// Find the input with the smallest next key, restricted to `side` if
-    /// given. Exhausted inputs encountered along the way are removed (and
-    /// their producing steps absorbed). Returns `(input index, key)`.
-    fn min_input(&mut self, side: Option<Side>) -> Option<(usize, u64)> {
+    /// Find the input whose next tuple has the smallest *rank* under the
+    /// configured [`crate::order::SortOrder`], restricted to `side` if given.
+    /// Exhausted inputs encountered along the way are removed (and their
+    /// producing steps absorbed). Returns `(input index, rank)`.
+    fn min_input(&mut self, side: Option<Side>) -> SortResult<Option<(usize, u64)>> {
         let mut best: Option<(usize, u64)> = None;
         let mut i = 0;
         loop {
@@ -350,10 +359,12 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
                     continue;
                 }
             }
-            let key = self.arena.steps[active].inputs[i]
-                .cursor
-                .peek_key(self.store, self.env);
-            match key {
+            let rank = self.arena.steps[active].inputs[i].cursor.peek_rank(
+                &self.cfg.order,
+                self.store,
+                self.env,
+            )?;
+            match rank {
                 Some(k) => {
                     if best.is_none_or(|(_, bk)| k < bk) {
                         best = Some((i, k));
@@ -361,7 +372,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
                     i += 1;
                 }
                 None => {
-                    self.handle_exhausted_input(i);
+                    self.handle_exhausted_input(i)?;
                     best = None;
                     i = 0;
                 }
@@ -372,31 +383,32 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         // Cost of selecting the minimum with a selection tree / heap.
         self.env
             .charge_cpu(CpuOp::Compare, (64 - fan.leading_zeros() as u64).max(1));
-        best
+        Ok(best)
     }
 
-    fn handle_exhausted_input(&mut self, idx: usize) {
+    fn handle_exhausted_input(&mut self, idx: usize) -> SortResult<()> {
         let active = self.arena.active;
         let run = self.arena.steps[active].inputs[idx].cursor.run;
         self.stats.pages_read += self.arena.steps[active].inputs[idx].cursor.pages_read;
         let absorbed = self.arena.remove_input(active, idx);
-        self.store.delete_run(run);
+        self.store.delete_run(run)?;
         if absorbed.is_some() {
             self.stats.combines += 1;
         }
         self.reset_paging_state();
+        Ok(())
     }
 
-    fn pop_input(&mut self, idx: usize) -> Tuple {
+    fn pop_input(&mut self, idx: usize) -> SortResult<Tuple> {
         let active = self.arena.active;
         let run = self.arena.steps[active].inputs[idx].cursor.run;
         self.note_access(run);
         let t = self.arena.steps[active].inputs[idx]
             .cursor
-            .pop(self.store, self.env)
+            .pop(self.store, self.env)?
             .expect("input had a peeked tuple");
         self.env.charge_cpu(CpuOp::CopyTuple, 1);
-        t
+        Ok(t)
     }
 
     /// MRU paging bookkeeping: charge a fault when the accessed run's buffer
@@ -432,12 +444,12 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         }
     }
 
-    fn flush_active_output(&mut self, force: bool) {
+    fn flush_active_output(&mut self, force: bool) -> SortResult<()> {
         let tpp = self.cfg.tuples_per_page();
         let active = self.arena.active;
         let Some(out) = self.arena.steps[active].output else {
             self.arena.steps[active].out_buf.clear();
-            return;
+            return Ok(());
         };
         loop {
             let len = self.arena.steps[active].out_buf.len();
@@ -445,19 +457,20 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
                 let take = tpp.min(len);
                 let tuples: Vec<Tuple> = self.arena.steps[active].out_buf.drain(..take).collect();
                 self.env.charge_cpu(CpuOp::StartIo, 1);
-                self.store.append_page(out, Page::from_tuples(tuples));
+                self.store.append_page(out, Page::from_tuples(tuples))?;
                 self.stats.pages_written += 1;
             } else {
                 break;
             }
         }
+        Ok(())
     }
 
-    fn complete_active(&mut self) -> Progress {
-        self.flush_active_output(true);
+    fn complete_active(&mut self) -> SortResult<Progress> {
+        self.flush_active_output(true)?;
         let active = self.arena.active;
         self.arena.steps[active].completed = true;
-        match self.arena.steps[active].parent {
+        Ok(match self.arena.steps[active].parent {
             None => Progress::Done,
             Some(parent) => {
                 self.arena.active = parent;
@@ -465,18 +478,18 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
                 self.reset_paging_state();
                 Progress::StepCompleted
             }
-        }
+        })
     }
 
     /// Produce roughly one output page of merged tuples on the active step.
-    fn produce_unit(&mut self) -> Progress {
+    fn produce_unit(&mut self) -> SortResult<Progress> {
         let tpp = self.cfg.tuples_per_page();
         let mut produced = 0usize;
         while produced < tpp {
-            match self.min_input(None) {
+            match self.min_input(None)? {
                 None => return self.complete_active(),
                 Some((idx, _)) => {
-                    let t = self.pop_input(idx);
+                    let t = self.pop_input(idx)?;
                     let active = self.arena.active;
                     self.arena.steps[active].out_buf.push(t);
                     self.arena.steps[active].produced_anything = true;
@@ -485,22 +498,30 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
                 }
             }
         }
-        self.flush_active_output(false);
-        Progress::Produced
+        self.flush_active_output(false)?;
+        Ok(Progress::Produced)
     }
 
     /// Produce roughly one page worth of join work on the root step.
-    fn produce_unit_join(&mut self, on_match: &mut dyn FnMut(&Tuple, &Tuple)) -> Progress {
+    ///
+    /// Tuples are matched on equal *ranks*, which coincide with equal sort
+    /// keys for every [`crate::order::SortOrder`] (the direction mapping is a
+    /// bijection), so joins work identically for ascending, descending and
+    /// custom-key orders.
+    fn produce_unit_join(
+        &mut self,
+        on_match: &mut dyn FnMut(&Tuple, &Tuple),
+    ) -> SortResult<Progress> {
         let tpp = self.cfg.tuples_per_page();
         let mut processed = 0usize;
         while processed < tpp {
             // NOTE: a `min_input` call may remove exhausted inputs (and absorb
             // dormant child steps), which renumbers the remaining inputs — so
             // an input *index* must never be held across another `min_input`
-            // call. Only the keys are kept here; the index is re-resolved
+            // call. Only the ranks are kept here; the index is re-resolved
             // immediately before each pop.
-            let lkey = self.min_input(Some(Side::Left)).map(|(_, k)| k);
-            let rkey = self.min_input(Some(Side::Right)).map(|(_, k)| k);
+            let lkey = self.min_input(Some(Side::Left))?.map(|(_, k)| k);
+            let rkey = self.min_input(Some(Side::Right))?.map(|(_, k)| k);
             let (lk, rk) = match (lkey, rkey) {
                 (Some(l), Some(r)) => (l, r),
                 // One side exhausted: no further matches are possible.
@@ -510,14 +531,14 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             let active = self.arena.active;
             self.arena.steps[active].produced_anything = true;
             if lk < rk {
-                if let Some((idx, _)) = self.min_input(Some(Side::Left)) {
-                    self.pop_input(idx);
+                if let Some((idx, _)) = self.min_input(Some(Side::Left))? {
+                    self.pop_input(idx)?;
                     self.stats.tuples_output += 1;
                     processed += 1;
                 }
             } else if rk < lk {
-                if let Some((idx, _)) = self.min_input(Some(Side::Right)) {
-                    self.pop_input(idx);
+                if let Some((idx, _)) = self.min_input(Some(Side::Right))? {
+                    self.pop_input(idx)?;
                     self.stats.tuples_output += 1;
                     processed += 1;
                 }
@@ -525,20 +546,20 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
                 let key = lk;
                 // Gather the full right-hand group for this key.
                 let mut group: Vec<Tuple> = Vec::new();
-                while let Some((ri, rk)) = self.min_input(Some(Side::Right)) {
+                while let Some((ri, rk)) = self.min_input(Some(Side::Right))? {
                     if rk != key {
                         break;
                     }
-                    group.push(self.pop_input(ri));
+                    group.push(self.pop_input(ri)?);
                     self.stats.tuples_output += 1;
                     processed += 1;
                 }
                 // Every left tuple with this key matches the whole group.
-                while let Some((li, lk)) = self.min_input(Some(Side::Left)) {
+                while let Some((li, lk)) = self.min_input(Some(Side::Left))? {
                     if lk != key {
                         break;
                     }
-                    let lt = self.pop_input(li);
+                    let lt = self.pop_input(li)?;
                     self.stats.tuples_output += 1;
                     processed += 1;
                     for rt in &group {
@@ -550,32 +571,32 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
                 }
             }
         }
-        Progress::Produced
+        Ok(Progress::Produced)
     }
 
     // ------------------------------------------------------------------
     // Top-level drivers
     // ------------------------------------------------------------------
 
-    fn run_sort(&mut self) -> RunId {
+    fn run_sort(&mut self) -> SortResult<RunId> {
         self.stats.started_at = self.env.now();
         let output = self.arena.steps[self.arena.root()]
             .output
             .expect("sort root has an output run");
         if self.arena.steps[self.arena.root()].inputs.is_empty() {
             self.stats.finished_at = self.env.now();
-            return output;
+            return Ok(output);
         }
         loop {
             self.env.poll(self.budget);
-            self.adapt();
+            self.adapt()?;
             if self.arena.active == self.arena.root() {
                 // Splitting may have changed the active step; re-check.
                 if self.arena.steps[self.arena.root()].inputs.is_empty() {
                     break;
                 }
             }
-            match self.produce_unit() {
+            match self.produce_unit()? {
                 Progress::Done => break,
                 Progress::Produced | Progress::StepCompleted => {}
             }
@@ -583,21 +604,21 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         self.stats.steps_executed = self.arena.executed_steps();
         self.stats.finished_at = self.env.now();
         self.budget.record_held(0, self.env.now());
-        output
+        Ok(output)
     }
 
-    fn run_join(&mut self, on_match: &mut dyn FnMut(&Tuple, &Tuple)) {
+    fn run_join(&mut self, on_match: &mut dyn FnMut(&Tuple, &Tuple)) -> SortResult<()> {
         self.stats.started_at = self.env.now();
         loop {
             self.env.poll(self.budget);
-            self.adapt();
+            self.adapt()?;
             let progress = if self.arena.active == self.arena.root() {
                 if self.arena.steps[self.arena.root()].inputs.is_empty() {
                     break;
                 }
-                self.produce_unit_join(on_match)
+                self.produce_unit_join(on_match)?
             } else {
-                self.produce_unit()
+                self.produce_unit()?
             };
             if progress == Progress::Done {
                 break;
@@ -606,6 +627,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         self.stats.steps_executed = self.arena.executed_steps();
         self.stats.finished_at = self.env.now();
         self.budget.record_held(0, self.env.now());
+        Ok(())
     }
 }
 
@@ -619,8 +641,8 @@ pub fn execute_merge<S: RunStore, E: SortEnv>(
     store: &mut S,
     env: &mut E,
     params: ExecParams,
-) -> (RunId, MergeStats) {
-    let output = store.create_run();
+) -> SortResult<(RunId, MergeStats)> {
+    let output = store.create_run()?;
     let inputs: Vec<Input> = runs
         .iter()
         .map(|r| Input::from_run(r.id, Side::Left))
@@ -635,8 +657,8 @@ pub fn execute_merge<S: RunStore, E: SortEnv>(
         inputs,
         Some(output),
     );
-    let out = exec.run_sort();
-    (out, exec.stats)
+    let out = exec.run_sort()?;
+    Ok((out, exec.stats))
 }
 
 /// Merge-join two sets of runs (one per relation), adapting to memory
@@ -651,13 +673,9 @@ pub fn execute_join_merge<S: RunStore, E: SortEnv>(
     env: &mut E,
     params: ExecParams,
     on_match: &mut dyn FnMut(&Tuple, &Tuple),
-) -> MergeStats {
+) -> SortResult<MergeStats> {
     let mut inputs: Vec<Input> = Vec::with_capacity(left_runs.len() + right_runs.len());
-    inputs.extend(
-        left_runs
-            .iter()
-            .map(|r| Input::from_run(r.id, Side::Left)),
-    );
+    inputs.extend(left_runs.iter().map(|r| Input::from_run(r.id, Side::Left)));
     inputs.extend(
         right_runs
             .iter()
@@ -673,8 +691,8 @@ pub fn execute_join_merge<S: RunStore, E: SortEnv>(
         inputs,
         None,
     );
-    exec.run_join(on_match);
-    exec.stats
+    exec.run_join(on_match)?;
+    Ok(exec.stats)
 }
 
 #[cfg(test)]
@@ -690,7 +708,11 @@ mod tests {
 
     /// Build `n_runs` sorted runs of random lengths in a fresh store and
     /// return the metadata plus the flattened input tuples.
-    fn make_runs(n_runs: usize, avg_pages: usize, seed: u64) -> (MemStore, Vec<RunMeta>, Vec<Tuple>) {
+    fn make_runs(
+        n_runs: usize,
+        avg_pages: usize,
+        seed: u64,
+    ) -> (MemStore, Vec<RunMeta>, Vec<Tuple>) {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut store = MemStore::new();
         let mut metas = Vec::new();
@@ -703,9 +725,9 @@ mod tests {
                 .collect();
             tuples.sort_unstable_by_key(|t| t.key);
             all.extend(tuples.clone());
-            let run = store.create_run();
+            let run = store.create_run().unwrap();
             for p in paginate(tuples, tpp) {
-                store.append_page(run, p);
+                store.append_page(run, p).unwrap();
             }
             metas.push(store.meta(run));
         }
@@ -741,8 +763,9 @@ mod tests {
             &mut store,
             &mut env,
             params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
-        );
-        let result = collect_run(&mut store, out);
+        )
+        .unwrap();
+        let result = collect_run(&mut store, out).unwrap();
         assert_sorted_permutation(&input, &result);
         assert_eq!(stats.steps_executed, 1);
         assert_eq!(stats.splits, 0);
@@ -761,8 +784,9 @@ mod tests {
             &mut store,
             &mut env,
             params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
-        );
-        let result = collect_run(&mut store, out);
+        )
+        .unwrap();
+        let result = collect_run(&mut store, out).unwrap();
         assert_sorted_permutation(&input, &result);
         assert!(stats.splits >= 1);
         assert!(stats.steps_executed >= 2);
@@ -787,8 +811,9 @@ mod tests {
                     &mut store,
                     &mut env,
                     params(policy, adaptation),
-                );
-                let result = collect_run(&mut store, out);
+                )
+                .unwrap();
+                let result = collect_run(&mut store, out).unwrap();
                 assert_sorted_permutation(&input, &result);
             }
         }
@@ -807,7 +832,8 @@ mod tests {
             &mut store,
             &mut env,
             ExecParams::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(store.run_tuples(out), 0);
         assert_eq!(stats.steps_executed, 0);
 
@@ -819,8 +845,9 @@ mod tests {
             &mut store,
             &mut env,
             ExecParams::default(),
-        );
-        let result = collect_run(&mut store, out);
+        )
+        .unwrap();
+        let result = collect_run(&mut store, out).unwrap();
         assert_sorted_permutation(&input, &result);
     }
 
@@ -889,8 +916,9 @@ mod tests {
             &mut store,
             &mut env,
             params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
-        );
-        let result = collect_run(&mut store, out);
+        )
+        .unwrap();
+        let result = collect_run(&mut store, out).unwrap();
         assert_sorted_permutation(&input, &result);
         assert!(stats.splits >= 1, "expected at least one dynamic split");
         assert!(stats.switches >= 1);
@@ -910,13 +938,17 @@ mod tests {
                 &mut store,
                 &mut env,
                 params(MergePolicy::Optimized, adaptation),
-            );
-            let result = collect_run(&mut store, out);
+            )
+            .unwrap();
+            let result = collect_run(&mut store, out).unwrap();
             assert_sorted_permutation(&input, &result);
             if adaptation == MergeAdaptation::Paging {
                 assert!(stats.extra_paging_reads > 0, "paging should have faulted");
             } else {
-                assert!(stats.refetched_pages > 0, "suspension should have refetched");
+                assert!(
+                    stats.refetched_pages > 0,
+                    "suspension should have refetched"
+                );
             }
         }
     }
@@ -936,8 +968,9 @@ mod tests {
             &mut store,
             &mut env,
             params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
-        );
-        let result = collect_run(&mut store, out);
+        )
+        .unwrap();
+        let result = collect_run(&mut store, out).unwrap();
         assert_sorted_permutation(&input, &result);
         assert!(stats.splits >= 1);
         assert!(
@@ -965,9 +998,9 @@ mod tests {
                     .collect();
                 tuples.sort_unstable_by_key(|t| t.key);
                 all.extend(tuples.clone());
-                let run = store.create_run();
+                let run = store.create_run().unwrap();
                 for p in paginate(tuples, tpp) {
-                    store.append_page(run, p);
+                    store.append_page(run, p).unwrap();
                 }
                 metas.push(store.meta(run));
             }
@@ -990,7 +1023,8 @@ mod tests {
             &mut env,
             params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
             &mut |_l, _r| seen += 1,
-        );
+        )
+        .unwrap();
         assert_eq!(stats.join_matches, expected);
         assert_eq!(seen, expected);
     }
@@ -1010,9 +1044,9 @@ mod tests {
                     .collect();
                 tuples.sort_unstable_by_key(|t| t.key);
                 all.extend(tuples.clone());
-                let run = store.create_run();
+                let run = store.create_run().unwrap();
                 for p in paginate(tuples, tpp) {
-                    store.append_page(run, p);
+                    store.append_page(run, p).unwrap();
                 }
                 metas.push(store.meta(run));
             }
@@ -1035,7 +1069,8 @@ mod tests {
             &mut env,
             params(MergePolicy::Optimized, MergeAdaptation::DynamicSplitting),
             &mut |_l, _r| seen += 1,
-        );
+        )
+        .unwrap();
         assert_eq!(stats.join_matches, expected);
         assert_eq!(seen, expected);
         assert!(stats.splits >= 1, "6 pages cannot hold 9 runs + output");

@@ -235,9 +235,11 @@ mod tests {
         let mut store = MemStore::new();
         let mut ids = Vec::new();
         for &len in lengths {
-            let r = store.create_run();
+            let r = store.create_run().unwrap();
             for p in 0..len {
-                store.append_page(r, Page::from_tuples(vec![Tuple::synthetic(p as u64, 16)]));
+                store
+                    .append_page(r, Page::from_tuples(vec![Tuple::synthetic(p as u64, 16)]))
+                    .unwrap();
             }
             ids.push(r);
         }
@@ -249,7 +251,7 @@ mod tests {
             .iter()
             .map(|&r| Input::from_run(r, Side::Left))
             .collect();
-        let out = store.create_run();
+        let out = store.create_run().unwrap();
         StepArena::with_root(inputs, Some(out))
     }
 
@@ -266,7 +268,7 @@ mod tests {
     fn split_moves_inputs_and_links_child() {
         let (mut store, runs) = store_with_runs(&[1, 2, 3, 4, 5]);
         let mut arena = arena_over(&mut store, &runs);
-        let child_out = store.create_run();
+        let child_out = store.create_run().unwrap();
         let picked = arena.shortest_inputs(&store, 0, 2, None);
         let child = arena.split_active(picked, child_out, Side::Left, 8);
         assert_eq!(arena.active, child);
@@ -300,12 +302,12 @@ mod tests {
     fn remove_input_absorbs_child() {
         let (mut store, runs) = store_with_runs(&[1, 2, 3, 4]);
         let mut arena = arena_over(&mut store, &runs);
-        let child_out = store.create_run();
+        let child_out = store.create_run().unwrap();
         let picked = arena.shortest_inputs(&store, 0, 2, None);
         let child = arena.split_active(picked, child_out, Side::Left, 8);
         arena.active = 0; // switch back to the parent (memory grew)
-        // Find the parent's input fed by the child and remove it as if the
-        // child's output had been fully consumed.
+                          // Find the parent's input fed by the child and remove it as if the
+                          // child's output had been fully consumed.
         let idx = arena.steps[0]
             .inputs
             .iter()
@@ -335,7 +337,7 @@ mod tests {
             .map(|&r| Input::from_run(r, Side::Left))
             .collect();
         inputs[2].side = Side::Right;
-        let out = store.create_run();
+        let out = store.create_run().unwrap();
         let arena = StepArena::with_root(inputs, Some(out));
         assert_eq!(arena.steps[0].side_count(Side::Left), 2);
         assert_eq!(arena.steps[0].side_count(Side::Right), 1);

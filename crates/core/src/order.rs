@@ -1,0 +1,210 @@
+//! Sort ordering: direction (ascending/descending) plus an optional
+//! key-extraction hook.
+//!
+//! Every algorithm in this crate — run formation, merge cursors, dynamic
+//! splitting, sort-merge join — orders tuples by a single `u64` *rank*
+//! computed by [`SortOrder::rank`]. For the default ascending order the rank
+//! is simply [`Tuple::key`]; a descending order maps each key through bitwise
+//! NOT (a strictly order-reversing bijection on `u64`), and a custom key
+//! extractor lets callers sort by something other than the stored key (a hash
+//! of the payload, a field decoded from the payload bytes, ...). Because all
+//! machinery compares ranks with plain `<=`, one code path serves every
+//! ordering.
+
+use crate::tuple::Tuple;
+use std::fmt;
+use std::sync::Arc;
+
+/// The function type of a custom key extractor.
+pub type KeyExtractor = dyn Fn(&Tuple) -> u64 + Send + Sync;
+
+/// Ascending or descending.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SortDirection {
+    /// Smallest sort key first (the default).
+    #[default]
+    Ascending,
+    /// Largest sort key first.
+    Descending,
+}
+
+/// A complete ordering specification: direction plus optional key extraction.
+///
+/// Cheap to clone (the extractor is reference-counted).
+#[derive(Clone, Default)]
+pub struct SortOrder {
+    direction: SortDirection,
+    key_fn: Option<Arc<KeyExtractor>>,
+}
+
+impl SortOrder {
+    /// Ascending order on [`Tuple::key`] (the default).
+    pub fn ascending() -> Self {
+        SortOrder {
+            direction: SortDirection::Ascending,
+            key_fn: None,
+        }
+    }
+
+    /// Descending order on [`Tuple::key`].
+    pub fn descending() -> Self {
+        SortOrder {
+            direction: SortDirection::Descending,
+            key_fn: None,
+        }
+    }
+
+    /// Ascending order on a custom key extracted from each tuple.
+    pub fn by_key<F>(f: F) -> Self
+    where
+        F: Fn(&Tuple) -> u64 + Send + Sync + 'static,
+    {
+        SortOrder {
+            direction: SortDirection::Ascending,
+            key_fn: Some(Arc::new(f)),
+        }
+    }
+
+    /// Reverse this order's direction.
+    pub fn reversed(mut self) -> Self {
+        self.direction = match self.direction {
+            SortDirection::Ascending => SortDirection::Descending,
+            SortDirection::Descending => SortDirection::Ascending,
+        };
+        self
+    }
+
+    /// This order's direction.
+    pub fn direction(&self) -> SortDirection {
+        self.direction
+    }
+
+    /// True when a custom key extractor is installed.
+    pub fn has_custom_key(&self) -> bool {
+        self.key_fn.is_some()
+    }
+
+    /// The sort key of `t` under this order, before the direction mapping.
+    #[inline]
+    pub fn sort_key(&self, t: &Tuple) -> u64 {
+        match &self.key_fn {
+            Some(f) => f(t),
+            None => t.key,
+        }
+    }
+
+    /// The *rank* of `t`: the value the algorithms actually compare.
+    ///
+    /// Ranks compare ascending regardless of the requested direction (a
+    /// descending order negates the key bits), so `rank(a) <= rank(b)` iff
+    /// `a` sorts no later than `b`. Two tuples have equal ranks iff they have
+    /// equal sort keys.
+    #[inline]
+    pub fn rank(&self, t: &Tuple) -> u64 {
+        let key = self.sort_key(t);
+        match self.direction {
+            SortDirection::Ascending => key,
+            SortDirection::Descending => !key,
+        }
+    }
+
+    /// True if `tuples` is sorted according to this order.
+    pub fn is_sorted(&self, tuples: &[Tuple]) -> bool {
+        tuples
+            .windows(2)
+            .all(|w| self.rank(&w[0]) <= self.rank(&w[1]))
+    }
+}
+
+/// `Debug` cannot be derived because of the boxed extractor; show the
+/// direction and whether a custom key is installed.
+impl fmt::Debug for SortOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SortOrder")
+            .field("direction", &self.direction)
+            .field("custom_key", &self.key_fn.is_some())
+            .finish()
+    }
+}
+
+/// Two orders are equal when they have the same direction and the same
+/// extractor identity (both none, or literally the same `Arc`).
+impl PartialEq for SortOrder {
+    fn eq(&self, other: &Self) -> bool {
+        self.direction == other.direction
+            && match (&self.key_fn, &other.key_fn) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(k: u64) -> Tuple {
+        Tuple::synthetic(k, 16)
+    }
+
+    #[test]
+    fn ascending_rank_is_the_key() {
+        let o = SortOrder::ascending();
+        assert_eq!(o.rank(&t(5)), 5);
+        assert_eq!(o.direction(), SortDirection::Ascending);
+        assert!(!o.has_custom_key());
+    }
+
+    #[test]
+    fn descending_rank_reverses_order() {
+        let o = SortOrder::descending();
+        assert!(o.rank(&t(10)) < o.rank(&t(3)));
+        assert!(o.rank(&t(u64::MAX)) < o.rank(&t(0)));
+        assert_eq!(o.rank(&t(7)), o.rank(&t(7)));
+    }
+
+    #[test]
+    fn custom_key_extraction() {
+        // Sort by the low byte of the key only.
+        let o = SortOrder::by_key(|t| t.key & 0xFF);
+        assert!(o.has_custom_key());
+        assert_eq!(o.rank(&t(0x1203)), 0x03);
+        assert_eq!(o.rank(&t(0x0503)), o.rank(&t(0xFF03)));
+        let d = o.clone().reversed();
+        assert!(d.rank(&t(0x02)) > d.rank(&t(0x90)));
+    }
+
+    #[test]
+    fn reversed_round_trips() {
+        let o = SortOrder::ascending().reversed().reversed();
+        assert_eq!(o.direction(), SortDirection::Ascending);
+    }
+
+    #[test]
+    fn is_sorted_respects_direction() {
+        let asc = vec![t(1), t(2), t(2), t(9)];
+        let desc = vec![t(9), t(2), t(2), t(1)];
+        assert!(SortOrder::ascending().is_sorted(&asc));
+        assert!(!SortOrder::ascending().is_sorted(&desc));
+        assert!(SortOrder::descending().is_sorted(&desc));
+        assert!(!SortOrder::descending().is_sorted(&asc));
+    }
+
+    #[test]
+    fn equality_compares_direction_and_extractor_identity() {
+        assert_eq!(SortOrder::ascending(), SortOrder::ascending());
+        assert_ne!(SortOrder::ascending(), SortOrder::descending());
+        let a = SortOrder::by_key(|t| t.key);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_ne!(a, SortOrder::by_key(|t| t.key));
+        assert_ne!(a, SortOrder::ascending());
+    }
+
+    #[test]
+    fn debug_shows_direction() {
+        let s = format!("{:?}", SortOrder::descending());
+        assert!(s.contains("Descending"));
+    }
+}

@@ -19,6 +19,7 @@ pub mod replacement;
 use crate::budget::MemoryBudget;
 use crate::config::{RunFormation, SortConfig};
 use crate::env::SortEnv;
+use crate::error::SortResult;
 use crate::input::InputSource;
 use crate::store::{RunMeta, RunStore};
 
@@ -76,7 +77,7 @@ pub fn form_runs<S, I, E>(
     input: &mut I,
     store: &mut S,
     env: &mut E,
-) -> SplitStats
+) -> SortResult<SplitStats>
 where
     S: RunStore,
     I: InputSource,
@@ -113,7 +114,11 @@ mod tests {
             .collect()
     }
 
-    fn run_split(formation: RunFormation, n_tuples: usize, mem_pages: usize) -> (SplitStats, MemStore) {
+    fn run_split(
+        formation: RunFormation,
+        n_tuples: usize,
+        mem_pages: usize,
+    ) -> (SplitStats, MemStore) {
         let cfg = SortConfig::default()
             .with_memory_pages(mem_pages)
             .with_algorithm(AlgorithmSpec {
@@ -124,14 +129,14 @@ mod tests {
         let mut input = VecSource::from_tuples(random_tuples(n_tuples, 42), cfg.tuples_per_page());
         let mut store = MemStore::new();
         let mut env = CountingEnv::new();
-        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env).unwrap();
         (stats, store)
     }
 
     fn assert_runs_sorted_and_complete(stats: &SplitStats, store: &mut MemStore, expect: usize) {
         let mut total = 0usize;
         for run in &stats.runs {
-            let tuples = collect_run(store, run.id);
+            let tuples = collect_run(store, run.id).unwrap();
             assert!(
                 tuples.windows(2).all(|w| w[0].key <= w[1].key),
                 "run {} not sorted",
@@ -169,7 +174,10 @@ mod tests {
     fn block_writes_shorten_runs_slightly_but_fewer_seeks() {
         let (s1, _) = run_split(RunFormation::repl(1), 32 * 64, 8);
         let (s6, _) = run_split(RunFormation::repl(6), 32 * 64, 8);
-        assert!(s6.block_writes < s1.block_writes, "block writes should reduce write operations");
+        assert!(
+            s6.block_writes < s1.block_writes,
+            "block writes should reduce write operations"
+        );
         assert!(s6.run_count() >= s1.run_count());
         // Only marginally more runs (paper: "only marginally more than repl1").
         assert!(s6.run_count() as f64 <= s1.run_count() as f64 * 2.0 + 1.0);
@@ -185,7 +193,11 @@ mod tests {
 
     #[test]
     fn single_page_input_single_run() {
-        for f in [RunFormation::Quicksort, RunFormation::repl(1), RunFormation::repl(6)] {
+        for f in [
+            RunFormation::Quicksort,
+            RunFormation::repl(1),
+            RunFormation::repl(6),
+        ] {
             let (stats, mut store) = run_split(f, 10, 8);
             assert_eq!(stats.run_count(), 1, "formation {f:?}");
             assert_runs_sorted_and_complete(&stats, &mut store, 10);
@@ -207,11 +219,14 @@ mod tests {
         // regardless of memory size (every incoming key >= last output).
         let cfg = SortConfig::default().with_memory_pages(4);
         let budget = MemoryBudget::new(4);
-        let tuples: Vec<Tuple> = (0..32 * 20).map(|k| Tuple::synthetic(k as u64, 256)).collect();
+        let tuples: Vec<Tuple> = (0..32 * 20)
+            .map(|k| Tuple::synthetic(k as u64, 256))
+            .collect();
         let mut input = VecSource::from_tuples(tuples, cfg.tuples_per_page());
         let mut store = MemStore::new();
         let mut env = CountingEnv::new();
-        let stats = replacement::form_runs(&cfg, &budget, &mut input, &mut store, &mut env, 1);
+        let stats =
+            replacement::form_runs(&cfg, &budget, &mut input, &mut store, &mut env, 1).unwrap();
         assert_eq!(stats.run_count(), 1);
         assert_eq!(stats.runs[0].tuples, 32 * 20);
     }
@@ -223,12 +238,20 @@ mod tests {
         let cfg = SortConfig::default().with_memory_pages(4);
         let budget = MemoryBudget::new(4);
         let n = 32 * 20;
-        let tuples: Vec<Tuple> = (0..n).rev().map(|k| Tuple::synthetic(k as u64, 256)).collect();
+        let tuples: Vec<Tuple> = (0..n)
+            .rev()
+            .map(|k| Tuple::synthetic(k as u64, 256))
+            .collect();
         let mut input = VecSource::from_tuples(tuples, cfg.tuples_per_page());
         let mut store = MemStore::new();
         let mut env = CountingEnv::new();
-        let stats = replacement::form_runs(&cfg, &budget, &mut input, &mut store, &mut env, 1);
-        assert!(stats.run_count() >= 4, "expected many runs, got {}", stats.run_count());
+        let stats =
+            replacement::form_runs(&cfg, &budget, &mut input, &mut store, &mut env, 1).unwrap();
+        assert!(
+            stats.run_count() >= 4,
+            "expected many runs, got {}",
+            stats.run_count()
+        );
         assert_eq!(stats.total_tuples(), n);
     }
 }

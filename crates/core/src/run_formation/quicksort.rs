@@ -11,6 +11,7 @@
 use crate::budget::MemoryBudget;
 use crate::config::SortConfig;
 use crate::env::{CpuOp, SortEnv};
+use crate::error::SortResult;
 use crate::input::InputSource;
 use crate::store::RunStore;
 use crate::tuple::{paginate, Tuple};
@@ -24,13 +25,14 @@ pub fn form_runs<S, I, E>(
     input: &mut I,
     store: &mut S,
     env: &mut E,
-) -> SplitStats
+) -> SortResult<SplitStats>
 where
     S: RunStore,
     I: InputSource,
     E: SortEnv,
 {
     let tpp = cfg.tuples_per_page();
+    let order = cfg.order.clone();
     let mut stats = SplitStats {
         started_at: env.now(),
         ..SplitStats::default()
@@ -58,7 +60,7 @@ where
             if held_pages >= fill_target {
                 break;
             }
-            match input.next_page() {
+            match input.next_page()? {
                 Some(page) => {
                     env.charge_cpu(CpuOp::StartIo, 1);
                     env.charge_cpu(CpuOp::CopyTuple, page.len() as u64);
@@ -89,7 +91,12 @@ where
         let log_n = (usize::BITS - (mem.len().max(2) - 1).leading_zeros()) as u64;
         env.charge_cpu(CpuOp::Compare, n * log_n);
         env.charge_cpu(CpuOp::Swap, n);
-        mem.sort_unstable_by_key(|t| t.key);
+        if order.has_custom_key() {
+            // One extractor call per tuple instead of one per comparison.
+            mem.sort_by_cached_key(|t| order.rank(t));
+        } else {
+            mem.sort_unstable_by_key(|t| order.rank(t));
+        }
 
         // ------------------------------------------------------------------
         // Write the run out in one sequential block. Only once the whole
@@ -98,12 +105,12 @@ where
         // memory shortages so much more slowly than replacement selection.
         // ------------------------------------------------------------------
         let pages = paginate(mem, tpp);
-        let run = store.create_run();
+        let run = store.create_run()?;
         env.charge_cpu(CpuOp::StartIo, 1);
         env.charge_cpu(CpuOp::CopyTuple, pages.iter().map(|p| p.len() as u64).sum());
         stats.pages_written += pages.len();
         stats.block_writes += 1;
-        store.append_block(run, pages);
+        store.append_block(run, pages)?;
         stats.runs.push(store.meta(run));
 
         // Only now — after the whole memory load has been sorted and written —
@@ -113,7 +120,7 @@ where
 
     budget.record_held(0, env.now());
     stats.finished_at = env.now();
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -145,15 +152,17 @@ mod tests {
         // Pre-arm the shortage: the budget drops before the sort starts its
         // second run, so the second fill stops at 3 pages.
         // first run forms with full memory
-        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env).unwrap();
         assert_eq!(stats.runs[0].pages, 8);
 
         // Now run again on fresh input with a mid-fill shrink driven by poll:
         // emulate by setting target lower before starting.
         budget.set_target(3, env.now());
-        let tuples2: Vec<Tuple> = (0..(tpp * 8) as u64).map(|k| Tuple::synthetic(k, 256)).collect();
+        let tuples2: Vec<Tuple> = (0..(tpp * 8) as u64)
+            .map(|k| Tuple::synthetic(k, 256))
+            .collect();
         let mut input2 = VecSource::from_tuples(tuples2, tpp);
-        let stats2 = form_runs(&cfg, &budget, &mut input2, &mut store, &mut env);
+        let stats2 = form_runs(&cfg, &budget, &mut input2, &mut store, &mut env).unwrap();
         assert!(stats2.runs.iter().all(|r| r.pages <= 3));
     }
 
@@ -162,13 +171,15 @@ mod tests {
         let cfg = cfg(2);
         let tpp = cfg.tuples_per_page();
         let budget = MemoryBudget::new(2);
-        let tuples: Vec<Tuple> = (0..(tpp * 12) as u64).map(|k| Tuple::synthetic(k, 256)).collect();
+        let tuples: Vec<Tuple> = (0..(tpp * 12) as u64)
+            .map(|k| Tuple::synthetic(k, 256))
+            .collect();
         let mut input = VecSource::from_tuples(tuples, tpp);
         let mut store = MemStore::new();
         let mut env = CountingEnv::new();
         // Grow before starting: all runs should use the larger allocation.
         budget.set_target(6, 0.0);
-        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env).unwrap();
         assert_eq!(stats.runs[0].pages, 6);
     }
 
@@ -185,10 +196,10 @@ mod tests {
         let mut input = VecSource::from_tuples(tuples, tpp);
         let mut store = MemStore::new();
         let mut env = CountingEnv::new();
-        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env).unwrap();
         let mut all: Vec<u64> = Vec::new();
         for r in &stats.runs {
-            let t = collect_run(&mut store, r.id);
+            let t = collect_run(&mut store, r.id).unwrap();
             assert!(t.windows(2).all(|w| w[0].key <= w[1].key));
             all.extend(t.iter().map(|t| t.key));
         }
@@ -203,11 +214,13 @@ mod tests {
         let cfg = cfg(4);
         let tpp = cfg.tuples_per_page();
         let budget = MemoryBudget::new(4);
-        let tuples: Vec<Tuple> = (0..(tpp * 4) as u64).map(|k| Tuple::synthetic(k, 256)).collect();
+        let tuples: Vec<Tuple> = (0..(tpp * 4) as u64)
+            .map(|k| Tuple::synthetic(k, 256))
+            .collect();
         let mut input = VecSource::from_tuples(tuples, tpp);
         let mut store = MemStore::new();
         let mut env = CountingEnv::new();
-        form_runs(&cfg, &budget, &mut input, &mut store, &mut env);
+        form_runs(&cfg, &budget, &mut input, &mut store, &mut env).unwrap();
         assert!(env.charged(CpuOp::Compare) > 0);
         assert!(env.charged(CpuOp::CopyTuple) > 0);
         assert!(env.charged(CpuOp::StartIo) > 0);

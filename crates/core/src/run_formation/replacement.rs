@@ -17,14 +17,18 @@ use std::collections::BinaryHeap;
 use crate::budget::MemoryBudget;
 use crate::config::SortConfig;
 use crate::env::{CpuOp, SortEnv};
+use crate::error::SortResult;
 use crate::input::InputSource;
+use crate::order::SortOrder;
 use crate::store::{RunId, RunStore};
 use crate::tuple::{paginate, Tuple};
 
 use super::SplitStats;
 
-/// Heap entry: ordered by (run number, key) so that the current run's smallest
-/// key is always on top, and next-run tuples sink below every current-run one.
+/// Heap entry: ordered by (run number, rank) so that the current run's
+/// smallest-ranked tuple is always on top, and next-run tuples sink below
+/// every current-run one. The *rank* is the configured [`SortOrder`]'s
+/// comparison value, so descending and custom-key sorts use the same heap.
 struct Entry {
     run_no: u32,
     key: u64,
@@ -73,10 +77,12 @@ struct State<'a, S: RunStore> {
     store: &'a mut S,
     tpp: usize,
     block_tuples: usize,
+    order: SortOrder,
     heap: BinaryHeap<Entry>,
     out_buf: Vec<Tuple>,
     current_run_no: u32,
     current_run_id: Option<RunId>,
+    /// Rank of the last tuple written to the current run.
     last_out: Option<u64>,
 }
 
@@ -91,33 +97,50 @@ impl<'a, S: RunStore> State<'a, S> {
 
     /// Flush the output buffer (whatever it currently holds) as one block
     /// write to the current run.
-    fn flush<E: SortEnv>(&mut self, env: &mut E, budget: &MemoryBudget, stats: &mut SplitStats) {
+    fn flush<E: SortEnv>(
+        &mut self,
+        env: &mut E,
+        budget: &MemoryBudget,
+        stats: &mut SplitStats,
+    ) -> SortResult<()> {
         if self.out_buf.is_empty() {
-            return;
+            return Ok(());
         }
-        let run = *self
-            .current_run_id
-            .get_or_insert_with(|| self.store.create_run());
+        let run = match self.current_run_id {
+            Some(run) => run,
+            None => {
+                let run = self.store.create_run()?;
+                self.current_run_id = Some(run);
+                run
+            }
+        };
         let tuples = std::mem::take(&mut self.out_buf);
         env.charge_cpu(CpuOp::StartIo, 1);
         let pages = paginate(tuples, self.tpp);
         stats.pages_written += pages.len();
         stats.block_writes += 1;
-        self.store.append_block(run, pages);
+        self.store.append_block(run, pages)?;
         // The flushed buffers become available as soon as the block write
         // completes; unlike Quicksort, only as many pages as necessary are
         // written, which keeps replacement selection's delays short.
         budget.record_held(self.in_memory_pages(), env.now());
+        Ok(())
     }
 
     /// Close the current run (flushing any buffered remainder first).
-    fn close_run<E: SortEnv>(&mut self, env: &mut E, budget: &MemoryBudget, stats: &mut SplitStats) {
-        self.flush(env, budget, stats);
+    fn close_run<E: SortEnv>(
+        &mut self,
+        env: &mut E,
+        budget: &MemoryBudget,
+        stats: &mut SplitStats,
+    ) -> SortResult<()> {
+        self.flush(env, budget, stats)?;
         if let Some(run) = self.current_run_id.take() {
             stats.runs.push(self.store.meta(run));
         }
         self.current_run_no += 1;
         self.last_out = None;
+        Ok(())
     }
 
     /// Pop tuples of the current run into the output buffer until either the
@@ -151,13 +174,14 @@ impl<'a, S: RunStore> State<'a, S> {
         env.charge_cpu(CpuOp::StartIo, 1);
         env.charge_cpu(CpuOp::HeapInsert, page.len() as u64);
         for tuple in page.tuples {
+            let rank = self.order.rank(&tuple);
             let run_no = match self.last_out {
-                Some(last) if tuple.key < last => self.current_run_no + 1,
+                Some(last) if rank < last => self.current_run_no + 1,
                 _ => self.current_run_no,
             };
             self.heap.push(Entry {
                 run_no,
-                key: tuple.key,
+                key: rank,
                 tuple,
             });
         }
@@ -173,13 +197,20 @@ pub fn form_runs<S, I, E>(
     store: &mut S,
     env: &mut E,
     block_pages: usize,
-) -> SplitStats
+) -> SortResult<SplitStats>
 where
     S: RunStore,
     I: InputSource,
     E: SortEnv,
 {
-    form_runs_impl(cfg, budget, input, store, env, BlockPolicy::Fixed(block_pages))
+    form_runs_impl(
+        cfg,
+        budget,
+        input,
+        store,
+        env,
+        BlockPolicy::Fixed(block_pages),
+    )
 }
 
 /// Execute the split phase with replacement selection whose block-write size
@@ -194,7 +225,7 @@ pub fn form_runs_adaptive<S, I, E>(
     env: &mut E,
     min_block: usize,
     max_block: usize,
-) -> SplitStats
+) -> SortResult<SplitStats>
 where
     S: RunStore,
     I: InputSource,
@@ -220,7 +251,7 @@ fn form_runs_impl<S, I, E>(
     store: &mut S,
     env: &mut E,
     policy: BlockPolicy,
-) -> SplitStats
+) -> SortResult<SplitStats>
 where
     S: RunStore,
     I: InputSource,
@@ -235,6 +266,7 @@ where
         store,
         tpp,
         block_tuples: policy.block_pages(budget.target().max(1)) * tpp,
+        order: cfg.order.clone(),
         heap: BinaryHeap::new(),
         out_buf: Vec::new(),
         current_run_no: 0,
@@ -266,10 +298,10 @@ where
                 let excess = st.in_memory_tuples() - cap_tuples;
                 let boundary = st.emit_up_to(env, st.out_buf.len() + excess);
                 if !st.out_buf.is_empty() {
-                    st.flush(env, budget, &mut stats);
+                    st.flush(env, budget, &mut stats)?;
                 }
                 if boundary {
-                    st.close_run(env, budget, &mut stats);
+                    st.close_run(env, budget, &mut stats)?;
                 } else if st.heap.is_empty() {
                     break;
                 }
@@ -282,7 +314,7 @@ where
         // Absorb the next input page if it fits in the current target.
         // --------------------------------------------------------------
         if !exhausted && in_mem + tpp <= cap_tuples {
-            match input.next_page() {
+            match input.next_page()? {
                 Some(page) => {
                     stats.pages_read += 1;
                     st.insert_page(env, page);
@@ -298,35 +330,35 @@ where
         // --------------------------------------------------------------
         if st.heap.is_empty() {
             if exhausted {
-                st.close_run(env, budget, &mut stats);
+                st.close_run(env, budget, &mut stats)?;
                 break;
             }
             // Heap empty but a residual output buffer blocks the next page:
             // flush it and retry.
             if !st.out_buf.is_empty() {
-                st.flush(env, budget, &mut stats);
+                st.flush(env, budget, &mut stats)?;
             }
             continue;
         }
 
         let boundary = st.emit(env);
         if st.out_buf.len() >= st.block_tuples {
-            st.flush(env, budget, &mut stats);
+            st.flush(env, budget, &mut stats)?;
             budget.record_held(st.in_memory_pages(), env.now());
         } else if boundary {
-            st.close_run(env, budget, &mut stats);
+            st.close_run(env, budget, &mut stats)?;
             budget.record_held(st.in_memory_pages(), env.now());
         } else {
             // Heap ran dry before filling a block; flush what we have so the
             // next input page can be absorbed.
-            st.flush(env, budget, &mut stats);
+            st.flush(env, budget, &mut stats)?;
             budget.record_held(st.in_memory_pages(), env.now());
         }
     }
 
     budget.record_held(0, env.now());
     stats.finished_at = env.now();
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -352,7 +384,7 @@ mod tests {
         let mut input = VecSource::from_tuples(random_tuples(n_tuples, 7), cfg.tuples_per_page());
         let mut store = MemStore::new();
         let mut env = CountingEnv::new();
-        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env, block);
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env, block).unwrap();
         (stats, store)
     }
 
@@ -362,7 +394,7 @@ mod tests {
         let (stats, mut store) = split(n, 8, 6);
         let mut total = 0;
         for r in &stats.runs {
-            let t = collect_run(&mut store, r.id);
+            let t = collect_run(&mut store, r.id).unwrap();
             assert!(t.windows(2).all(|w| w[0].key <= w[1].key));
             total += t.len();
         }
@@ -413,7 +445,7 @@ mod tests {
             clock: 0.0,
             fired: false,
         };
-        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env, 6);
+        let stats = form_runs(&cfg, &budget, &mut input, &mut store, &mut env, 6).unwrap();
         assert!(env.fired);
         assert!(stats.shrink_events >= 1);
         assert_eq!(stats.total_tuples(), 32 * 30);
@@ -448,11 +480,11 @@ mod tests {
         let cfg_big = SortConfig::default().with_memory_pages(60);
         let run = |cfg: &SortConfig| {
             let budget = MemoryBudget::new(cfg.memory_pages);
-            let mut input =
-                VecSource::from_tuples(random_tuples(n, 5), cfg.tuples_per_page());
+            let mut input = VecSource::from_tuples(random_tuples(n, 5), cfg.tuples_per_page());
             let mut store = MemStore::new();
             let mut env = CountingEnv::new();
-            let stats = form_runs_adaptive(cfg, &budget, &mut input, &mut store, &mut env, 1, 32);
+            let stats =
+                form_runs_adaptive(cfg, &budget, &mut input, &mut store, &mut env, 1, 32).unwrap();
             (stats, store)
         };
         let (small, mut small_store) = run(&cfg_small);
@@ -460,10 +492,16 @@ mod tests {
         assert_eq!(small.total_tuples(), n);
         assert_eq!(big.total_tuples(), n);
         for r in &small.runs {
-            assert!(collect_run(&mut small_store, r.id).windows(2).all(|w| w[0].key <= w[1].key));
+            assert!(collect_run(&mut small_store, r.id)
+                .unwrap()
+                .windows(2)
+                .all(|w| w[0].key <= w[1].key));
         }
         for r in &big.runs {
-            assert!(collect_run(&mut big_store, r.id).windows(2).all(|w| w[0].key <= w[1].key));
+            assert!(collect_run(&mut big_store, r.id)
+                .unwrap()
+                .windows(2)
+                .all(|w| w[0].key <= w[1].key));
         }
         // With 60 pages of memory the adaptive policy writes ~10-page blocks,
         // so it needs far fewer block writes per page written than with 6.
@@ -480,7 +518,7 @@ mod tests {
         let (stats, mut store) = split(32 * 5, 1, 1);
         assert_eq!(stats.total_tuples(), 32 * 5);
         for r in &stats.runs {
-            let t = collect_run(&mut store, r.id);
+            let t = collect_run(&mut store, r.id).unwrap();
             assert!(t.windows(2).all(|w| w[0].key <= w[1].key));
         }
     }

@@ -1,20 +1,26 @@
 //! The end-to-end external sorter: split phase + merge phase.
+//!
+//! [`ExternalSorter`] is the low-level engine: the caller supplies the input,
+//! store, environment and budget explicitly. Most applications should use the
+//! [`SortJob`](crate::job::SortJob) builder instead, which owns those pieces,
+//! validates the configuration, and returns a streamable result.
 
 use crate::budget::{DelaySample, MemoryBudget, SortPhase};
 use crate::config::SortConfig;
-use crate::env::{RealEnv, SortEnv};
-use crate::input::{InputSource, VecSource};
+use crate::env::SortEnv;
+use crate::error::SortResult;
+use crate::input::InputSource;
 use crate::merge::exec::{execute_merge, ExecParams, MergeStats};
 use crate::run_formation::{form_runs, SplitStats};
-use crate::store::{MemStore, RunId, RunStore};
+use crate::store::{RunId, RunStore};
+use crate::stream::SortedStream;
 use crate::tuple::Tuple;
-use crate::verify::collect_run;
 
 /// The result of a complete external sort.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct SortOutcome {
-    /// Run containing the fully sorted relation (inside the store that was
-    /// passed to [`ExternalSorter::sort`]).
+    /// Run containing the fully sorted relation (inside the store the sort
+    /// executed against).
     pub output_run: RunId,
     /// Split-phase statistics (runs formed, duration, shrink events, ...).
     pub split: SplitStats,
@@ -53,6 +59,15 @@ impl SortOutcome {
     pub fn mean_merge_delay(&self) -> f64 {
         mean_delay(&self.delays, SortPhase::Merge)
     }
+
+    /// Turn this outcome into a [`SortedStream`] that drains the output run
+    /// from `store` page by page, without materialising the whole relation.
+    ///
+    /// `store` must be the store the sort executed against (a
+    /// [`SortCompletion`](crate::job::SortCompletion) hands it back).
+    pub fn into_stream<S: RunStore>(self, store: S) -> SortedStream<S> {
+        SortedStream::new(store, self.output_run)
+    }
 }
 
 fn mean_delay(delays: &[DelaySample], phase: SortPhase) -> f64 {
@@ -68,7 +83,7 @@ fn mean_delay(delays: &[DelaySample], phase: SortPhase) -> f64 {
     }
 }
 
-/// A configurable, memory-adaptive external sorter.
+/// A configurable, memory-adaptive external sorter (the low-level engine).
 ///
 /// The sorter is stateless between sorts; all per-sort state lives in the
 /// store, environment and budget supplied to [`sort`](Self::sort).
@@ -90,13 +105,16 @@ impl ExternalSorter {
 
     /// Run a full external sort of `input`, storing runs (including the final
     /// output run) in `store`, charging costs to `env`, and obeying `budget`.
+    ///
+    /// On error the store may be left holding partially written runs; callers
+    /// that reuse stores across sorts should delete them (or drop the store).
     pub fn sort<S, I, E>(
         &self,
         input: &mut I,
         store: &mut S,
         env: &mut E,
         budget: &MemoryBudget,
-    ) -> SortOutcome
+    ) -> SortResult<SortOutcome>
     where
         S: RunStore,
         I: InputSource,
@@ -104,44 +122,52 @@ impl ExternalSorter {
     {
         let started = env.now();
         budget.set_phase(SortPhase::Split);
-        let split = form_runs(&self.cfg, budget, input, store, env);
+        let split = form_runs(&self.cfg, budget, input, store, env)?;
 
         budget.set_phase(SortPhase::Merge);
         let params = ExecParams::from_algorithm(&self.cfg.algorithm);
-        let (output_run, merge) = execute_merge(&self.cfg, budget, &split.runs, store, env, params);
+        let (output_run, merge) =
+            execute_merge(&self.cfg, budget, &split.runs, store, env, params)?;
 
         let response_time = env.now() - started;
-        SortOutcome {
+        Ok(SortOutcome {
             output_run,
             split,
             merge,
             response_time,
             delays: budget.take_delays(),
-        }
+        })
     }
 
     /// Convenience wrapper: sort an in-memory vector of tuples and return the
-    /// sorted vector. Uses an in-memory run store, the wall-clock environment
-    /// and a fixed budget of `memory_pages` from the configuration.
-    pub fn sort_vec(&self, tuples: Vec<Tuple>) -> Vec<Tuple> {
-        let budget = MemoryBudget::new(self.cfg.memory_pages);
-        let mut input = VecSource::from_tuples(tuples, self.cfg.tuples_per_page());
-        let mut store = MemStore::new();
-        let mut env = RealEnv::new();
-        let outcome = self.sort(&mut input, &mut store, &mut env, &budget);
-        collect_run(&mut store, outcome.output_run)
+    /// sorted vector.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SortJob::builder().config(..).tuples(..).build()?.run()?` instead"
+    )]
+    pub fn sort_vec(&self, tuples: Vec<Tuple>) -> SortResult<Vec<Tuple>> {
+        crate::job::SortJob::builder()
+            .config(self.cfg.clone())
+            .tuples(tuples)
+            .build()?
+            .run()?
+            .into_sorted_vec()
     }
 
     /// Like [`sort_vec`](Self::sort_vec) but also returns the full
     /// [`SortOutcome`] (statistics) alongside the sorted data.
-    pub fn sort_vec_with_stats(&self, tuples: Vec<Tuple>) -> (Vec<Tuple>, SortOutcome) {
-        let budget = MemoryBudget::new(self.cfg.memory_pages);
-        let mut input = VecSource::from_tuples(tuples, self.cfg.tuples_per_page());
-        let mut store = MemStore::new();
-        let mut env = RealEnv::new();
-        let outcome = self.sort(&mut input, &mut store, &mut env, &budget);
-        let sorted = collect_run(&mut store, outcome.output_run);
-        (sorted, outcome)
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SortJob::builder()` and keep the `SortCompletion` instead"
+    )]
+    pub fn sort_vec_with_stats(&self, tuples: Vec<Tuple>) -> SortResult<(Vec<Tuple>, SortOutcome)> {
+        let completion = crate::job::SortJob::builder()
+            .config(self.cfg.clone())
+            .tuples(tuples)
+            .build()?
+            .run()?;
+        let outcome = completion.outcome.clone();
+        Ok((completion.into_sorted_vec()?, outcome))
     }
 }
 
@@ -155,9 +181,11 @@ impl Default for ExternalSorter {
 mod tests {
     use super::*;
     use crate::config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation};
-    use crate::env::CountingEnv;
-    use crate::store::FileStore;
-    use crate::verify::assert_sorted_permutation;
+    use crate::env::{CountingEnv, RealEnv};
+    use crate::input::VecSource;
+    use crate::job::SortJob;
+    use crate::store::{FileStore, MemStore};
+    use crate::verify::{assert_sorted_permutation, collect_run};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
@@ -176,13 +204,24 @@ mod tests {
             .with_algorithm(spec)
     }
 
+    fn sort_via_job(cfg: SortConfig, tuples: Vec<Tuple>) -> Vec<Tuple> {
+        SortJob::builder()
+            .config(cfg)
+            .tuples(tuples)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+            .into_sorted_vec()
+            .unwrap()
+    }
+
     #[test]
-    fn sort_vec_sorts_with_every_algorithm_combination() {
+    fn sort_job_sorts_with_every_algorithm_combination() {
         let input = random_tuples(3000, 99);
         for spec in AlgorithmSpec::all(4) {
             let cfg = small_cfg(6, spec);
-            let sorter = ExternalSorter::new(cfg);
-            let sorted = sorter.sort_vec(input.clone());
+            let sorted = sort_via_job(cfg, input.clone());
             assert_sorted_permutation(&input, &sorted);
         }
     }
@@ -191,12 +230,18 @@ mod tests {
     fn sort_outcome_reports_runs_and_steps() {
         let input = random_tuples(4000, 5);
         let cfg = small_cfg(6, AlgorithmSpec::recommended());
-        let sorter = ExternalSorter::new(cfg);
-        let (sorted, outcome) = sorter.sort_vec_with_stats(input.clone());
+        let completion = SortJob::builder()
+            .config(cfg)
+            .tuples(input.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(completion.outcome.runs_formed() > 1);
+        assert!(completion.outcome.merge.steps_executed >= 1);
+        assert!(completion.outcome.response_time >= 0.0);
+        let sorted = completion.into_sorted_vec().unwrap();
         assert_sorted_permutation(&input, &sorted);
-        assert!(outcome.runs_formed() > 1);
-        assert!(outcome.merge.steps_executed >= 1);
-        assert!(outcome.response_time >= 0.0);
     }
 
     #[test]
@@ -208,8 +253,10 @@ mod tests {
         let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
         let mut store = FileStore::in_temp_dir().unwrap();
         let mut env = CountingEnv::new();
-        let outcome = sorter.sort(&mut source, &mut store, &mut env, &budget);
-        let sorted = collect_run(&mut store, outcome.output_run);
+        let outcome = sorter
+            .sort(&mut source, &mut store, &mut env, &budget)
+            .unwrap();
+        let sorted = collect_run(&mut store, outcome.output_run).unwrap();
         assert_sorted_permutation(&input, &sorted);
     }
 
@@ -232,23 +279,28 @@ mod tests {
         let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
         let mut store = MemStore::new();
         let mut env = RealEnv::new();
-        let outcome = sorter.sort(&mut source, &mut store, &mut env, &budget);
+        let outcome = sorter
+            .sort(&mut source, &mut store, &mut env, &budget)
+            .unwrap();
         handle.join().unwrap();
-        let sorted = collect_run(&mut store, outcome.output_run);
+        let sorted = collect_run(&mut store, outcome.output_run).unwrap();
         assert_sorted_permutation(&input, &sorted);
     }
 
     #[test]
     fn empty_input_yields_empty_output() {
-        let sorter = ExternalSorter::new(small_cfg(4, AlgorithmSpec::recommended()));
-        let sorted = sorter.sort_vec(Vec::new());
+        let cfg = small_cfg(4, AlgorithmSpec::recommended());
+        let sorted = sort_via_job(cfg, Vec::new());
         assert!(sorted.is_empty());
     }
 
     #[test]
     fn already_sorted_and_reverse_sorted_inputs() {
         let asc: Vec<Tuple> = (0..2000u64).map(|k| Tuple::synthetic(k, 64)).collect();
-        let desc: Vec<Tuple> = (0..2000u64).rev().map(|k| Tuple::synthetic(k, 64)).collect();
+        let desc: Vec<Tuple> = (0..2000u64)
+            .rev()
+            .map(|k| Tuple::synthetic(k, 64))
+            .collect();
         for spec in [
             AlgorithmSpec::recommended(),
             AlgorithmSpec::new(
@@ -257,17 +309,29 @@ mod tests {
                 MergeAdaptation::Paging,
             ),
         ] {
-            let sorter = ExternalSorter::new(small_cfg(5, spec));
-            assert_sorted_permutation(&asc, &sorter.sort_vec(asc.clone()));
-            assert_sorted_permutation(&desc, &sorter.sort_vec(desc.clone()));
+            let cfg = small_cfg(5, spec);
+            assert_sorted_permutation(&asc, &sort_via_job(cfg.clone(), asc.clone()));
+            assert_sorted_permutation(&desc, &sort_via_job(cfg, desc.clone()));
         }
     }
 
     #[test]
     fn duplicate_keys_are_preserved() {
         let input: Vec<Tuple> = (0..3000u64).map(|k| Tuple::synthetic(k % 10, 64)).collect();
-        let sorter = ExternalSorter::new(small_cfg(5, AlgorithmSpec::recommended()));
-        let sorted = sorter.sort_vec(input.clone());
+        let cfg = small_cfg(5, AlgorithmSpec::recommended());
+        let sorted = sort_via_job(cfg, input.clone());
         assert_sorted_permutation(&input, &sorted);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_vec_wrappers_still_work() {
+        let input = random_tuples(1500, 3);
+        let sorter = ExternalSorter::new(small_cfg(5, AlgorithmSpec::recommended()));
+        let sorted = sorter.sort_vec(input.clone()).unwrap();
+        assert_sorted_permutation(&input, &sorted);
+        let (sorted2, outcome) = sorter.sort_vec_with_stats(input.clone()).unwrap();
+        assert_sorted_permutation(&input, &sorted2);
+        assert!(outcome.runs_formed() >= 1);
     }
 }

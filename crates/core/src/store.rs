@@ -10,7 +10,12 @@
 //! * `SimRunStore` (in `masort-dbsim`) — runs that only exist as page counts
 //!   plus key streams, with every access charged against the simulated disk
 //!   model of the paper.
+//!
+//! Every data-moving operation returns `Result<_, SortError>`: [`FileStore`]
+//! propagates real `io::Error`s, and decoding a damaged run file surfaces
+//! [`SortError::CorruptRun`] instead of panicking.
 
+use crate::error::{SortError, SortResult};
 use crate::tuple::{Page, Payload, Tuple};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -36,33 +41,37 @@ pub struct RunMeta {
 /// Implementations decide where pages live and what each access costs; the
 /// sort algorithms only append pages in order during run formation /
 /// preliminary merges and read pages (mostly sequentially per run) while
-/// merging.
+/// merging. All page movement is fallible; metadata queries
+/// ([`run_pages`](Self::run_pages), [`run_tuples`](Self::run_tuples)) are
+/// served from in-memory bookkeeping and report 0 for unknown runs.
 pub trait RunStore {
     /// Create a new, empty run and return its id.
-    fn create_run(&mut self) -> RunId;
+    fn create_run(&mut self) -> SortResult<RunId>;
 
     /// Append one page to the end of `run`.
-    fn append_page(&mut self, run: RunId, page: Page);
+    fn append_page(&mut self, run: RunId, page: Page) -> SortResult<()>;
 
     /// Append several pages at once (a *block write*). Implementations that
     /// model I/O cost should charge a single seek for the whole block.
-    fn append_block(&mut self, run: RunId, pages: Vec<Page>) {
+    fn append_block(&mut self, run: RunId, pages: Vec<Page>) -> SortResult<()> {
         for p in pages {
-            self.append_page(run, p);
+            self.append_page(run, p)?;
         }
+        Ok(())
     }
 
-    /// Read page `idx` of `run`. Panics if the page does not exist.
-    fn read_page(&mut self, run: RunId, idx: usize) -> Page;
+    /// Read page `idx` of `run`.
+    fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page>;
 
-    /// Number of pages currently in `run`.
+    /// Number of pages currently in `run` (0 for unknown runs).
     fn run_pages(&self, run: RunId) -> usize;
 
-    /// Number of tuples currently in `run`.
+    /// Number of tuples currently in `run` (0 for unknown runs).
     fn run_tuples(&self, run: RunId) -> usize;
 
-    /// Delete `run` and release its storage.
-    fn delete_run(&mut self, run: RunId);
+    /// Delete `run` and release its storage. Deleting an unknown run is not
+    /// an error (deletes must be idempotent so cleanup paths can't fail).
+    fn delete_run(&mut self, run: RunId) -> SortResult<()>;
 
     /// Metadata snapshot for `run`.
     fn meta(&self, run: RunId) -> RunMeta {
@@ -111,23 +120,35 @@ impl MemStore {
 }
 
 impl RunStore for MemStore {
-    fn create_run(&mut self) -> RunId {
+    fn create_run(&mut self) -> SortResult<RunId> {
         let id = self.next;
         self.next += 1;
         self.runs.insert(id, Vec::new());
         self.tuple_counts.insert(id, 0);
-        id
+        Ok(id)
     }
 
-    fn append_page(&mut self, run: RunId, page: Page) {
+    fn append_page(&mut self, run: RunId, page: Page) -> SortResult<()> {
+        let count = self
+            .tuple_counts
+            .get_mut(&run)
+            .ok_or(SortError::UnknownRun(run))?;
         self.pages_written += 1;
-        *self.tuple_counts.get_mut(&run).expect("unknown run") += page.len();
-        self.runs.get_mut(&run).expect("unknown run").push(page);
+        *count += page.len();
+        self.runs
+            .get_mut(&run)
+            .ok_or(SortError::UnknownRun(run))?
+            .push(page);
+        Ok(())
     }
 
-    fn read_page(&mut self, run: RunId, idx: usize) -> Page {
+    fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page> {
+        let pages = self.runs.get(&run).ok_or(SortError::UnknownRun(run))?;
+        let page = pages.get(idx).ok_or_else(|| {
+            SortError::corrupt(run, format!("page {idx} out of range ({})", pages.len()))
+        })?;
         self.pages_read += 1;
-        self.runs.get(&run).expect("unknown run")[idx].clone()
+        Ok(page.clone())
     }
 
     fn run_pages(&self, run: RunId) -> usize {
@@ -138,9 +159,10 @@ impl RunStore for MemStore {
         self.tuple_counts.get(&run).copied().unwrap_or(0)
     }
 
-    fn delete_run(&mut self, run: RunId) {
+    fn delete_run(&mut self, run: RunId) -> SortResult<()> {
         self.runs.remove(&run);
         self.tuple_counts.remove(&run);
+        Ok(())
     }
 }
 
@@ -172,32 +194,84 @@ fn encode_page(page: &Page, buf: &mut Vec<u8>) {
     }
 }
 
-fn decode_page(buf: &[u8]) -> Page {
-    let mut pos = 0usize;
-    let read_u32 = |pos: &mut usize| {
-        let v = u32::from_le_bytes(buf[*pos..*pos + 4].try_into().unwrap());
-        *pos += 4;
-        v
-    };
-    let count = read_u32(&mut pos) as usize;
+/// Length-checked cursor over an encoded page; every read validates that the
+/// bytes it needs actually exist, so truncated or damaged files surface a
+/// decode error instead of a panic.
+struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            None => Err(format!(
+                "need {n} byte(s) at offset {} but page has only {}",
+                self.pos,
+                self.buf.len()
+            )),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+}
+
+/// Decode one page, validating every length along the way.
+fn decode_page(buf: &[u8]) -> Result<Page, String> {
+    let mut d = Decoder { buf, pos: 0 };
+    let count = d.u32()? as usize;
+    // A page's tuples each occupy at least 13 encoded bytes; an absurd count
+    // (e.g. from reading garbage) is rejected before any allocation.
+    if count > buf.len() / 13 + 1 {
+        return Err(format!(
+            "tuple count {count} impossible for a {}-byte page",
+            buf.len()
+        ));
+    }
     let mut page = Page::with_capacity(count);
-    for _ in 0..count {
-        let key = u64::from_le_bytes(buf[pos..pos + 8].try_into().unwrap());
-        pos += 8;
-        let tag = buf[pos];
-        pos += 1;
-        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
-        pos += 4;
-        let payload = if tag == 0 {
-            Payload::Synthetic(len)
-        } else {
-            let b = buf[pos..pos + len as usize].to_vec();
-            pos += len as usize;
-            Payload::Bytes(b)
+    for i in 0..count {
+        let key = d.u64().map_err(|e| format!("tuple {i}: {e}"))?;
+        let tag = d.u8().map_err(|e| format!("tuple {i}: {e}"))?;
+        let len = d.u32().map_err(|e| format!("tuple {i}: {e}"))?;
+        let payload = match tag {
+            0 => Payload::Synthetic(len),
+            1 => {
+                let bytes = d
+                    .take(len as usize)
+                    .map_err(|e| format!("tuple {i} payload: {e}"))?;
+                Payload::Bytes(bytes.to_vec())
+            }
+            other => return Err(format!("tuple {i}: unknown payload tag {other}")),
         };
         page.push(Tuple { key, payload });
     }
-    page
+    if d.pos != buf.len() {
+        return Err(format!(
+            "{} trailing byte(s) after {count} tuple(s)",
+            buf.len() - d.pos
+        ));
+    }
+    Ok(page)
 }
 
 #[derive(Debug)]
@@ -214,6 +288,8 @@ struct FileRun {
 /// caller-supplied directory.
 ///
 /// Files are deleted when the run is deleted or when the store is dropped.
+/// Every file operation propagates its `io::Error`; a run file that no longer
+/// decodes (truncated, overwritten) surfaces [`SortError::CorruptRun`].
 #[derive(Debug)]
 pub struct FileStore {
     dir: PathBuf,
@@ -262,13 +338,17 @@ impl FileStore {
     pub fn dir(&self) -> &Path {
         &self.dir
     }
+
+    fn run_mut(&mut self, run: RunId) -> SortResult<&mut FileRun> {
+        self.runs.get_mut(&run).ok_or(SortError::UnknownRun(run))
+    }
 }
 
 impl Drop for FileStore {
     fn drop(&mut self) {
         let ids: Vec<RunId> = self.runs.keys().copied().collect();
         for id in ids {
-            self.delete_run(id);
+            let _ = self.delete_run(id);
         }
         if self.own_dir {
             let _ = std::fs::remove_dir(&self.dir);
@@ -277,17 +357,16 @@ impl Drop for FileStore {
 }
 
 impl RunStore for FileStore {
-    fn create_run(&mut self) -> RunId {
+    fn create_run(&mut self) -> SortResult<RunId> {
         let id = self.next;
-        self.next += 1;
         let path = self.dir.join(format!("run-{id}.bin"));
         let file = OpenOptions::new()
             .create(true)
             .truncate(true)
             .read(true)
             .write(true)
-            .open(&path)
-            .expect("failed to create run file");
+            .open(&path)?;
+        self.next += 1;
         self.runs.insert(
             id,
             FileRun {
@@ -298,29 +377,40 @@ impl RunStore for FileStore {
                 path,
             },
         );
-        id
+        Ok(id)
     }
 
-    fn append_page(&mut self, run: RunId, page: Page) {
-        let r = self.runs.get_mut(&run).expect("unknown run");
+    fn append_page(&mut self, run: RunId, page: Page) -> SortResult<()> {
+        let r = self.run_mut(run)?;
         let mut buf = Vec::with_capacity(4 + page.len() * 16);
         encode_page(&page, &mut buf);
-        r.file
-            .seek(SeekFrom::Start(r.write_pos))
-            .expect("seek failed");
-        r.file.write_all(&buf).expect("write failed");
+        r.file.seek(SeekFrom::Start(r.write_pos))?;
+        r.file.write_all(&buf)?;
         r.index.push((r.write_pos, buf.len() as u32));
         r.write_pos += buf.len() as u64;
         r.tuples += page.len();
+        Ok(())
     }
 
-    fn read_page(&mut self, run: RunId, idx: usize) -> Page {
-        let r = self.runs.get_mut(&run).expect("unknown run");
-        let (off, len) = r.index[idx];
+    fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page> {
+        let r = self.run_mut(run)?;
+        let &(off, len) = r
+            .index
+            .get(idx)
+            .ok_or_else(|| SortError::corrupt(run, format!("page {idx} out of range")))?;
         let mut buf = vec![0u8; len as usize];
-        r.file.seek(SeekFrom::Start(off)).expect("seek failed");
-        r.file.read_exact(&mut buf).expect("read failed");
-        decode_page(&buf)
+        r.file.seek(SeekFrom::Start(off))?;
+        r.file.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                SortError::corrupt(
+                    run,
+                    format!("page {idx} truncated: expected {len} byte(s) at offset {off}"),
+                )
+            } else {
+                SortError::Io(e)
+            }
+        })?;
+        decode_page(&buf).map_err(|detail| SortError::corrupt(run, format!("page {idx}: {detail}")))
     }
 
     fn run_pages(&self, run: RunId) -> usize {
@@ -331,10 +421,49 @@ impl RunStore for FileStore {
         self.runs.get(&run).map_or(0, |r| r.tuples)
     }
 
-    fn delete_run(&mut self, run: RunId) {
+    fn delete_run(&mut self, run: RunId) -> SortResult<()> {
         if let Some(r) = self.runs.remove(&run) {
             drop(r.file);
-            let _ = std::fs::remove_file(&r.path);
+            match std::fs::remove_file(&r.path) {
+                // Deletes must stay idempotent: a file already removed behind
+                // our back must not abort an otherwise-successful sort.
+                Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e.into()),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Test-only helpers shared by error-path tests across modules.
+#[cfg(test)]
+pub(crate) mod test_util {
+    use super::*;
+
+    /// A [`RunStore`] wrapper whose page reads always fail with
+    /// [`SortError::CorruptRun`]; everything else delegates to a [`MemStore`].
+    pub(crate) struct FailingReadStore {
+        pub(crate) inner: MemStore,
+    }
+
+    impl RunStore for FailingReadStore {
+        fn create_run(&mut self) -> SortResult<RunId> {
+            self.inner.create_run()
+        }
+        fn append_page(&mut self, run: RunId, page: Page) -> SortResult<()> {
+            self.inner.append_page(run, page)
+        }
+        fn read_page(&mut self, run: RunId, _idx: usize) -> SortResult<Page> {
+            Err(SortError::corrupt(run, "simulated read failure"))
+        }
+        fn run_pages(&self, run: RunId) -> usize {
+            self.inner.run_pages(run)
+        }
+        fn run_tuples(&self, run: RunId) -> usize {
+            self.inner.run_tuples(run)
+        }
+        fn delete_run(&mut self, run: RunId) -> SortResult<()> {
+            self.inner.delete_run(run)
         }
     }
 }
@@ -352,16 +481,16 @@ mod tests {
     #[test]
     fn memstore_roundtrip() {
         let mut s = MemStore::new();
-        let r = s.create_run();
+        let r = s.create_run().unwrap();
         for p in sample_pages() {
-            s.append_page(r, p);
+            s.append_page(r, p).unwrap();
         }
         assert_eq!(s.run_pages(r), 3);
         assert_eq!(s.run_tuples(r), 10);
-        assert_eq!(s.read_page(r, 1).tuples[0].key, 4);
+        assert_eq!(s.read_page(r, 1).unwrap().tuples[0].key, 4);
         let meta = s.meta(r);
         assert_eq!(meta.pages, 3);
-        s.delete_run(r);
+        s.delete_run(r).unwrap();
         assert_eq!(s.run_pages(r), 0);
         assert_eq!(s.live_runs(), 0);
     }
@@ -369,8 +498,8 @@ mod tests {
     #[test]
     fn memstore_block_append() {
         let mut s = MemStore::new();
-        let r = s.create_run();
-        s.append_block(r, sample_pages());
+        let r = s.create_run().unwrap();
+        s.append_block(r, sample_pages()).unwrap();
         assert_eq!(s.run_pages(r), 3);
         assert_eq!(s.pages_written(), 3);
     }
@@ -378,36 +507,60 @@ mod tests {
     #[test]
     fn memstore_ids_are_unique() {
         let mut s = MemStore::new();
-        let a = s.create_run();
-        let b = s.create_run();
+        let a = s.create_run().unwrap();
+        let b = s.create_run().unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn memstore_unknown_run_errors() {
+        let mut s = MemStore::new();
+        assert!(matches!(
+            s.append_page(42, Page::new()),
+            Err(SortError::UnknownRun(42))
+        ));
+        assert!(matches!(s.read_page(42, 0), Err(SortError::UnknownRun(42))));
+        // Deleting an unknown run is idempotent, not an error.
+        assert!(s.delete_run(42).is_ok());
+    }
+
+    #[test]
+    fn memstore_out_of_range_page_is_corrupt() {
+        let mut s = MemStore::new();
+        let r = s.create_run().unwrap();
+        assert!(matches!(
+            s.read_page(r, 3),
+            Err(SortError::CorruptRun { .. })
+        ));
     }
 
     #[test]
     fn filestore_roundtrip_synthetic_and_bytes() {
         let mut s = FileStore::in_temp_dir().unwrap();
-        let r = s.create_run();
+        let r = s.create_run().unwrap();
         let mut page = Page::new();
         page.push(Tuple::synthetic(11, 64));
         page.push(Tuple::new(7, vec![1, 2, 3, 4, 5]));
-        s.append_page(r, page.clone());
-        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(99, 16)]));
+        s.append_page(r, page.clone()).unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(99, 16)]))
+            .unwrap();
         assert_eq!(s.run_pages(r), 2);
         assert_eq!(s.run_tuples(r), 3);
-        let back = s.read_page(r, 0);
+        let back = s.read_page(r, 0).unwrap();
         assert_eq!(back, page);
-        let back2 = s.read_page(r, 1);
+        let back2 = s.read_page(r, 1).unwrap();
         assert_eq!(back2.tuples[0].key, 99);
     }
 
     #[test]
     fn filestore_delete_removes_file() {
         let mut s = FileStore::in_temp_dir().unwrap();
-        let r = s.create_run();
-        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(1, 16)]));
+        let r = s.create_run().unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(1, 16)]))
+            .unwrap();
         let path = s.dir().join(format!("run-{r}.bin"));
         assert!(path.exists());
-        s.delete_run(r);
+        s.delete_run(r).unwrap();
         assert!(!path.exists());
     }
 
@@ -419,13 +572,89 @@ mod tests {
     #[test]
     fn filestore_many_runs_interleaved() {
         let mut s = FileStore::in_temp_dir().unwrap();
-        let a = s.create_run();
-        let b = s.create_run();
+        let a = s.create_run().unwrap();
+        let b = s.create_run().unwrap();
         for i in 0..5u64 {
-            s.append_page(a, Page::from_tuples(vec![Tuple::synthetic(i, 32)]));
-            s.append_page(b, Page::from_tuples(vec![Tuple::synthetic(100 + i, 32)]));
+            s.append_page(a, Page::from_tuples(vec![Tuple::synthetic(i, 32)]))
+                .unwrap();
+            s.append_page(b, Page::from_tuples(vec![Tuple::synthetic(100 + i, 32)]))
+                .unwrap();
         }
-        assert_eq!(s.read_page(a, 3).tuples[0].key, 3);
-        assert_eq!(s.read_page(b, 2).tuples[0].key, 102);
+        assert_eq!(s.read_page(a, 3).unwrap().tuples[0].key, 3);
+        assert_eq!(s.read_page(b, 2).unwrap().tuples[0].key, 102);
+    }
+
+    #[test]
+    fn truncated_page_yields_corrupt_run() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let r = s.create_run().unwrap();
+        let tuples: Vec<Tuple> = (0..8).map(|k| Tuple::new(k, vec![7u8; 40])).collect();
+        s.append_page(r, Page::from_tuples(tuples)).unwrap();
+        // Truncate the file mid-page behind the store's back.
+        let path = s.dir().join(format!("run-{r}.bin"));
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(20).unwrap();
+        match s.read_page(r, 0) {
+            Err(SortError::CorruptRun { run, detail }) => {
+                assert_eq!(run, r);
+                assert!(detail.contains("truncated"), "detail: {detail}");
+            }
+            other => panic!("expected CorruptRun, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_yield_corrupt_run_not_panic() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let r = s.create_run().unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::new(1, vec![0u8; 64])]))
+            .unwrap();
+        // Overwrite the page with garbage of the same length.
+        let path = s.dir().join(format!("run-{r}.bin"));
+        let mut f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.write_all(&[0xFFu8; 77]).unwrap();
+        f.sync_all().unwrap();
+        assert!(matches!(
+            s.read_page(r, 0),
+            Err(SortError::CorruptRun { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_run_tolerates_already_removed_file() {
+        // Cleanup must stay idempotent: a run file removed behind the store's
+        // back (tmp cleaner, crash recovery) must not abort the sort when the
+        // merge deletes the consumed run.
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let r = s.create_run().unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(1, 16)]))
+            .unwrap();
+        let path = s.dir().join(format!("run-{r}.bin"));
+        std::fs::remove_file(&path).unwrap();
+        assert!(s.delete_run(r).is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_bad_tag_and_trailing_bytes() {
+        // count = 1, key, tag = 9 (invalid)
+        let mut buf = 1u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&5u64.to_le_bytes());
+        buf.push(9);
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(decode_page(&buf).unwrap_err().contains("tag"));
+
+        // A valid empty page followed by junk.
+        let mut buf = 0u32.to_le_bytes().to_vec();
+        buf.push(1);
+        assert!(decode_page(&buf).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn create_run_in_removed_directory_errors() {
+        let dir = std::env::temp_dir().join(format!("masort-gone-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut s = FileStore::new(&dir).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        assert!(matches!(s.create_run(), Err(SortError::Io(_))));
     }
 }

@@ -1,0 +1,208 @@
+//! Streaming access to a sorted output run.
+//!
+//! [`SortedStream`] drains the sort's output run page by page, yielding
+//! tuples in sorted order without ever materialising the whole relation in
+//! memory — at most one page of tuples is buffered at a time. Once the run is
+//! fully consumed its pages are deleted from the store, so streaming a
+//! file-backed sort also reclaims the disk space.
+
+use crate::error::{SortError, SortResult};
+use crate::store::{RunId, RunStore};
+use crate::tuple::Tuple;
+
+/// An iterator over the tuples of a sorted run, in sort order.
+///
+/// Yields `Result<Tuple, SortError>` so that I/O failures and corrupt run
+/// files surface mid-stream instead of panicking; after the first error the
+/// stream fuses (returns `None` forever).
+///
+/// Obtain one from [`SortOutcome::into_stream`](crate::SortOutcome::into_stream)
+/// or [`SortCompletion::into_stream`](crate::job::SortCompletion::into_stream).
+#[derive(Debug)]
+pub struct SortedStream<S: RunStore> {
+    store: S,
+    run: RunId,
+    next_page: usize,
+    buf: std::vec::IntoIter<Tuple>,
+    yielded: usize,
+    done: bool,
+}
+
+impl<S: RunStore> SortedStream<S> {
+    /// Stream the contents of `run` out of `store`.
+    pub fn new(store: S, run: RunId) -> Self {
+        SortedStream {
+            store,
+            run,
+            next_page: 0,
+            buf: Vec::new().into_iter(),
+            yielded: 0,
+            done: false,
+        }
+    }
+
+    /// The run being streamed.
+    pub fn run(&self) -> RunId {
+        self.run
+    }
+
+    /// Tuples yielded so far.
+    pub fn yielded(&self) -> usize {
+        self.yielded
+    }
+
+    /// Consume the rest of the stream into a vector (convenience; loses the
+    /// streaming property).
+    pub fn try_collect(self) -> SortResult<Vec<Tuple>> {
+        self.collect()
+    }
+
+    /// Give the store back without consuming the remaining tuples. The output
+    /// run is left in place.
+    pub fn into_store(self) -> S {
+        self.store
+    }
+}
+
+impl<S: RunStore> Iterator for SortedStream<S> {
+    type Item = Result<Tuple, SortError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(t) = self.buf.next() {
+                self.yielded += 1;
+                return Some(Ok(t));
+            }
+            if self.done {
+                return None;
+            }
+            if self.next_page >= self.store.run_pages(self.run) {
+                // Fully drained: reclaim the run's storage.
+                self.done = true;
+                let _ = self.store.delete_run(self.run);
+                return None;
+            }
+            match self.store.read_page(self.run, self.next_page) {
+                Ok(page) => {
+                    self.next_page += 1;
+                    self.buf = page.tuples.into_iter();
+                    // Empty pages are legal; loop for the next one.
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        if self.done {
+            (self.buf.len(), Some(self.buf.len()))
+        } else {
+            let upper = self
+                .store
+                .run_tuples(self.run)
+                .saturating_sub(self.yielded.saturating_sub(self.buf.len()));
+            (self.buf.len(), Some(upper.max(self.buf.len())))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemStore;
+    use crate::tuple::{paginate, Page};
+
+    fn store_with_run(keys: &[u64], per_page: usize) -> (MemStore, RunId) {
+        let mut s = MemStore::new();
+        let r = s.create_run().unwrap();
+        let tuples: Vec<Tuple> = keys.iter().map(|&k| Tuple::synthetic(k, 16)).collect();
+        for p in paginate(tuples, per_page) {
+            s.append_page(r, p).unwrap();
+        }
+        (s, r)
+    }
+
+    #[test]
+    fn streams_all_tuples_in_run_order() {
+        let (store, run) = store_with_run(&[1, 2, 3, 5, 8, 13, 21], 3);
+        let got: Vec<u64> = SortedStream::new(store, run)
+            .map(|r| r.unwrap().key)
+            .collect();
+        assert_eq!(got, vec![1, 2, 3, 5, 8, 13, 21]);
+    }
+
+    #[test]
+    fn deletes_the_run_once_drained() {
+        let (store, run) = store_with_run(&[4, 4, 4], 2);
+        let mut stream = SortedStream::new(store, run);
+        while stream.next().is_some() {}
+        assert_eq!(stream.yielded(), 3);
+        let store = stream.into_store();
+        assert_eq!(store.live_runs(), 0);
+    }
+
+    #[test]
+    fn into_store_before_draining_keeps_the_run() {
+        let (store, run) = store_with_run(&[9, 9], 1);
+        let mut stream = SortedStream::new(store, run);
+        assert_eq!(stream.next().unwrap().unwrap().key, 9);
+        let store = stream.into_store();
+        assert_eq!(store.live_runs(), 1);
+    }
+
+    #[test]
+    fn empty_and_padded_runs() {
+        let (store, run) = store_with_run(&[], 4);
+        assert_eq!(SortedStream::new(store, run).count(), 0);
+
+        // Empty pages inside a run are skipped.
+        let mut s = MemStore::new();
+        let r = s.create_run().unwrap();
+        s.append_page(r, Page::new()).unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(7, 16)]))
+            .unwrap();
+        s.append_page(r, Page::new()).unwrap();
+        let got: Vec<u64> = SortedStream::new(s, r).map(|t| t.unwrap().key).collect();
+        assert_eq!(got, vec![7]);
+    }
+
+    #[test]
+    fn error_mid_stream_fuses_the_iterator() {
+        let (store, run) = store_with_run(&[1, 2, 3, 4], 1);
+        let mut stream = SortedStream::new(store, run);
+        assert_eq!(stream.next().unwrap().unwrap().key, 1);
+        // Sabotage: a read of a deleted run yields UnknownRun.
+        // (Simulates the backing file disappearing mid-stream.)
+        stream.store.delete_run(run).unwrap();
+        // The buffered page (1 tuple per page) is exhausted, so the next call
+        // hits the store. run_pages is now 0, so the stream ends cleanly —
+        // recreate a run with a broken page index to force a real error.
+        assert!(stream.next().is_none());
+
+        let mut s = MemStore::new();
+        let r = s.create_run().unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(1, 16)]))
+            .unwrap();
+        let mut stream =
+            SortedStream::new(crate::store::test_util::FailingReadStore { inner: s }, r);
+        assert!(matches!(
+            stream.next(),
+            Some(Err(SortError::CorruptRun { .. }))
+        ));
+        assert!(stream.next().is_none(), "stream must fuse after an error");
+    }
+
+    #[test]
+    fn size_hint_upper_bound_tracks_remaining() {
+        let (store, run) = store_with_run(&[1, 2, 3, 4, 5], 2);
+        let mut stream = SortedStream::new(store, run);
+        assert_eq!(stream.size_hint().1, Some(5));
+        stream.next();
+        stream.next();
+        stream.next();
+        assert!(stream.size_hint().1.unwrap() >= 2);
+    }
+}

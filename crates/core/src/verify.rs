@@ -1,22 +1,29 @@
 //! Verification helpers shared by tests, examples and benchmarks.
 
+use crate::error::SortResult;
+use crate::order::SortOrder;
 use crate::store::{RunId, RunStore};
 use crate::tuple::Tuple;
 use std::collections::HashMap;
 
 /// Read an entire run back from a store as a flat tuple vector.
-pub fn collect_run<S: RunStore>(store: &mut S, run: RunId) -> Vec<Tuple> {
+pub fn collect_run<S: RunStore>(store: &mut S, run: RunId) -> SortResult<Vec<Tuple>> {
     let pages = store.run_pages(run);
     let mut out = Vec::with_capacity(store.run_tuples(run));
     for i in 0..pages {
-        out.extend(store.read_page(run, i).tuples);
+        out.extend(store.read_page(run, i)?.tuples);
     }
-    out
+    Ok(out)
 }
 
 /// True if `tuples` is sorted by key in non-decreasing order.
 pub fn is_sorted(tuples: &[Tuple]) -> bool {
     tuples.windows(2).all(|w| w[0].key <= w[1].key)
+}
+
+/// True if `tuples` is sorted according to `order` (direction + key hook).
+pub fn is_sorted_by(tuples: &[Tuple], order: &SortOrder) -> bool {
+    order.is_sorted(tuples)
 }
 
 /// True if `output` is a permutation of `input` when compared by key
@@ -54,6 +61,22 @@ pub fn assert_sorted_permutation(input: &[Tuple], output: &[Tuple]) {
     );
 }
 
+/// Panic with a descriptive message unless `output` is a permutation of
+/// `input` sorted according to `order`.
+pub fn assert_sorted_permutation_by(input: &[Tuple], output: &[Tuple], order: &SortOrder) {
+    assert!(
+        is_sorted_by(output, order),
+        "output is not sorted under {order:?} (len {})",
+        output.len()
+    );
+    assert!(
+        is_key_permutation(input, output),
+        "output is not a permutation of the input (in {}, out {})",
+        input.len(),
+        output.len()
+    );
+}
+
 /// Number of key matches a nested-loop join of `left` and `right` would
 /// produce; used to validate the sort-merge join.
 pub fn nested_loop_match_count(left: &[Tuple], right: &[Tuple]) -> u64 {
@@ -79,17 +102,17 @@ mod tests {
     #[test]
     fn collect_run_reads_all_pages() {
         let mut s = MemStore::new();
-        let r = s.create_run();
+        let r = s.create_run().unwrap();
         for p in paginate((0..10).map(t).collect(), 3) {
-            s.append_page(r, p);
+            s.append_page(r, p).unwrap();
         }
-        let back = collect_run(&mut s, r);
+        let back = collect_run(&mut s, r).unwrap();
         assert_eq!(back.len(), 10);
         assert_eq!(back[9].key, 9);
         // Collecting an empty run yields nothing.
-        let r2 = s.create_run();
-        s.append_page(r2, Page::new());
-        assert!(collect_run(&mut s, r2).is_empty());
+        let r2 = s.create_run().unwrap();
+        s.append_page(r2, Page::new()).unwrap();
+        assert!(collect_run(&mut s, r2).unwrap().is_empty());
     }
 
     #[test]

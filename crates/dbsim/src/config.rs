@@ -111,6 +111,7 @@ impl SimConfig {
             tuple_size: self.tuple_size,
             memory_pages: self.memory_pages(),
             algorithm: self.algorithm,
+            order: masort_core::SortOrder::ascending(),
         }
     }
 }
@@ -131,7 +132,9 @@ mod tests {
 
     #[test]
     fn builders_adjust_sizes() {
-        let c = SimConfig::default().with_memory_mb(0.6).with_relation_mb(10.0);
+        let c = SimConfig::default()
+            .with_memory_mb(0.6)
+            .with_relation_mb(10.0);
         assert_eq!(c.memory_pages(), 76);
         assert_eq!(c.relation_pages(), 1280);
         assert_eq!(c.sort_config().memory_pages, 76);

@@ -84,6 +84,12 @@ pub struct JoinMetrics {
 /// Execute one external sort inside an existing simulated system (the clock,
 /// disk heads and outstanding competing requests carry over — this is how a
 /// stream of sorts shares the machine, as in the paper's Source module).
+///
+/// The driver uses the low-level [`ExternalSorter`] engine rather than the
+/// [`masort_core::SortJob`] builder because the budget is owned by the
+/// simulated buffer manager and may legitimately be at zero pages when the
+/// sort is submitted (the sort then waits for memory, as in the paper).
+/// Simulated components cannot actually fail, so errors are impossible here.
 pub fn run_sort_in_system(cfg: &SimConfig, sys: &SharedSystem, seed: u64) -> SortRunMetrics {
     sys.borrow_mut().reset_sort_counters();
     sys.borrow_mut().refresh_budget();
@@ -101,7 +107,9 @@ pub fn run_sort_in_system(cfg: &SimConfig, sys: &SharedSystem, seed: u64) -> Sor
         seed ^ 0x5eed_f00d,
     );
     let sorter = ExternalSorter::new(cfg.sort_config());
-    let outcome = sorter.sort(&mut input, &mut store, &mut env, &budget);
+    let outcome = sorter
+        .sort(&mut input, &mut store, &mut env, &budget)
+        .expect("simulated stores and inputs are infallible");
     SortRunMetrics::from_outcome(cfg, sys, &outcome)
 }
 
@@ -123,7 +131,12 @@ pub fn run_sort_stream(cfg: &SimConfig, n: usize, seed: u64) -> Vec<SortRunMetri
 
 /// Run one memory-adaptive sort-merge join of two synthetic relations of
 /// `left_pages` and `right_pages` pages inside a fresh simulated system.
-pub fn run_one_join(cfg: &SimConfig, left_pages: usize, right_pages: usize, seed: u64) -> JoinMetrics {
+pub fn run_one_join(
+    cfg: &SimConfig,
+    left_pages: usize,
+    right_pages: usize,
+    seed: u64,
+) -> JoinMetrics {
     let sys = SimSystem::new(cfg, seed).shared();
     sys.borrow_mut().refresh_budget();
     let budget = sys.borrow().budget.clone();
@@ -135,12 +148,23 @@ pub fn run_one_join(cfg: &SimConfig, left_pages: usize, right_pages: usize, seed
     // matches (foreign-key-like joins).
     let tpp = cfg.tuples_per_page();
     let domain = ((left_pages + right_pages) * tpp) as u64;
-    let mut left = SimRelationSource::new(sys.clone(), left_pages, tpp, cfg.tuple_size, seed ^ 0xaaaa)
-        .with_key_domain(domain);
-    let mut right = SimRelationSource::new(sys.clone(), right_pages, tpp, cfg.tuple_size, seed ^ 0xbbbb)
-        .with_key_domain(domain);
+    let mut left =
+        SimRelationSource::new(sys.clone(), left_pages, tpp, cfg.tuple_size, seed ^ 0xaaaa)
+            .with_key_domain(domain);
+    let mut right =
+        SimRelationSource::new(sys.clone(), right_pages, tpp, cfg.tuple_size, seed ^ 0xbbbb)
+            .with_key_domain(domain);
     let join = SortMergeJoin::new(cfg.sort_config());
-    let outcome = join.join(&mut left, &mut right, &mut store, &mut env, &budget, |_, _| {});
+    let outcome = join
+        .join(
+            &mut left,
+            &mut right,
+            &mut store,
+            &mut env,
+            &budget,
+            |_, _| {},
+        )
+        .expect("simulated stores and inputs are infallible");
     JoinMetrics {
         algorithm: cfg.algorithm,
         response_time: outcome.response_time,
@@ -154,7 +178,7 @@ pub fn run_one_join(cfg: &SimConfig, left_pages: usize, right_pages: usize, seed
 #[cfg(test)]
 mod tests {
     use super::*;
-    use masort_core::{MergeAdaptation, MergePolicy, RunFormation};
+    use masort_core::{MergeAdaptation, MergePolicy, RunFormation, SortJob};
     use masort_sysmodel::workload::WorkloadConfig;
 
     /// A small configuration so debug-mode tests stay fast: 1 MB relation,
@@ -172,7 +196,10 @@ mod tests {
         let m = run_one_sort(&cfg, 1);
         assert!(m.response_time > 0.0);
         assert!(m.split_duration > 0.0);
-        assert!(m.runs_formed >= 2, "1 MB with 8 pages of memory needs several runs");
+        assert!(
+            m.runs_formed >= 2,
+            "1 MB with 8 pages of memory needs several runs"
+        );
         assert!(m.merge_steps >= 1);
         assert!(m.split_avg_page_io > 0.0);
         assert_eq!(m.algorithm.formation, RunFormation::repl(6));
@@ -189,8 +216,14 @@ mod tests {
     #[test]
     fn repl1_is_slower_than_repl6_without_fluctuation() {
         // Table 5 / Figure 5 shape: excessive seeks make repl1 much slower.
-        let r1 = run_one_sort(&tiny("repl1,opt,split").with_workload(WorkloadConfig::none()), 3);
-        let r6 = run_one_sort(&tiny("repl6,opt,split").with_workload(WorkloadConfig::none()), 3);
+        let r1 = run_one_sort(
+            &tiny("repl1,opt,split").with_workload(WorkloadConfig::none()),
+            3,
+        );
+        let r6 = run_one_sort(
+            &tiny("repl6,opt,split").with_workload(WorkloadConfig::none()),
+            3,
+        );
         assert!(
             r1.split_duration > r6.split_duration * 1.3,
             "repl1 split {} should clearly exceed repl6 split {}",
@@ -211,11 +244,15 @@ mod tests {
             mu_large: 3.0,
         };
         let susp: f64 = (0..3)
-            .map(|i| run_one_sort(&tiny("repl6,opt,susp").with_workload(workload), 10 + i).response_time)
+            .map(|i| {
+                run_one_sort(&tiny("repl6,opt,susp").with_workload(workload), 10 + i).response_time
+            })
             .sum::<f64>()
             / 3.0;
         let split: f64 = (0..3)
-            .map(|i| run_one_sort(&tiny("repl6,opt,split").with_workload(workload), 10 + i).response_time)
+            .map(|i| {
+                run_one_sort(&tiny("repl6,opt,split").with_workload(workload), 10 + i).response_time
+            })
             .sum::<f64>()
             / 3.0;
         assert!(
@@ -255,6 +292,44 @@ mod tests {
             quick > repl6,
             "quick mean split delay {quick} should exceed repl6's {repl6}"
         );
+    }
+
+    #[test]
+    fn sort_job_builder_drives_simulated_components() {
+        // The production entry point composes with the simulation substrate:
+        // a SortJob owning a SimRelationSource, SimRunStore and SimEnv.
+        let cfg = tiny("repl6,opt,split").with_workload(WorkloadConfig::none());
+        let sys = SimSystem::new(&cfg, 21).shared();
+        sys.borrow_mut().refresh_budget();
+        let budget = sys.borrow().budget.clone();
+        let input = SimRelationSource::new(
+            sys.clone(),
+            cfg.relation_pages(),
+            cfg.tuples_per_page(),
+            cfg.tuple_size,
+            77,
+        );
+        let completion = SortJob::builder()
+            .config(cfg.sort_config())
+            .input(input)
+            .store(SimRunStore::new(sys.clone()))
+            .env(SimEnv::new(sys.clone()))
+            .budget(budget)
+            .build()
+            .expect("sim config is valid")
+            .run()
+            .expect("simulated sort cannot fail");
+        assert!(completion.outcome.runs_formed() >= 2);
+        let mut streamed = 0usize;
+        let mut last = 0u64;
+        for t in completion.into_stream() {
+            let t = t.unwrap();
+            assert!(t.key >= last);
+            last = t.key;
+            streamed += 1;
+        }
+        assert_eq!(streamed, cfg.relation_pages() * cfg.tuples_per_page());
+        assert!(sys.borrow().clock > 0.0, "streaming charged simulated time");
     }
 
     #[test]

@@ -317,7 +317,11 @@ fn ratio_sweep(scale: Scale, workload: WorkloadConfig, seed_base: u64) -> Vec<Ra
                 .with_memory_mb(mb)
                 .with_algorithm(spec)
                 .with_workload(workload);
-            let avg = averaged(&cfg, scale, seed_base + (mb * 100.0) as u64 + seed_of(&spec));
+            let avg = averaged(
+                &cfg,
+                scale,
+                seed_base + (mb * 100.0) as u64 + seed_of(&spec),
+            );
             rows.push(RatioRow {
                 memory_mb: mb,
                 algorithm: alg.to_string(),
@@ -369,7 +373,12 @@ pub const RATE_MEMORY_MB: [f64; 5] = [0.1, 0.3, 0.6, 1.2, 2.0];
 /// the mean available memory held constant) for quick and repl6 under paging
 /// and dynamic splitting with optimized merging.
 pub fn fig12_13(scale: Scale) -> Vec<RateRow> {
-    let algorithms = ["quick,opt,page", "quick,opt,split", "repl6,opt,page", "repl6,opt,split"];
+    let algorithms = [
+        "quick,opt,page",
+        "quick,opt,split",
+        "repl6,opt,page",
+        "repl6,opt,split",
+    ];
     let settings: [(&'static str, WorkloadConfig); 2] = [
         ("slow", WorkloadConfig::slow_rate()),
         ("fast", WorkloadConfig::fast_rate()),
@@ -516,10 +525,25 @@ mod tests {
     fn table5_shape_block_writes_reduce_per_page_time() {
         let rows = table5(Scale::tiny());
         assert_eq!(rows.len(), 7);
-        let n1 = rows.iter().find(|r| r.block_pages == 1).unwrap().avg_page_ms;
-        let n6 = rows.iter().find(|r| r.block_pages == 6).unwrap().avg_page_ms;
-        let n12 = rows.iter().find(|r| r.block_pages == 12).unwrap().avg_page_ms;
-        assert!(n1 > n6, "N=1 ({n1:.1} ms) should cost more per page than N=6 ({n6:.1} ms)");
+        let n1 = rows
+            .iter()
+            .find(|r| r.block_pages == 1)
+            .unwrap()
+            .avg_page_ms;
+        let n6 = rows
+            .iter()
+            .find(|r| r.block_pages == 6)
+            .unwrap()
+            .avg_page_ms;
+        let n12 = rows
+            .iter()
+            .find(|r| r.block_pages == 12)
+            .unwrap()
+            .avg_page_ms;
+        assert!(
+            n1 > n6,
+            "N=1 ({n1:.1} ms) should cost more per page than N=6 ({n6:.1} ms)"
+        );
         assert!(n6 >= n12 * 0.8, "the curve should level off after N=6");
     }
 

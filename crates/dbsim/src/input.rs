@@ -3,7 +3,7 @@
 //! the disk model.
 
 use crate::system::SharedSystem;
-use masort_core::{InputSource, Page, Tuple};
+use masort_core::{InputSource, Page, SortResult, Tuple};
 use masort_diskmodel::AccessKind;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -60,9 +60,9 @@ impl SimRelationSource {
 }
 
 impl InputSource for SimRelationSource {
-    fn next_page(&mut self) -> Option<Page> {
+    fn next_page(&mut self) -> SortResult<Option<Page>> {
         if self.next_page >= self.total_pages {
-            return None;
+            return Ok(None);
         }
         let linear = self.start_page + self.next_page;
         let cylinder = self.system.borrow().layout.relation_cylinder(linear);
@@ -78,7 +78,7 @@ impl InputSource for SimRelationSource {
             };
             page.push(Tuple::synthetic(key, self.tuple_size));
         }
-        Some(page)
+        Ok(Some(page))
     }
 
     fn total_pages(&self) -> Option<usize> {
@@ -105,14 +105,14 @@ mod tests {
         assert_eq!(src.total_pages(), Some(10));
         assert_eq!(src.total_tuples(), Some(320));
         let mut pages = 0;
-        while let Some(p) = src.next_page() {
+        while let Some(p) = src.next_page().unwrap() {
             assert_eq!(p.len(), 32);
             pages += 1;
         }
         assert_eq!(pages, 10);
         assert_eq!(src.pages_scanned(), 10);
         assert!(sys.borrow().clock > 0.0);
-        assert!(src.next_page().is_none());
+        assert!(src.next_page().unwrap().is_none());
     }
 
     #[test]
@@ -144,7 +144,7 @@ mod tests {
             let sys = SimSystem::new(&cfg, 1).shared();
             let mut src = SimRelationSource::new(sys, 3, 8, 256, seed);
             let mut keys = Vec::new();
-            while let Some(p) = src.next_page() {
+            while let Some(p) = src.next_page().unwrap() {
                 keys.extend(p.tuples.iter().map(|t| t.key));
             }
             keys

@@ -4,7 +4,7 @@
 //! layout.
 
 use crate::system::SharedSystem;
-use masort_core::{Page, RunId, RunStore};
+use masort_core::{Page, RunId, RunStore, SortError, SortResult};
 use masort_diskmodel::{AccessKind, TempExtent};
 use std::collections::HashMap;
 
@@ -49,64 +49,80 @@ impl SimRunStore {
     }
 
     /// Cylinder that holds page `idx` of `run`, allocating extents as needed.
-    fn cylinder_for(&mut self, run: RunId, idx: usize) -> usize {
+    fn cylinder_for(&mut self, run: RunId, idx: usize) -> SortResult<usize> {
         let ppc = self.system.borrow().layout.geometry().pages_per_cylinder;
         let extent_idx = idx / ppc;
-        let r = self.runs.get_mut(&run).expect("unknown run");
+        let r = self.runs.get_mut(&run).ok_or(SortError::UnknownRun(run))?;
         while r.extents.len() <= extent_idx {
             let extent = self.system.borrow_mut().layout.allocate_temp(ppc);
             r.extents.push(extent);
         }
-        r.extents[extent_idx].start_cylinder
+        Ok(r.extents[extent_idx].start_cylinder)
     }
 }
 
 impl RunStore for SimRunStore {
-    fn create_run(&mut self) -> RunId {
+    fn create_run(&mut self) -> SortResult<RunId> {
         let id = self.next;
         self.next += 1;
         self.runs.insert(id, SimRun::default());
-        id
+        Ok(id)
     }
 
-    fn append_page(&mut self, run: RunId, page: Page) {
-        let idx = self.runs.get(&run).expect("unknown run").pages.len();
-        let cylinder = self.cylinder_for(run, idx);
+    fn append_page(&mut self, run: RunId, page: Page) -> SortResult<()> {
+        let idx = self
+            .runs
+            .get(&run)
+            .ok_or(SortError::UnknownRun(run))?
+            .pages
+            .len();
+        let cylinder = self.cylinder_for(run, idx)?;
         self.system
             .borrow_mut()
             .charge_disk(idx, cylinder, 1, AccessKind::Write);
         self.pages_written += 1;
-        let r = self.runs.get_mut(&run).expect("unknown run");
+        let r = self.runs.get_mut(&run).ok_or(SortError::UnknownRun(run))?;
         r.tuples += page.len();
         r.pages.push(page);
+        Ok(())
     }
 
-    fn append_block(&mut self, run: RunId, pages: Vec<Page>) {
+    fn append_block(&mut self, run: RunId, pages: Vec<Page>) -> SortResult<()> {
         if pages.is_empty() {
-            return;
+            return Ok(());
         }
-        let idx = self.runs.get(&run).expect("unknown run").pages.len();
-        let cylinder = self.cylinder_for(run, idx);
+        let idx = self
+            .runs
+            .get(&run)
+            .ok_or(SortError::UnknownRun(run))?
+            .pages
+            .len();
+        let cylinder = self.cylinder_for(run, idx)?;
         // Make sure every cylinder the block spans is allocated.
-        let _ = self.cylinder_for(run, idx + pages.len() - 1);
+        let _ = self.cylinder_for(run, idx + pages.len() - 1)?;
         self.system
             .borrow_mut()
             .charge_disk(idx, cylinder, pages.len(), AccessKind::Write);
         self.pages_written += pages.len() as u64;
-        let r = self.runs.get_mut(&run).expect("unknown run");
+        let r = self.runs.get_mut(&run).ok_or(SortError::UnknownRun(run))?;
         for page in pages {
             r.tuples += page.len();
             r.pages.push(page);
         }
+        Ok(())
     }
 
-    fn read_page(&mut self, run: RunId, idx: usize) -> Page {
-        let cylinder = self.cylinder_for(run, idx);
+    fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page> {
+        let cylinder = self.cylinder_for(run, idx)?;
         self.system
             .borrow_mut()
             .charge_disk(idx, cylinder, 1, AccessKind::Read);
         self.pages_read += 1;
-        self.runs.get(&run).expect("unknown run").pages[idx].clone()
+        let r = self.runs.get(&run).ok_or(SortError::UnknownRun(run))?;
+        r.pages
+            .get(idx)
+            .cloned()
+            .ok_or_else(|| SortError::corrupt(run, format!("page {idx} out of range")))
     }
 
     fn run_pages(&self, run: RunId) -> usize {
@@ -117,8 +133,9 @@ impl RunStore for SimRunStore {
         self.runs.get(&run).map_or(0, |r| r.tuples)
     }
 
-    fn delete_run(&mut self, run: RunId) {
+    fn delete_run(&mut self, run: RunId) -> SortResult<()> {
         self.runs.remove(&run);
+        Ok(())
     }
 }
 
@@ -142,11 +159,11 @@ mod tests {
     fn append_and_read_charge_disk_time() {
         let mut s = store();
         let sys = s.system.clone();
-        let r = s.create_run();
-        s.append_page(r, page_of(&[1, 2, 3]));
+        let r = s.create_run().unwrap();
+        s.append_page(r, page_of(&[1, 2, 3])).unwrap();
         let after_write = sys.borrow().clock;
         assert!(after_write > 0.0);
-        let p = s.read_page(r, 0);
+        let p = s.read_page(r, 0).unwrap();
         assert_eq!(p.len(), 3);
         assert!(sys.borrow().clock > after_write);
         assert_eq!(s.run_pages(r), 1);
@@ -160,12 +177,12 @@ mod tests {
         let sys_b = SimSystem::new(&cfg, 1).shared();
         let mut a = SimRunStore::new(sys_a.clone());
         let mut b = SimRunStore::new(sys_b.clone());
-        let ra = a.create_run();
-        let rb = b.create_run();
+        let ra = a.create_run().unwrap();
+        let rb = b.create_run().unwrap();
         let pages: Vec<Page> = (0..6).map(|i| page_of(&[i])).collect();
-        a.append_block(ra, pages.clone());
+        a.append_block(ra, pages.clone()).unwrap();
         for p in pages {
-            b.append_page(rb, p);
+            b.append_page(rb, p).unwrap();
         }
         assert!(
             sys_a.borrow().clock < sys_b.borrow().clock,
@@ -178,25 +195,25 @@ mod tests {
     #[test]
     fn runs_span_multiple_cylinders() {
         let mut s = store();
-        let r = s.create_run();
+        let r = s.create_run().unwrap();
         // 200 pages crosses the 90-page cylinder boundary twice.
         for i in 0..200u64 {
-            s.append_page(r, page_of(&[i]));
+            s.append_page(r, page_of(&[i])).unwrap();
         }
         assert_eq!(s.run_pages(r), 200);
         let extents = s.runs.get(&r).unwrap().extents.len();
         assert!(extents >= 3);
         // Reads at both ends still work.
-        assert_eq!(s.read_page(r, 0).tuples[0].key, 0);
-        assert_eq!(s.read_page(r, 199).tuples[0].key, 199);
+        assert_eq!(s.read_page(r, 0).unwrap().tuples[0].key, 0);
+        assert_eq!(s.read_page(r, 199).unwrap().tuples[0].key, 199);
     }
 
     #[test]
     fn delete_run_forgets_data() {
         let mut s = store();
-        let r = s.create_run();
-        s.append_page(r, page_of(&[5]));
-        s.delete_run(r);
+        let r = s.create_run().unwrap();
+        s.append_page(r, page_of(&[5])).unwrap();
+        s.delete_run(r).unwrap();
         assert_eq!(s.run_pages(r), 0);
         assert_eq!(s.run_tuples(r), 0);
     }
@@ -204,9 +221,10 @@ mod tests {
     #[test]
     fn counters_track_io() {
         let mut s = store();
-        let r = s.create_run();
-        s.append_block(r, (0..4).map(|i| page_of(&[i])).collect());
-        s.read_page(r, 2);
+        let r = s.create_run().unwrap();
+        s.append_block(r, (0..4).map(|i| page_of(&[i])).collect())
+            .unwrap();
+        s.read_page(r, 2).unwrap();
         assert_eq!(s.pages_written(), 4);
         assert_eq!(s.pages_read(), 1);
     }

@@ -124,7 +124,13 @@ impl SimSystem {
 
     /// Charge a disk access of `pages` pages at `cylinder`, attributing the
     /// time to the current sort phase.
-    pub fn charge_disk(&mut self, first_page: usize, cylinder: usize, pages: usize, kind: AccessKind) {
+    pub fn charge_disk(
+        &mut self,
+        first_page: usize,
+        cylinder: usize,
+        pages: usize,
+        kind: AccessKind,
+    ) {
         let t = self.disks.access(first_page, cylinder, pages, kind);
         match self.budget.phase() {
             SortPhase::Split => {

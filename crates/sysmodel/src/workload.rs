@@ -173,7 +173,11 @@ impl MemoryWorkload {
 
     /// Pages currently held by competing requests.
     pub fn pages_held(&self) -> usize {
-        self.active.iter().map(|r| r.pages).sum::<usize>().min(self.total_pages)
+        self.active
+            .iter()
+            .map(|r| r.pages)
+            .sum::<usize>()
+            .min(self.total_pages)
     }
 
     /// Pages left over for the sort operator.
@@ -240,7 +244,8 @@ impl MemoryWorkload {
             arrived_at: at,
             departs_at: at + duration,
         };
-        self.events.schedule(req.departs_at, WorkloadEvent::Depart(id));
+        self.events
+            .schedule(req.departs_at, WorkloadEvent::Depart(id));
         self.active.push(req);
     }
 }
@@ -292,10 +297,10 @@ mod tests {
                 w.advance_one(t);
             }
         }
-        assert!(w
-            .active_requests()
-            .iter()
-            .all(|r| r.pages <= 200), "small requests must stay below MemThres");
+        assert!(
+            w.active_requests().iter().all(|r| r.pages <= 200),
+            "small requests must stay below MemThres"
+        );
     }
 
     #[test]
@@ -320,7 +325,10 @@ mod tests {
         let fast = average_available(WorkloadConfig::fast_rate(), 12);
         let baseline = average_available(WorkloadConfig::default(), 13);
         assert!((slow - fast).abs() < 6.0, "slow {slow} vs fast {fast}");
-        assert!((slow - baseline).abs() < 6.0, "slow {slow} vs baseline {baseline}");
+        assert!(
+            (slow - baseline).abs() < 6.0,
+            "slow {slow} vs baseline {baseline}"
+        );
     }
 
     #[test]

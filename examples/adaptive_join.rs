@@ -25,7 +25,7 @@ fn make_relations(seed: u64) -> (Vec<Tuple>, Vec<Tuple>) {
     (customers, orders)
 }
 
-fn main() {
+fn main() -> Result<(), SortError> {
     let (customers, orders) = make_relations(11);
     let expected = masort_core::verify::nested_loop_match_count(&customers, &orders);
     println!(
@@ -42,8 +42,11 @@ fn main() {
             .with_algorithm(spec);
         let join = SortMergeJoin::new(cfg);
         let start = std::time::Instant::now();
-        let outcome = join.join_vecs_count(customers.clone(), orders.clone());
-        assert_eq!(outcome.matches, expected, "every strategy must find every match");
+        let outcome = join.join_vecs_count(customers.clone(), orders.clone())?;
+        assert_eq!(
+            outcome.matches, expected,
+            "every strategy must find every match"
+        );
         println!(
             "repl6,opt,{adaptation:<5} matches={} runs={} merge_steps={} splits={} wall={:?}",
             outcome.matches,
@@ -53,4 +56,5 @@ fn main() {
             start.elapsed()
         );
     }
+    Ok(())
 }

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Duration;
 
-fn main() {
+fn main() -> Result<(), SortError> {
     let mut rng = StdRng::seed_from_u64(42);
     let tuples: Vec<Tuple> = (0..300_000)
         .map(|_| Tuple::synthetic(rng.gen::<u64>(), 128))
@@ -48,22 +48,37 @@ fn main() {
         steals
     });
 
-    let sorter = ExternalSorter::new(cfg.clone());
-    let mut source = VecSource::from_tuples(tuples, cfg.tuples_per_page());
-    let mut store = MemStore::new();
-    let mut env = RealEnv::new();
-    let outcome = sorter.sort(&mut source, &mut store, &mut env, &budget);
+    let completion = SortJob::builder()
+        .config(cfg)
+        .tuples(tuples)
+        .budget(budget)
+        .build()?
+        .run()?;
     let steals = dbms.join().unwrap();
 
-    let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run);
+    let outcome = completion.outcome.clone();
+    let sorted = completion.into_sorted_vec()?;
     masort_core::verify::assert_sorted_permutation(&input_copy, &sorted);
 
     println!("sorted {} tuples while the budget fluctuated", sorted.len());
     println!("memory steal/give-back cycles : {steals}");
     println!("runs formed                   : {}", outcome.runs_formed());
-    println!("merge steps executed          : {}", outcome.merge.steps_executed);
-    println!("dynamic splits / combines     : {} / {}", outcome.merge.splits, outcome.merge.combines);
+    println!(
+        "merge steps executed          : {}",
+        outcome.merge.steps_executed
+    );
+    println!(
+        "dynamic splits / combines     : {} / {}",
+        outcome.merge.splits, outcome.merge.combines
+    );
     println!("shortages honoured            : {}", outcome.delays.len());
-    println!("mean split-phase delay        : {:.3} ms", outcome.mean_split_delay() * 1e3);
-    println!("wall time                     : {:.3} s", outcome.response_time);
+    println!(
+        "mean split-phase delay        : {:.3} ms",
+        outcome.mean_split_delay() * 1e3
+    );
+    println!(
+        "wall time                     : {:.3} s",
+        outcome.response_time
+    );
+    Ok(())
 }

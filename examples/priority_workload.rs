@@ -22,7 +22,9 @@ fn main() {
     // arrive once a second and large requests every ten seconds — the paper's
     // baseline experiment (§5.2).
     let sorts = 3;
-    println!("simulated baseline workload: 20 MB relation, 0.3 MB memory, {sorts} sorts per strategy\n");
+    println!(
+        "simulated baseline workload: 20 MB relation, 0.3 MB memory, {sorts} sorts per strategy\n"
+    );
 
     println!("{:<18} {:>14}", "algorithm", "avg resp (s)");
     for alg in [

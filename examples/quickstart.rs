@@ -11,7 +11,7 @@ use memory_adaptive_sort::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
+fn main() -> Result<(), SortError> {
     // 200k tuples of 256 bytes = ~50 MB of data, sorted with only 48 pages
     // (384 KB) of memory.
     let mut rng = StdRng::seed_from_u64(7);
@@ -23,16 +23,40 @@ fn main() {
         .with_memory_pages(48)
         .with_algorithm(AlgorithmSpec::recommended());
     println!("algorithm      : {}", cfg.algorithm);
-    println!("memory         : {} pages of {} bytes", cfg.memory_pages, cfg.page_size);
-    println!("input          : {} tuples ({} MB)", tuples.len(), tuples.len() * 256 / (1 << 20));
+    println!(
+        "memory         : {} pages of {} bytes",
+        cfg.memory_pages, cfg.page_size
+    );
+    println!(
+        "input          : {} tuples ({} MB)",
+        tuples.len(),
+        tuples.len() * 256 / (1 << 20)
+    );
 
-    let sorter = ExternalSorter::new(cfg);
-    let (sorted, outcome) = sorter.sort_vec_with_stats(tuples);
-
-    assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
-    println!("sorted         : {} tuples", sorted.len());
+    let completion = SortJob::builder()
+        .config(cfg)
+        .tuples(tuples)
+        .build()?
+        .run()?;
+    let outcome = &completion.outcome;
     println!("runs formed    : {}", outcome.runs_formed());
     println!("merge steps    : {}", outcome.merge.steps_executed);
-    println!("pages written  : {}", outcome.split.pages_written + outcome.merge.pages_written);
+    println!(
+        "pages written  : {}",
+        outcome.split.pages_written + outcome.merge.pages_written
+    );
     println!("wall time      : {:.3} s", outcome.response_time);
+
+    // Stream the result instead of materialising 50 MB at once: only one
+    // page of tuples is buffered at a time.
+    let mut count = 0usize;
+    let mut previous = 0u64;
+    for tuple in completion.into_stream() {
+        let tuple = tuple?;
+        assert!(tuple.key >= previous);
+        previous = tuple.key;
+        count += 1;
+    }
+    println!("streamed       : {count} tuples in sorted order");
+    Ok(())
 }

@@ -7,12 +7,14 @@
 //!
 //! This facade crate re-exports the workspace members:
 //!
-//! * [`core`] (`masort-core`) — the sorting library itself: run formation
-//!   (Quicksort, replacement selection, replacement selection with block
-//!   writes), merge planning (naive / optimized), the three merge-phase
-//!   adaptation strategies (suspension, MRU paging, **dynamic splitting**),
-//!   the shared [`core::MemoryBudget`] handle, and memory-adaptive sort-merge
-//!   joins.
+//! * [`core`] (`masort-core`) — the sorting library itself: the
+//!   [`core::SortJob`] builder entry point, run formation (Quicksort,
+//!   replacement selection, replacement selection with block writes), merge
+//!   planning (naive / optimized), the three merge-phase adaptation
+//!   strategies (suspension, MRU paging, **dynamic splitting**), the shared
+//!   [`core::MemoryBudget`] handle, pluggable sort orders
+//!   ([`core::SortOrder`]), streaming output ([`core::SortedStream`]), and
+//!   memory-adaptive sort-merge joins.
 //! * [`simkit`], [`diskmodel`], [`sysmodel`] — the simulation substrates
 //!   (event kernel, analytic disk model, CPU/buffer/workload models).
 //! * [`dbsim`] — the paper's database-system simulation model and the
@@ -24,13 +26,40 @@
 //! ```
 //! use memory_adaptive_sort::prelude::*;
 //!
-//! let cfg = SortConfig::default().with_memory_pages(16);
-//! let sorter = ExternalSorter::new(cfg);
 //! let data: Vec<Tuple> = (0..5_000u64)
 //!     .map(|i| Tuple::synthetic(i.wrapping_mul(0x9E3779B97F4A7C15), 256))
 //!     .collect();
-//! let sorted = sorter.sort_vec(data);
-//! assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+//!
+//! let completion = SortJob::builder()
+//!     .config(SortConfig::default().with_memory_pages(16))
+//!     .tuples(data)
+//!     .build()?
+//!     .run()?;
+//!
+//! // Stream the sorted relation without materialising it ...
+//! let mut previous = 0u64;
+//! for tuple in completion.into_stream() {
+//!     let tuple = tuple?;
+//!     assert!(tuple.key >= previous);
+//!     previous = tuple.key;
+//! }
+//! # Ok::<(), SortError>(())
+//! ```
+//!
+//! Descending order (or a custom key) works with every algorithm combination:
+//!
+//! ```
+//! use memory_adaptive_sort::prelude::*;
+//!
+//! let sorted = SortJob::builder()
+//!     .config(SortConfig::default().with_memory_pages(8))
+//!     .descending()
+//!     .tuples((0..1_000u64).map(|k| Tuple::synthetic(k, 64)).collect())
+//!     .build()?
+//!     .run()?
+//!     .into_sorted_vec()?;
+//! assert_eq!(sorted.first().map(|t| t.key), Some(999));
+//! # Ok::<(), SortError>(())
 //! ```
 //!
 //! See the `examples/` directory for end-to-end scenarios, including a sort
@@ -55,8 +84,15 @@ mod tests {
 
     #[test]
     fn facade_reexports_work() {
-        let sorted = ExternalSorter::new(SortConfig::default().with_memory_pages(8))
-            .sort_vec((0..100u64).rev().map(|k| Tuple::synthetic(k, 64)).collect());
+        let sorted = SortJob::builder()
+            .config(SortConfig::default().with_memory_pages(8))
+            .tuples((0..100u64).rev().map(|k| Tuple::synthetic(k, 64)).collect())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+            .into_sorted_vec()
+            .unwrap();
         assert_eq!(sorted.first().map(|t| t.key), Some(0));
         assert_eq!(sorted.len(), 100);
     }

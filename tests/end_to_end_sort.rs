@@ -1,5 +1,7 @@
 //! Workspace-level integration tests: every algorithm combination sorts
-//! correctly end-to-end, including while its memory budget fluctuates.
+//! correctly end-to-end, including while its memory budget fluctuates, in
+//! ascending and descending order, materialised and streamed, against both
+//! the in-memory and the file-backed store.
 
 use memory_adaptive_sort::prelude::*;
 use rand::rngs::StdRng;
@@ -24,8 +26,15 @@ fn small_cfg(mem: usize, spec: AlgorithmSpec) -> SortConfig {
 fn all_18_algorithms_sort_correctly() {
     let input = random_tuples(4_000, 1);
     for spec in AlgorithmSpec::all(6) {
-        let sorter = ExternalSorter::new(small_cfg(7, spec));
-        let sorted = sorter.sort_vec(input.clone());
+        let sorted = SortJob::builder()
+            .config(small_cfg(7, spec))
+            .tuples(input.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+            .into_sorted_vec()
+            .unwrap();
         masort_core::verify::assert_sorted_permutation(&input, &sorted);
     }
 }
@@ -55,15 +64,18 @@ fn concurrent_budget_fluctuation_preserves_correctness() {
             }
         });
 
-        let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
-        let mut store = MemStore::new();
-        let mut env = RealEnv::new();
-        let sorter = ExternalSorter::new(cfg);
-        let outcome = sorter.sort(&mut source, &mut store, &mut env, &budget);
+        let sorted = SortJob::builder()
+            .config(cfg)
+            .tuples(input.clone())
+            .budget(budget)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+            .into_sorted_vec()
+            .unwrap();
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         fluctuator.join().unwrap();
-
-        let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run);
         masort_core::verify::assert_sorted_permutation(&input, &sorted);
     }
 }
@@ -80,19 +92,27 @@ fn file_store_backed_sort_survives_fluctuation() {
             std::thread::sleep(std::time::Duration::from_micros(100));
         }
     });
-    let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
-    let mut store = FileStore::in_temp_dir().unwrap();
-    let mut env = RealEnv::new();
-    let outcome = ExternalSorter::new(cfg).sort(&mut source, &mut store, &mut env, &budget);
+    let sorted = SortJob::builder()
+        .config(cfg)
+        .tuples(input.clone())
+        .store(FileStore::in_temp_dir().unwrap())
+        .budget(budget)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .into_sorted_vec()
+        .unwrap();
     handle.join().unwrap();
-    let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run);
     masort_core::verify::assert_sorted_permutation(&input, &sorted);
 }
 
 #[test]
 fn tiny_memory_floor_still_sorts() {
     // Even a budget of zero pages (the DBMS took everything) must not wedge
-    // the sort: it keeps a minimal working set and completes.
+    // the sort: it keeps a minimal working set and completes. This goes
+    // through the low-level engine because the builder rejects a zero-page
+    // budget up front.
     let input = random_tuples(2_000, 4);
     for alg in ["repl6,opt,split", "quick,opt,split"] {
         let cfg = small_cfg(1, alg.parse().unwrap());
@@ -100,8 +120,10 @@ fn tiny_memory_floor_still_sorts() {
         let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
         let mut store = MemStore::new();
         let mut env = RealEnv::new();
-        let outcome = ExternalSorter::new(cfg).sort(&mut source, &mut store, &mut env, &budget);
-        let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run);
+        let outcome = ExternalSorter::new(cfg)
+            .sort(&mut source, &mut store, &mut env, &budget)
+            .unwrap();
+        let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run).unwrap();
         masort_core::verify::assert_sorted_permutation(&input, &sorted);
     }
 }
@@ -110,11 +132,167 @@ fn tiny_memory_floor_still_sorts() {
 fn outcome_statistics_are_consistent() {
     let input = random_tuples(6_000, 5);
     let cfg = small_cfg(6, AlgorithmSpec::recommended());
-    let sorter = ExternalSorter::new(cfg);
-    let (sorted, outcome) = sorter.sort_vec_with_stats(input.clone());
+    let completion = SortJob::builder()
+        .config(cfg)
+        .tuples(input.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let outcome = completion.outcome.clone();
+    let sorted = completion.into_sorted_vec().unwrap();
     assert_eq!(sorted.len(), input.len());
     assert_eq!(outcome.split.total_tuples(), input.len());
     assert!(outcome.merge.steps_executed >= 1);
     assert!(outcome.split.pages_written >= outcome.runs_formed());
     assert!(outcome.response_time >= outcome.split.duration());
+}
+
+// ---------------------------------------------------------------------------
+// Descending-order sorts, end to end, with both stores.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn descending_sort_end_to_end_mem_store() {
+    let input = random_tuples(5_000, 6);
+    let order = SortOrder::descending();
+    for spec in [
+        AlgorithmSpec::recommended(),
+        "quick,naive,susp".parse().unwrap(),
+        "repl1,opt,page".parse().unwrap(),
+    ] {
+        let sorted = SortJob::builder()
+            .config(small_cfg(6, spec))
+            .descending()
+            .tuples(input.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap()
+            .into_sorted_vec()
+            .unwrap();
+        masort_core::verify::assert_sorted_permutation_by(&input, &sorted, &order);
+        assert!(sorted.first().unwrap().key >= sorted.last().unwrap().key);
+    }
+}
+
+#[test]
+fn descending_sort_end_to_end_file_store() {
+    let input = random_tuples(4_000, 7);
+    let order = SortOrder::descending();
+    let sorted = SortJob::builder()
+        .config(small_cfg(5, AlgorithmSpec::recommended()))
+        .descending()
+        .tuples(input.clone())
+        .store(FileStore::in_temp_dir().unwrap())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .into_sorted_vec()
+        .unwrap();
+    masort_core::verify::assert_sorted_permutation_by(&input, &sorted, &order);
+}
+
+// ---------------------------------------------------------------------------
+// Streamed (non-materialised) sorts, end to end, with both stores.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn streamed_sort_end_to_end_mem_store() {
+    let input = random_tuples(6_000, 8);
+    let completion = SortJob::builder()
+        .config(small_cfg(6, AlgorithmSpec::recommended()))
+        .tuples(input.clone())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let mut previous = 0u64;
+    let mut count = 0usize;
+    for tuple in completion.into_stream() {
+        let tuple = tuple.unwrap();
+        assert!(tuple.key >= previous, "stream out of order");
+        previous = tuple.key;
+        count += 1;
+    }
+    assert_eq!(count, input.len());
+}
+
+#[test]
+fn streamed_sort_end_to_end_file_store() {
+    let input = random_tuples(5_000, 9);
+    let store = FileStore::in_temp_dir().unwrap();
+    let dir = store.dir().to_path_buf();
+    let completion = SortJob::builder()
+        .config(small_cfg(5, AlgorithmSpec::recommended()))
+        .tuples(input.clone())
+        .store(store)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap();
+    let mut previous = 0u64;
+    let mut count = 0usize;
+    let mut stream = completion.into_stream();
+    for tuple in stream.by_ref() {
+        let tuple = tuple.unwrap();
+        assert!(tuple.key >= previous, "stream out of order");
+        previous = tuple.key;
+        count += 1;
+    }
+    assert_eq!(count, input.len());
+    // Draining the stream reclaimed the output run's file. Check while the
+    // store (and therefore the directory) is still alive — dropping the
+    // FileStore would delete everything regardless.
+    let remaining = std::fs::read_dir(&dir).unwrap().count();
+    assert_eq!(remaining, 0, "run files should be deleted after streaming");
+    drop(stream.into_store());
+}
+
+// ---------------------------------------------------------------------------
+// Error paths surface as SortError, not panics.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn invalid_configs_fail_at_build() {
+    let mut zero_mem = small_cfg(4, AlgorithmSpec::recommended());
+    zero_mem.memory_pages = 0;
+    assert!(matches!(
+        SortJob::builder().config(zero_mem).build(),
+        Err(SortError::InvalidConfig(_))
+    ));
+
+    let mut big_tuple = small_cfg(4, AlgorithmSpec::recommended());
+    big_tuple.tuple_size = big_tuple.page_size * 2;
+    assert!(matches!(
+        SortJob::builder().config(big_tuple).build(),
+        Err(SortError::InvalidConfig(_))
+    ));
+}
+
+#[test]
+fn sort_into_removed_directory_reports_io_error() {
+    let dir = std::env::temp_dir().join(format!(
+        "masort-e2e-gone-{}-{:x}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos())
+            .unwrap_or(0)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = FileStore::new(&dir).unwrap();
+    // Remove the directory behind the store's back: creating the first run
+    // file must surface an I/O error through the whole sort pipeline.
+    std::fs::remove_dir_all(&dir).unwrap();
+    let err = SortJob::builder()
+        .config(small_cfg(4, AlgorithmSpec::recommended()))
+        .tuples(random_tuples(2_000, 10))
+        .store(store)
+        .build()
+        .unwrap()
+        .run()
+        .unwrap_err();
+    assert!(matches!(err, SortError::Io(_)), "got {err:?}");
 }

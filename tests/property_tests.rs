@@ -1,15 +1,23 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Property-style tests over the core invariants, driven by a seeded
+//! generator (the offline environment has no `proptest`, so cases are
+//! enumerated deterministically — every failure reproduces from its seed):
 //!
 //! * every algorithm combination produces a sorted permutation of its input,
-//!   for arbitrary inputs and arbitrary scripted budget fluctuations;
+//!   for random inputs and scripted budget fluctuations, ascending and
+//!   descending;
+//! * `SortedStream` yields exactly the same sequence as `collect_run` for
+//!   random inputs across all algorithm combinations, including descending
+//!   order;
 //! * replacement-selection runs are individually sorted and cover the input;
 //! * merge planning respects its fan-in bounds and both policies always use
 //!   the same number of steps;
 //! * the sort-merge join finds exactly the matches a nested-loop join finds.
 
 use masort_core::merge::plan::{preliminary_fan_in, StaticPlanSummary};
+use masort_core::verify;
 use memory_adaptive_sort::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A scripted environment that changes the budget after every N CPU charges,
 /// cycling through a list of targets — a deterministic stand-in for a DBMS
@@ -57,121 +65,228 @@ impl masort_core::SortEnv for ScriptedBudgetEnv {
     }
 }
 
-fn algorithm_strategy() -> impl Strategy<Value = AlgorithmSpec> {
-    (0usize..3, 0usize..2, 0usize..3).prop_map(|(f, p, a)| {
-        let formation = match f {
-            0 => RunFormation::Quicksort,
-            1 => RunFormation::repl(1),
-            _ => RunFormation::repl(4),
-        };
-        let policy = if p == 0 {
-            MergePolicy::Naive
-        } else {
-            MergePolicy::Optimized
-        };
-        let adaptation = match a {
-            0 => MergeAdaptation::Suspension,
-            1 => MergeAdaptation::Paging,
-            _ => MergeAdaptation::DynamicSplitting,
-        };
-        AlgorithmSpec::new(formation, policy, adaptation)
-    })
+fn arbitrary_algorithm(rng: &mut StdRng) -> AlgorithmSpec {
+    let formation = match rng.gen_range(0usize..3) {
+        0 => RunFormation::Quicksort,
+        1 => RunFormation::repl(1),
+        _ => RunFormation::repl(4),
+    };
+    let policy = if rng.gen_range(0usize..2) == 0 {
+        MergePolicy::Naive
+    } else {
+        MergePolicy::Optimized
+    };
+    let adaptation = match rng.gen_range(0usize..3) {
+        0 => MergeAdaptation::Suspension,
+        1 => MergeAdaptation::Paging,
+        _ => MergeAdaptation::DynamicSplitting,
+    };
+    AlgorithmSpec::new(formation, policy, adaptation)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn arbitrary_tuples(rng: &mut StdRng, max: usize, key_bits: u32) -> Vec<Tuple> {
+    let n = rng.gen_range(0usize..max.max(1));
+    let mask = if key_bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << key_bits) - 1
+    };
+    (0..n)
+        .map(|_| Tuple::synthetic(rng.gen::<u64>() & mask, 64))
+        .collect()
+}
 
-    #[test]
-    fn sort_is_a_sorted_permutation_under_fluctuation(
-        keys in prop::collection::vec(any::<u32>(), 0..2_000),
-        spec in algorithm_strategy(),
-        mem in 1usize..12,
-        period in 50u64..2_000,
-        targets in prop::collection::vec(0usize..16, 1..6),
-    ) {
-        let input: Vec<Tuple> = keys.iter().map(|&k| Tuple::synthetic(k as u64, 64)).collect();
-        let cfg = SortConfig::default()
-            .with_page_size(512)
-            .with_tuple_size(64)
-            .with_memory_pages(mem)
-            .with_algorithm(spec);
+fn small_cfg(mem: usize, spec: AlgorithmSpec) -> SortConfig {
+    SortConfig::default()
+        .with_page_size(512)
+        .with_tuple_size(64)
+        .with_memory_pages(mem)
+        .with_algorithm(spec)
+}
+
+#[test]
+fn sort_is_a_sorted_permutation_under_fluctuation() {
+    for case in 0..24u64 {
+        let mut rng = StdRng::seed_from_u64(0x50F7 + case);
+        let input = arbitrary_tuples(&mut rng, 2_000, 32);
+        let spec = arbitrary_algorithm(&mut rng);
+        let mem = rng.gen_range(1usize..12);
+        let period = rng.gen_range(50u64..2_000);
+        let targets: Vec<usize> = (0..rng.gen_range(1usize..6))
+            .map(|_| rng.gen_range(0usize..16))
+            .collect();
+        let order = if rng.gen_range(0usize..2) == 0 {
+            SortOrder::ascending()
+        } else {
+            SortOrder::descending()
+        };
+
+        let cfg = small_cfg(mem, spec).with_order(order.clone());
         let budget = MemoryBudget::new(mem);
         let mut env = ScriptedBudgetEnv::new(period, targets);
         let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
         let mut store = MemStore::new();
-        let outcome = ExternalSorter::new(cfg).sort(&mut source, &mut store, &mut env, &budget);
-        let sorted = masort_core::verify::collect_run(&mut store, outcome.output_run);
-        prop_assert!(masort_core::verify::is_sorted(&sorted));
-        prop_assert!(masort_core::verify::is_key_permutation(&input, &sorted));
+        let outcome = ExternalSorter::new(cfg)
+            .sort(&mut source, &mut store, &mut env, &budget)
+            .unwrap_or_else(|e| panic!("case {case} ({spec}) failed: {e}"));
+        let sorted = verify::collect_run(&mut store, outcome.output_run).unwrap();
+        assert!(
+            verify::is_sorted_by(&sorted, &order),
+            "case {case} ({spec}, {order:?}) produced unsorted output"
+        );
+        assert!(
+            verify::is_key_permutation(&input, &sorted),
+            "case {case} ({spec}) lost or duplicated tuples"
+        );
     }
+}
 
-    #[test]
-    fn split_phase_runs_are_sorted_and_cover_input(
-        keys in prop::collection::vec(any::<u64>(), 0..3_000),
-        block in 1usize..8,
-        mem in 2usize..10,
-    ) {
-        let input: Vec<Tuple> = keys.iter().map(|&k| Tuple::synthetic(k, 64)).collect();
-        let cfg = SortConfig::default()
-            .with_page_size(512)
-            .with_tuple_size(64)
-            .with_memory_pages(mem)
-            .with_algorithm(AlgorithmSpec::new(
+#[test]
+fn sorted_stream_matches_collect_run_for_all_algorithms() {
+    // The satellite property: for random inputs, streaming the output run
+    // yields exactly the same sequence as materialising it with
+    // `collect_run`, for every algorithm combination — ascending *and*
+    // descending.
+    let mut case = 0u64;
+    for spec in AlgorithmSpec::all(4) {
+        for order in [SortOrder::ascending(), SortOrder::descending()] {
+            case += 1;
+            let mut rng = StdRng::seed_from_u64(0x57AE + case);
+            let input = arbitrary_tuples(&mut rng, 3_000, 64);
+            let mem = rng.gen_range(3usize..10);
+            let cfg = small_cfg(mem, spec).with_order(order.clone());
+
+            let budget = MemoryBudget::new(mem);
+            let mut env = RealEnv::new();
+            let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
+            let mut store = MemStore::new();
+            let outcome = ExternalSorter::new(cfg)
+                .sort(&mut source, &mut store, &mut env, &budget)
+                .unwrap();
+
+            // Materialise first (collect_run does not consume the run) ...
+            let collected = verify::collect_run(&mut store, outcome.output_run).unwrap();
+            // ... then stream the very same run and compare sequences.
+            let streamed: Vec<Tuple> = outcome
+                .into_stream(store)
+                .collect::<Result<_, _>>()
+                .unwrap();
+            assert_eq!(
+                streamed.len(),
+                collected.len(),
+                "{spec} {order:?}: stream length diverged"
+            );
+            assert_eq!(
+                streamed, collected,
+                "{spec} {order:?}: stream sequence diverged from collect_run"
+            );
+            assert!(verify::is_sorted_by(&streamed, &order));
+            assert!(verify::is_key_permutation(&input, &streamed));
+        }
+    }
+    assert_eq!(case, 36, "18 algorithm combinations x 2 directions");
+}
+
+#[test]
+fn split_phase_runs_are_sorted_and_cover_input() {
+    for case in 0..16u64 {
+        let mut rng = StdRng::seed_from_u64(0x5917 + case);
+        let input = arbitrary_tuples(&mut rng, 3_000, 64);
+        let block = rng.gen_range(1usize..8);
+        let mem = rng.gen_range(2usize..10);
+        let cfg = small_cfg(
+            mem,
+            AlgorithmSpec::new(
                 RunFormation::repl(block),
                 MergePolicy::Optimized,
                 MergeAdaptation::DynamicSplitting,
-            ));
+            ),
+        );
         let budget = MemoryBudget::new(mem);
         let mut env = masort_core::env::CountingEnv::new();
         let mut source = VecSource::from_tuples(input.clone(), cfg.tuples_per_page());
         let mut store = MemStore::new();
-        let stats = masort_core::run_formation::form_runs(&cfg, &budget, &mut source, &mut store, &mut env);
+        let stats =
+            masort_core::run_formation::form_runs(&cfg, &budget, &mut source, &mut store, &mut env)
+                .unwrap();
         let mut all = Vec::new();
         for run in &stats.runs {
-            let tuples = masort_core::verify::collect_run(&mut store, run.id);
-            prop_assert!(masort_core::verify::is_sorted(&tuples), "run {} not sorted", run.id);
-            prop_assert_eq!(tuples.len(), run.tuples);
+            let tuples = verify::collect_run(&mut store, run.id).unwrap();
+            assert!(
+                verify::is_sorted(&tuples),
+                "case {case}: run {} not sorted",
+                run.id
+            );
+            assert_eq!(tuples.len(), run.tuples);
             all.extend(tuples);
         }
-        prop_assert!(masort_core::verify::is_key_permutation(&input, &all));
+        assert!(verify::is_key_permutation(&input, &all), "case {case}");
     }
+}
 
-    #[test]
-    fn merge_planning_invariants(
-        n in 0usize..400,
-        m in 3usize..64,
-    ) {
+#[test]
+fn merge_planning_invariants() {
+    for case in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(0x914A + case);
+        let n = rng.gen_range(0usize..400);
+        let m = rng.gen_range(3usize..64);
         let runs: Vec<usize> = (0..n).map(|i| 1 + (i * 31 % 17)).collect();
         let naive = StaticPlanSummary::plan(&runs, m, MergePolicy::Naive);
         let opt = StaticPlanSummary::plan(&runs, m, MergePolicy::Optimized);
-        prop_assert_eq!(naive.step_count(), opt.step_count());
-        prop_assert!(opt.preliminary_pages() <= naive.preliminary_pages());
+        assert_eq!(naive.step_count(), opt.step_count(), "n={n} m={m}");
+        assert!(
+            opt.preliminary_pages() <= naive.preliminary_pages(),
+            "n={n} m={m}"
+        );
         for policy in [MergePolicy::Naive, MergePolicy::Optimized] {
             if let Some(f) = preliminary_fan_in(n, m, policy) {
-                prop_assert!(f >= 2);
-                prop_assert!(f < m);
-                prop_assert!(f <= n);
+                assert!(f >= 2, "n={n} m={m}");
+                assert!(f < m, "n={n} m={m}");
+                assert!(f <= n, "n={n} m={m}");
             } else {
-                prop_assert!(n <= (m - 1).max(2));
+                assert!(n <= (m - 1).max(2), "n={n} m={m}");
             }
         }
     }
+}
 
-    #[test]
-    fn join_matches_nested_loop(
-        left_keys in prop::collection::vec(0u64..200, 0..800),
-        right_keys in prop::collection::vec(0u64..200, 0..800),
-        mem in 3usize..10,
-    ) {
-        let left: Vec<Tuple> = left_keys.iter().map(|&k| Tuple::synthetic(k, 64)).collect();
-        let right: Vec<Tuple> = right_keys.iter().map(|&k| Tuple::synthetic(k, 64)).collect();
-        let expected = masort_core::verify::nested_loop_match_count(&left, &right);
-        let cfg = SortConfig::default()
-            .with_page_size(512)
-            .with_tuple_size(64)
-            .with_memory_pages(mem)
-            .with_algorithm(AlgorithmSpec::recommended());
-        let outcome = SortMergeJoin::new(cfg).join_vecs_count(left, right);
-        prop_assert_eq!(outcome.matches, expected);
+#[test]
+fn join_matches_nested_loop() {
+    for case in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(0x901A + case);
+        let left: Vec<Tuple> = (0..rng.gen_range(0usize..800))
+            .map(|_| Tuple::synthetic(rng.gen_range(0u64..200), 64))
+            .collect();
+        let right: Vec<Tuple> = (0..rng.gen_range(0usize..800))
+            .map(|_| Tuple::synthetic(rng.gen_range(0u64..200), 64))
+            .collect();
+        let mem = rng.gen_range(3usize..10);
+        let expected = verify::nested_loop_match_count(&left, &right);
+        let cfg = small_cfg(mem, AlgorithmSpec::recommended());
+        let outcome = SortMergeJoin::new(cfg)
+            .join_vecs_count(left, right)
+            .unwrap();
+        assert_eq!(outcome.matches, expected, "case {case}");
+    }
+}
+
+#[test]
+fn descending_join_matches_nested_loop() {
+    // The join machinery is order-agnostic: matching on equal ranks under a
+    // descending order finds exactly the same pairs.
+    for case in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(0xDE5C + case);
+        let left: Vec<Tuple> = (0..rng.gen_range(1usize..500))
+            .map(|_| Tuple::synthetic(rng.gen_range(0u64..100), 64))
+            .collect();
+        let right: Vec<Tuple> = (0..rng.gen_range(1usize..500))
+            .map(|_| Tuple::synthetic(rng.gen_range(0u64..100), 64))
+            .collect();
+        let expected = verify::nested_loop_match_count(&left, &right);
+        let cfg = small_cfg(5, AlgorithmSpec::recommended()).with_order(SortOrder::descending());
+        let outcome = SortMergeJoin::new(cfg)
+            .join_vecs_count(left, right)
+            .unwrap();
+        assert_eq!(outcome.matches, expected, "case {case}");
     }
 }

@@ -1,0 +1,143 @@
+//! Offline stand-in for the subset of the `criterion` API this workspace
+//! uses: enough to compile and *run* the microbenchmarks (`cargo bench`),
+//! reporting wall-clock time per iteration, without the statistical machinery
+//! or the plotting of the real crate.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id combining a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// A benchmark id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Drives the timed iterations of one benchmark.
+pub struct Bencher {
+    /// Mean wall-clock time of one iteration, filled in by [`iter`](Self::iter).
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly for a short, fixed budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up iteration, then measure for ~300 ms or 10 iterations,
+        // whichever comes last.
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(300);
+        let started = Instant::now();
+        let mut iters = 0u32;
+        while iters < 10 || started.elapsed() < budget {
+            std::hint::black_box(routine());
+            iters += 1;
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.elapsed_per_iter = started.elapsed() / iters;
+    }
+}
+
+fn run_one(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench {label:<40} {:>12.3?}/iter", b.elapsed_per_iter);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` with the given id and input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b| f(b, input));
+    }
+
+    /// Benchmark `f` under the given name.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, &mut f);
+    }
+
+    /// Finish the group (no-op in the stand-in).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), &mut f);
+        self
+    }
+}
+
+/// Prevent the optimizer from eliding a value (re-export-style helper).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)*) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)*) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
