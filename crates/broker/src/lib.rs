@@ -1,0 +1,133 @@
+//! # masort-broker — a concurrent multi-sort service with a global memory broker
+//!
+//! The paper's premise is a DBMS in which many queries compete for buffer
+//! memory and every external sort must adapt as its allocation fluctuates.
+//! `masort-core` provides the adaptive sorts and the shared
+//! [`MemoryBudget`](masort_core::MemoryBudget) handle; this crate provides
+//! the component that actually moves those budgets: a [`SortService`] that
+//! runs many sorts concurrently on a bounded worker-thread pool, and a
+//! [`MemoryBroker`] that re-divides **one global page pool** across all live
+//! sorts on every admission, completion and explicit
+//! [`resize_pool`](SortService::resize_pool) call. Sorts genuinely grow,
+//! shrink, suspend, page and split *while running* — the paper's
+//! memory-adaptive behaviour on real threads instead of inside the simulator.
+//!
+//! ```
+//! use masort_broker::prelude::*;
+//! use masort_core::prelude::*;
+//!
+//! let service = SortService::builder()
+//!     .pool_pages(32)              // one global pool, smaller than demand
+//!     .workers(4)
+//!     .policy(PriorityWeighted)    // or EqualShare / MinGuarantee / your own
+//!     .build();
+//!
+//! let cfg = SortConfig::default()
+//!     .with_page_size(512)
+//!     .with_tuple_size(64)
+//!     .with_memory_pages(16);      // what each sort would *like* to have
+//! let tickets: Vec<SortTicket> = (0..8)
+//!     .map(|i| {
+//!         let tuples = (0..2_000u64)
+//!             .map(|k| Tuple::synthetic(k.wrapping_mul(0x9E3779B97F4A7C15) ^ i, 64))
+//!             .collect();
+//!         service
+//!             .submit(
+//!                 SortRequest::tuples(cfg.clone(), tuples)
+//!                     .priority(1 + (i % 3) as u32)
+//!                     .min_pages(2),
+//!             )
+//!             .unwrap()
+//!     })
+//!     .collect();
+//!
+//! service.resize_pool(16);         // steal memory from everyone, mid-flight
+//! service.resize_pool(48);         // ... and give it back
+//!
+//! for ticket in tickets {
+//!     let report = ticket.wait()?; // SortCompletion + per-job broker stats
+//!     assert!(report.stats.initial_grant >= 2);
+//!     let mut previous = 0u64;
+//!     for tuple in report.into_stream() {
+//!         let tuple = tuple?;
+//!         assert!(tuple.key >= previous);
+//!         previous = tuple.key;
+//!     }
+//! }
+//! # Ok::<(), masort_core::SortError>(())
+//! ```
+//!
+//! ## Writing an arbitration policy
+//!
+//! Arbitration is pluggable through the [`ArbitrationPolicy`] trait — a pure,
+//! deterministic function from *(pool size, live-job demands)* to one share
+//! per job:
+//!
+//! ```
+//! use masort_broker::{ArbitrationPolicy, JobDemand};
+//!
+//! /// Everything to the newest sort, minimums to the rest.
+//! struct NewestTakesAll;
+//!
+//! impl ArbitrationPolicy for NewestTakesAll {
+//!     fn name(&self) -> &'static str {
+//!         "newest-takes-all"
+//!     }
+//!     fn divide(&self, pool: usize, jobs: &[JobDemand]) -> Vec<usize> {
+//!         let reserved: usize = jobs.iter().map(|j| j.min_pages).sum();
+//!         let mut shares: Vec<usize> = jobs.iter().map(|j| j.min_pages).collect();
+//!         if let Some(last) = shares.last_mut() {
+//!             *last += pool.saturating_sub(reserved);
+//!         }
+//!         shares
+//!     }
+//! }
+//! ```
+//!
+//! The broker invokes the policy under its lock on every admission,
+//! completion and resize, then pushes each share into the corresponding
+//! sort's `MemoryBudget` via `set_target`. Policies should keep
+//! `sum(shares) <= pool` and respect each job's `[min_pages, cap()]` range;
+//! the broker defensively clamps whatever comes back and never pushes a live
+//! sort below one page. Three implementations ship with the crate —
+//! [`EqualShare`], [`PriorityWeighted`] and [`MinGuarantee`] — see the
+//! [`policy`] module for their exact semantics.
+//!
+//! ## Admission control
+//!
+//! Each request carries a guaranteed minimum share
+//! ([`SortRequest::min_pages`]). A request is admitted only when the pool can
+//! cover its minimum alongside the minimums of every live sort; until then it
+//! queues. Impossible requests — a minimum larger than the whole pool — are
+//! rejected with [`SortError::BudgetStarved`](masort_core::SortError) at
+//! submission (or retroactively when the pool shrinks under a queued
+//! request's minimum) instead of deadlocking the queue.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod admission;
+pub mod broker;
+pub mod policy;
+pub mod service;
+pub mod stats;
+pub mod ticket;
+
+pub use broker::MemoryBroker;
+pub use policy::{ArbitrationPolicy, EqualShare, JobDemand, MinGuarantee, PriorityWeighted};
+pub use service::{RunStorage, ServiceStore, SortRequest, SortService, SortServiceBuilder};
+pub use stats::{JobStats, ServiceStats};
+pub use ticket::{JobId, JobReport, SortTicket};
+
+/// Convenient glob import of the service-facing types.
+pub mod prelude {
+    pub use crate::broker::MemoryBroker;
+    pub use crate::policy::{
+        ArbitrationPolicy, EqualShare, JobDemand, MinGuarantee, PriorityWeighted,
+    };
+    pub use crate::service::{
+        RunStorage, ServiceStore, SortRequest, SortService, SortServiceBuilder,
+    };
+    pub use crate::stats::{JobStats, ServiceStats};
+    pub use crate::ticket::{JobId, JobReport, SortTicket};
+}

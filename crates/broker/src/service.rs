@@ -1,0 +1,790 @@
+//! The concurrent sort service: submit many sorts, run them on a bounded
+//! worker pool against one globally brokered page pool.
+
+use crate::admission::{AdmissionQueue, QueuedRequest};
+use crate::broker::MemoryBroker;
+use crate::policy::{ArbitrationPolicy, EqualShare, JobDemand};
+use crate::stats::{JobStats, ServiceStats};
+use crate::ticket::{JobId, JobReport, SortTicket, TicketShared};
+use masort_core::{
+    DelaySample, FileStore, InputSource, MemStore, MemoryBudget, Page, RealEnv, RunId, RunStore,
+    SortConfig, SortError, SortJob, SortResult, Tuple, VecSource,
+};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where a job's runs (and its output run) are stored.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RunStorage {
+    /// Runs held in memory ([`MemStore`]); the default.
+    #[default]
+    InMemory,
+    /// Runs spilled to a fresh temporary directory ([`FileStore`]) — a
+    /// genuinely external sort. The directory is created when the job starts
+    /// (not while it queues).
+    TempDisk,
+}
+
+/// The run store a service job executes against: in-memory or a temporary
+/// directory, behind one concrete type so every
+/// [`JobReport`] streams the same way.
+#[derive(Debug)]
+pub enum ServiceStore {
+    /// Runs held in memory.
+    Mem(MemStore),
+    /// Runs spilled to a temporary directory.
+    Temp(FileStore),
+}
+
+impl ServiceStore {
+    fn inner(&self) -> &dyn RunStore {
+        match self {
+            ServiceStore::Mem(s) => s,
+            ServiceStore::Temp(s) => s,
+        }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn RunStore {
+        match self {
+            ServiceStore::Mem(s) => s,
+            ServiceStore::Temp(s) => s,
+        }
+    }
+}
+
+impl RunStore for ServiceStore {
+    fn create_run(&mut self) -> SortResult<RunId> {
+        self.inner_mut().create_run()
+    }
+
+    fn append_page(&mut self, run: RunId, page: Page) -> SortResult<()> {
+        self.inner_mut().append_page(run, page)
+    }
+
+    fn append_block(&mut self, run: RunId, pages: Vec<Page>) -> SortResult<()> {
+        self.inner_mut().append_block(run, pages)
+    }
+
+    fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page> {
+        self.inner_mut().read_page(run, idx)
+    }
+
+    fn run_pages(&self, run: RunId) -> usize {
+        self.inner().run_pages(run)
+    }
+
+    fn run_tuples(&self, run: RunId) -> usize {
+        self.inner().run_tuples(run)
+    }
+
+    fn delete_run(&mut self, run: RunId) -> SortResult<()> {
+        self.inner_mut().delete_run(run)
+    }
+}
+
+/// One sort submission: input + configuration + how the broker should treat
+/// it (priority, guaranteed minimum, useful maximum, spill target).
+pub struct SortRequest {
+    cfg: SortConfig,
+    input: Box<dyn InputSource + Send>,
+    storage: RunStorage,
+    priority: u32,
+    min_pages: Option<usize>,
+    max_pages: Option<usize>,
+}
+
+impl std::fmt::Debug for SortRequest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SortRequest")
+            .field("priority", &self.priority)
+            .field("min_pages", &self.min_pages)
+            .field("max_pages", &self.max_pages)
+            .field("storage", &self.storage)
+            .finish()
+    }
+}
+
+impl SortRequest {
+    /// Sort the pages produced by `source` under configuration `cfg`.
+    pub fn from_source(cfg: SortConfig, source: impl InputSource + Send + 'static) -> Self {
+        SortRequest {
+            cfg,
+            input: Box::new(source),
+            storage: RunStorage::InMemory,
+            priority: 1,
+            min_pages: None,
+            max_pages: None,
+        }
+    }
+
+    /// Sort an in-memory tuple vector (paginated with `cfg`'s geometry).
+    pub fn tuples(cfg: SortConfig, tuples: Vec<Tuple>) -> Self {
+        let per_page = cfg.tuples_per_page();
+        Self::from_source(cfg, VecSource::from_tuples(tuples, per_page))
+    }
+
+    /// Scheduling priority (larger = more important; default 1). How
+    /// priority translates into pages is the arbitration policy's business.
+    pub fn priority(mut self, priority: u32) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Pages this sort must be guaranteed while it runs (default 1). The
+    /// request queues until the broker can cover this alongside the live
+    /// sorts' minimums, and is rejected with
+    /// [`SortError::BudgetStarved`] if it exceeds the whole pool.
+    pub fn min_pages(mut self, pages: usize) -> Self {
+        self.min_pages = Some(pages);
+        self
+    }
+
+    /// Pages beyond which this sort gains nothing (default: the
+    /// configuration's `memory_pages`). Surplus above this flows to other
+    /// sorts.
+    pub fn max_pages(mut self, pages: usize) -> Self {
+        self.max_pages = Some(pages);
+        self
+    }
+
+    /// Store this job's runs in `storage` (default [`RunStorage::InMemory`]).
+    pub fn storage(mut self, storage: RunStorage) -> Self {
+        self.storage = storage;
+        self
+    }
+
+    /// Shorthand for [`RunStorage::TempDisk`].
+    pub fn spill_to_temp_dir(self) -> Self {
+        self.storage(RunStorage::TempDisk)
+    }
+}
+
+/// Builder for [`SortService`]. See [`SortService::builder`].
+pub struct SortServiceBuilder {
+    pool_pages: usize,
+    workers: usize,
+    policy: Arc<dyn ArbitrationPolicy>,
+    suspension_wait: Duration,
+}
+
+impl std::fmt::Debug for SortServiceBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SortServiceBuilder")
+            .field("pool_pages", &self.pool_pages)
+            .field("workers", &self.workers)
+            .field("policy", &self.policy.name())
+            .field("suspension_wait", &self.suspension_wait)
+            .finish()
+    }
+}
+
+impl Default for SortServiceBuilder {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .clamp(2, 8);
+        SortServiceBuilder {
+            pool_pages: 256,
+            workers,
+            policy: Arc::new(EqualShare),
+            suspension_wait: Duration::from_secs(5),
+        }
+    }
+}
+
+impl SortServiceBuilder {
+    /// Size of the global page pool the broker divides (default 256).
+    pub fn pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = pages;
+        self
+    }
+
+    /// Number of worker threads, i.e. how many sorts run concurrently
+    /// (default: available parallelism clamped to 2..=8; floored at 1).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// The arbitration policy dividing the pool (default [`EqualShare`]).
+    pub fn policy(mut self, policy: impl ArbitrationPolicy + 'static) -> Self {
+        self.policy = Arc::new(policy);
+        self
+    }
+
+    /// How long a sort using the *suspension* adaptation strategy waits for
+    /// memory to return before proceeding anyway (default 5 s; shorter than
+    /// the standalone [`RealEnv`] default because a service should degrade
+    /// rather than stall).
+    pub fn suspension_wait(mut self, wait: Duration) -> Self {
+        self.suspension_wait = wait;
+        self
+    }
+
+    /// Start the service: spawn the worker threads and return the handle.
+    pub fn build(self) -> SortService {
+        let shared = Arc::new(Shared {
+            start: Instant::now(),
+            suspension_wait: self.suspension_wait,
+            state: Mutex::new(State {
+                broker: MemoryBroker::new(self.pool_pages, self.policy),
+                queue: AdmissionQueue::default(),
+                stats: ServiceStats::default(),
+                next_job: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let handles = (0..self.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("masort-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawning a sort worker thread failed")
+            })
+            .collect();
+        SortService { shared, handles }
+    }
+}
+
+struct State {
+    broker: MemoryBroker,
+    queue: AdmissionQueue,
+    stats: ServiceStats,
+    next_job: JobId,
+    shutdown: bool,
+}
+
+struct Shared {
+    start: Instant,
+    suspension_wait: Duration,
+    state: Mutex<State>,
+    work: Condvar,
+}
+
+impl Shared {
+    fn now(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A concurrent multi-sort service over one globally brokered page pool.
+///
+/// Submissions run on a bounded worker-thread pool; the
+/// [`MemoryBroker`] re-divides the pool across all live sorts on every
+/// admission, completion and [`resize_pool`](Self::resize_pool) call by
+/// moving each sort's shared [`MemoryBudget`] target — so sorts genuinely
+/// grow, shrink, suspend, page and split **while running**, exactly as under
+/// the paper's DBMS buffer manager, but on real threads.
+///
+/// Dropping the service (or calling [`shutdown`](Self::shutdown)) stops
+/// accepting new work, drains the queue, and joins the workers; every issued
+/// ticket is fulfilled.
+#[derive(Debug)]
+pub struct SortService {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+impl SortService {
+    /// Start building a service (pool size, worker count, policy).
+    pub fn builder() -> SortServiceBuilder {
+        SortServiceBuilder::default()
+    }
+
+    /// Submit a sort. Returns a ticket redeemable for the result.
+    ///
+    /// Fails fast with [`SortError::InvalidConfig`] for unusable
+    /// configurations (or a shut-down service) and with
+    /// [`SortError::BudgetStarved`] when the request's minimum exceeds the
+    /// whole pool — an impossible request is rejected rather than queued
+    /// forever.
+    pub fn submit(&self, request: SortRequest) -> SortResult<SortTicket> {
+        request.cfg.validate()?;
+        let min_pages = request.min_pages.unwrap_or(1).max(1);
+        let max_pages = request
+            .max_pages
+            .unwrap_or(request.cfg.memory_pages)
+            .max(min_pages);
+        let mut st = self.shared.lock();
+        if st.shutdown {
+            return Err(SortError::invalid_config(
+                "SortService is shut down and no longer accepts submissions",
+            ));
+        }
+        if min_pages > st.broker.pool_pages() {
+            st.stats.rejected += 1;
+            return Err(SortError::BudgetStarved {
+                needed: min_pages,
+                granted: st.broker.pool_pages(),
+            });
+        }
+        let job = st.next_job;
+        st.next_job += 1;
+        let ticket_shared = Arc::new(TicketShared::default());
+        st.queue.push(QueuedRequest {
+            job,
+            cfg: request.cfg,
+            input: request.input,
+            storage: request.storage,
+            priority: request.priority,
+            min_pages,
+            max_pages,
+            ticket: Arc::clone(&ticket_shared),
+            submitted_at: self.shared.now(),
+            bypassed: 0,
+        });
+        st.stats.submitted += 1;
+        st.stats.peak_queued = st.stats.peak_queued.max(st.queue.len());
+        drop(st);
+        self.shared.work.notify_all();
+        Ok(SortTicket::new(job, ticket_shared))
+    }
+
+    /// Grow or shrink the global page pool while sorts are running. Every
+    /// live sort's budget is re-targeted immediately; queued requests whose
+    /// minimum no longer fits in the pool at all are failed with
+    /// [`SortError::BudgetStarved`].
+    pub fn resize_pool(&self, pages: usize) {
+        let now = self.shared.now();
+        let mut st = self.shared.lock();
+        st.broker.resize(pages, now);
+        st.stats.resizes += 1;
+        let doomed = st.queue.drain_impossible(pages);
+        st.stats.rejected += doomed.len() as u64;
+        drop(st);
+        for req in doomed {
+            req.ticket.fulfill(Err(SortError::BudgetStarved {
+                needed: req.min_pages,
+                granted: pages,
+            }));
+        }
+        self.shared.work.notify_all();
+    }
+
+    /// Current size of the global page pool.
+    pub fn pool_pages(&self) -> usize {
+        self.shared.lock().broker.pool_pages()
+    }
+
+    /// Name of the arbitration policy in use.
+    pub fn policy_name(&self) -> &'static str {
+        self.shared.lock().broker.policy_name()
+    }
+
+    /// Number of sorts currently executing (admitted, not yet completed).
+    pub fn live_jobs(&self) -> usize {
+        self.shared.lock().broker.live_count()
+    }
+
+    /// Number of requests waiting for admission.
+    pub fn queued_jobs(&self) -> usize {
+        self.shared.lock().queue.len()
+    }
+
+    /// Snapshot of the service-wide aggregate statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let st = self.shared.lock();
+        let mut stats = st.stats.clone();
+        stats.rebalances = st.broker.rebalances();
+        stats
+    }
+
+    /// Stop accepting submissions, drain the queue, join the workers, and
+    /// return the final statistics. Every issued ticket is fulfilled before
+    /// this returns.
+    pub fn shutdown(mut self) -> ServiceStats {
+        self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        let st = self.shared.lock();
+        let mut stats = st.stats.clone();
+        stats.rebalances = st.broker.rebalances();
+        stats
+    }
+
+    fn begin_shutdown(&self) {
+        self.shared.lock().shutdown = true;
+        self.shared.work.notify_all();
+    }
+}
+
+impl Drop for SortService {
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// What a worker carries out of the admission critical section.
+struct Admitted {
+    req: QueuedRequest,
+    budget: MemoryBudget,
+    initial_grant: usize,
+    start_version: u64,
+    queued_for: f64,
+    admitted_at: f64,
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let admitted = {
+            let mut st = shared.lock();
+            loop {
+                let state = &mut *st;
+                if let Some(req) = state.queue.pop_admissible(&state.broker) {
+                    let now = shared.now();
+                    let budget = MemoryBudget::new(req.min_pages);
+                    state.broker.admit(
+                        JobDemand {
+                            job: req.job,
+                            priority: req.priority,
+                            min_pages: req.min_pages,
+                            max_pages: req.max_pages,
+                        },
+                        budget.clone(),
+                        now,
+                    );
+                    let queued_for = (now - req.submitted_at).max(0.0);
+                    state.stats.peak_live = state.stats.peak_live.max(state.broker.live_count());
+                    state.stats.total_queue_wait += queued_for;
+                    let snapshot = budget.snapshot();
+                    break Admitted {
+                        req,
+                        initial_grant: snapshot.target,
+                        start_version: snapshot.version,
+                        budget,
+                        queued_for,
+                        admitted_at: now,
+                    };
+                }
+                if st.shutdown && st.queue.is_empty() {
+                    return;
+                }
+                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        run_admitted(&shared, admitted);
+        // A completion frees committed minimums: queued requests may now fit.
+        shared.work.notify_all();
+    }
+}
+
+fn run_admitted(shared: &Shared, admitted: Admitted) {
+    let Admitted {
+        req,
+        budget,
+        initial_grant,
+        start_version,
+        queued_for,
+        admitted_at,
+    } = admitted;
+    let QueuedRequest {
+        job,
+        cfg,
+        input,
+        storage,
+        priority,
+        min_pages,
+        max_pages,
+        ticket,
+        ..
+    } = req;
+
+    // A panicking job (e.g. a user-supplied `InputSource`) must not take the
+    // worker thread down with it: its pages would stay committed forever and
+    // its ticket would never be fulfilled. Contain the unwind and surface it
+    // as an error on the ticket instead.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        build_store(storage).and_then(|store| {
+            let mut env = RealEnv::starting_at(shared.start);
+            env.max_wait = shared.suspension_wait;
+            SortJob::builder()
+                .config(cfg)
+                .input(input)
+                .store(store)
+                .env(env)
+                .budget(budget.clone())
+                .build()?
+                .run()
+        })
+    }))
+    .unwrap_or_else(|panic| Err(panic_error(panic)));
+
+    // Reallocations observed strictly after the initial grant and before this
+    // job's own release below (which only re-targets the survivors).
+    let reallocations = budget.version().saturating_sub(start_version);
+    let finished_at = shared.now();
+    let mut st = shared.lock();
+    st.broker.release(job, finished_at);
+    let outcome = match result {
+        Ok(completion) => {
+            let delays = &completion.outcome.delays;
+            let stats = JobStats {
+                job,
+                priority,
+                min_pages,
+                max_pages,
+                queued_for,
+                ran_for: (finished_at - admitted_at).max(0.0),
+                initial_grant,
+                reallocations,
+                delay_samples: delays.len(),
+                total_delay: delays.iter().map(DelaySample::delay).sum(),
+            };
+            st.stats.completed += 1;
+            st.stats.total_reallocations += reallocations;
+            st.stats.total_delay_samples += stats.delay_samples as u64;
+            Ok(JobReport { completion, stats })
+        }
+        Err(e) => {
+            st.stats.failed += 1;
+            Err(e)
+        }
+    };
+    drop(st);
+    ticket.fulfill(outcome);
+}
+
+/// Convert a caught panic payload into the error delivered on the ticket.
+fn panic_error(payload: Box<dyn std::any::Any + Send>) -> SortError {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "opaque panic payload".to_string());
+    SortError::Io(std::io::Error::other(format!("sort job panicked: {msg}")))
+}
+
+fn build_store(storage: RunStorage) -> SortResult<ServiceStore> {
+    match storage {
+        RunStorage::InMemory => Ok(ServiceStore::Mem(MemStore::new())),
+        RunStorage::TempDisk => Ok(ServiceStore::Temp(FileStore::in_temp_dir()?)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{MinGuarantee, PriorityWeighted};
+    use masort_core::verify::assert_sorted_permutation;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Tuple::synthetic(rng.gen::<u64>(), 64))
+            .collect()
+    }
+
+    fn small_cfg(mem: usize) -> SortConfig {
+        SortConfig::default()
+            .with_page_size(512)
+            .with_tuple_size(64)
+            .with_memory_pages(mem)
+    }
+
+    #[test]
+    fn single_job_round_trip() {
+        let svc = SortService::builder().pool_pages(16).workers(2).build();
+        let input = random_tuples(2_000, 1);
+        let ticket = svc
+            .submit(SortRequest::tuples(small_cfg(8), input.clone()))
+            .unwrap();
+        let report = ticket.wait().unwrap();
+        assert!(report.stats.initial_grant >= 1);
+        let sorted = report.into_sorted_vec().unwrap();
+        assert_sorted_permutation(&input, &sorted);
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn temp_disk_storage_round_trip() {
+        let svc = SortService::builder().pool_pages(16).workers(1).build();
+        let input = random_tuples(1_200, 2);
+        let report = svc
+            .submit(SortRequest::tuples(small_cfg(6), input.clone()).spill_to_temp_dir())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(matches!(report.completion.store, ServiceStore::Temp(_)));
+        let sorted = report.into_sorted_vec().unwrap();
+        assert_sorted_permutation(&input, &sorted);
+    }
+
+    #[test]
+    fn impossible_request_is_rejected_not_queued() {
+        let svc = SortService::builder().pool_pages(8).workers(1).build();
+        let err = svc
+            .submit(SortRequest::tuples(small_cfg(4), Vec::new()).min_pages(9))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SortError::BudgetStarved {
+                needed: 9,
+                granted: 8
+            }
+        ));
+        assert_eq!(svc.stats().rejected, 1);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_submit() {
+        let svc = SortService::builder().pool_pages(8).workers(1).build();
+        let mut cfg = small_cfg(4);
+        cfg.page_size = 0;
+        let err = svc
+            .submit(SortRequest::tuples(cfg, Vec::new()))
+            .unwrap_err();
+        assert!(matches!(err, SortError::InvalidConfig(_)));
+        // A zero tuple size must not panic while paginating the request; it
+        // is rejected by validation at submit like every other bad config.
+        let mut cfg = small_cfg(4);
+        cfg.tuple_size = 0;
+        let err = svc
+            .submit(SortRequest::tuples(cfg, vec![Tuple::synthetic(1, 64)]))
+            .unwrap_err();
+        assert!(matches!(err, SortError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn pool_shrink_fails_queued_requests_that_no_longer_fit() {
+        // One worker, and a long-running job holding the pool, so the
+        // big-minimum request is still queued when the pool shrinks.
+        let svc = SortService::builder().pool_pages(32).workers(1).build();
+        let blocker = svc
+            .submit(SortRequest::tuples(small_cfg(8), random_tuples(30_000, 3)).min_pages(2))
+            .unwrap();
+        let doomed = svc
+            .submit(SortRequest::tuples(small_cfg(8), Vec::new()).min_pages(24))
+            .unwrap();
+        svc.resize_pool(12);
+        match doomed.wait() {
+            Err(SortError::BudgetStarved {
+                needed: 24,
+                granted: 12,
+            }) => {}
+            other => panic!("expected BudgetStarved, got {other:?}"),
+        }
+        blocker.wait().unwrap();
+        let stats = svc.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.resizes, 1);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_work() {
+        let svc = SortService::builder().pool_pages(16).workers(2).build();
+        let inputs: Vec<Vec<Tuple>> = (0..6).map(|i| random_tuples(1_500, 40 + i)).collect();
+        let tickets: Vec<SortTicket> = inputs
+            .iter()
+            .map(|input| {
+                svc.submit(SortRequest::tuples(small_cfg(6), input.clone()))
+                    .unwrap()
+            })
+            .collect();
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 6);
+        for (ticket, input) in tickets.into_iter().zip(&inputs) {
+            let sorted = ticket.wait().unwrap().into_sorted_vec().unwrap();
+            assert_sorted_permutation(input, &sorted);
+        }
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let svc = SortService::builder().pool_pages(16).workers(1).build();
+        svc.begin_shutdown();
+        let err = svc
+            .submit(SortRequest::tuples(small_cfg(4), Vec::new()))
+            .unwrap_err();
+        assert!(matches!(err, SortError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn panicking_job_fails_its_ticket_and_releases_its_pages() {
+        struct PanickingSource;
+        impl InputSource for PanickingSource {
+            fn next_page(&mut self) -> SortResult<Option<Page>> {
+                panic!("user input source exploded");
+            }
+        }
+        let svc = SortService::builder().pool_pages(8).workers(1).build();
+        let err = svc
+            .submit(SortRequest::from_source(small_cfg(4), PanickingSource).min_pages(8))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        match err {
+            SortError::Io(e) => assert!(e.to_string().contains("panicked"), "{e}"),
+            other => panic!("expected an Io(panicked) error, got {other:?}"),
+        }
+        // The dead job's pages were released and its worker survived: a job
+        // needing the whole pool can still be admitted and completes.
+        let input = random_tuples(800, 9);
+        let sorted = svc
+            .submit(SortRequest::tuples(small_cfg(4), input.clone()).min_pages(8))
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_sorted_vec()
+            .unwrap();
+        assert_sorted_permutation(&input, &sorted);
+        let stats = svc.shutdown();
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn all_policies_run_the_same_workload() {
+        fn run(policy: impl ArbitrationPolicy + 'static) {
+            let svc = SortService::builder()
+                .pool_pages(20)
+                .workers(3)
+                .policy(policy)
+                .build();
+            let inputs: Vec<Vec<Tuple>> = (0..5).map(|i| random_tuples(2_000, 70 + i)).collect();
+            let tickets: Vec<SortTicket> = inputs
+                .iter()
+                .enumerate()
+                .map(|(i, input)| {
+                    svc.submit(
+                        SortRequest::tuples(small_cfg(10), input.clone())
+                            .priority(1 + (i as u32 % 3))
+                            .min_pages(2),
+                    )
+                    .unwrap()
+                })
+                .collect();
+            for (ticket, input) in tickets.into_iter().zip(&inputs) {
+                let report = ticket.wait().unwrap();
+                assert!(report.stats.initial_grant >= 2, "minimum not honoured");
+                let sorted = report.into_sorted_vec().unwrap();
+                assert_sorted_permutation(input, &sorted);
+            }
+        }
+        run(EqualShare);
+        run(PriorityWeighted);
+        run(MinGuarantee);
+    }
+}

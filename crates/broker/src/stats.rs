@@ -1,0 +1,114 @@
+//! Per-job and service-wide broker statistics.
+//!
+//! These mirror the measurements of the paper's evaluation at service level:
+//! how long requests queued for admission, how often the broker re-divided
+//! memory under each job, and the split/merge-phase delay samples each sort's
+//! [`MemoryBudget`](masort_core::MemoryBudget) recorded while honouring
+//! shrink requests.
+
+use crate::ticket::JobId;
+
+/// Broker-side statistics for one completed job.
+#[derive(Clone, Debug)]
+pub struct JobStats {
+    /// The job these statistics belong to.
+    pub job: JobId,
+    /// Priority the job was submitted with.
+    pub priority: u32,
+    /// Guaranteed minimum share (pages).
+    pub min_pages: usize,
+    /// Maximum useful share (pages).
+    pub max_pages: usize,
+    /// Seconds spent queued before admission (waiting for the minimum share
+    /// to become available).
+    pub queued_for: f64,
+    /// Seconds between admission and completion.
+    pub ran_for: f64,
+    /// Pages granted by the arbitration policy at admission.
+    pub initial_grant: usize,
+    /// Number of times the broker adjusted this job's page target *after* its
+    /// initial grant — i.e. mid-flight reallocations, observed via
+    /// [`MemoryBudget::version`](masort_core::MemoryBudget::version).
+    pub reallocations: u64,
+    /// Number of delay samples the budget recorded while the sort honoured
+    /// shrink requests (the paper's split-phase / merge-phase delays). The
+    /// samples themselves live in the outcome
+    /// ([`SortOutcome::delays`](masort_core::SortOutcome)) — this avoids
+    /// carrying the vector twice in every report.
+    pub delay_samples: usize,
+    /// Summed duration (seconds) of those delay samples.
+    pub total_delay: f64,
+}
+
+impl JobStats {
+    /// Mean delay (seconds) across all shrink requests this job honoured, or
+    /// zero if it never faced a shortage.
+    pub fn mean_delay(&self) -> f64 {
+        if self.delay_samples == 0 {
+            0.0
+        } else {
+            self.total_delay / self.delay_samples as f64
+        }
+    }
+
+    /// Total response time: queue wait plus execution.
+    pub fn response_time(&self) -> f64 {
+        self.queued_for + self.ran_for
+    }
+}
+
+/// Aggregate statistics across the whole service lifetime.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Requests accepted by [`submit`](crate::SortService::submit).
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs that started but failed (I/O errors, corrupt runs, ...).
+    pub failed: u64,
+    /// Requests rejected as impossible (`min_pages` larger than the pool, at
+    /// submission or after a pool shrink).
+    pub rejected: u64,
+    /// Times the broker re-divided the pool (admissions + completions +
+    /// resizes).
+    pub rebalances: u64,
+    /// Explicit [`resize_pool`](crate::SortService::resize_pool) calls.
+    pub resizes: u64,
+    /// Most sorts ever live at once.
+    pub peak_live: usize,
+    /// Most requests ever queued at once.
+    pub peak_queued: usize,
+    /// Total seconds jobs spent queued before admission.
+    pub total_queue_wait: f64,
+    /// Total mid-flight reallocations across all completed jobs.
+    pub total_reallocations: u64,
+    /// Total delay samples recorded across all completed jobs.
+    pub total_delay_samples: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_stats_mean_delay() {
+        let mut s = JobStats {
+            job: 0,
+            priority: 1,
+            min_pages: 1,
+            max_pages: 8,
+            queued_for: 0.5,
+            ran_for: 1.5,
+            initial_grant: 4,
+            reallocations: 3,
+            delay_samples: 0,
+            total_delay: 0.0,
+        };
+        assert_eq!(s.mean_delay(), 0.0);
+        assert!((s.response_time() - 2.0).abs() < 1e-12);
+        // One 1 s split-phase delay and one 3 s merge-phase delay.
+        s.delay_samples = 2;
+        s.total_delay = 4.0;
+        assert!((s.mean_delay() - 2.0).abs() < 1e-12);
+    }
+}

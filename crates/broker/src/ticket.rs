@@ -1,0 +1,130 @@
+//! Tickets: the handle a caller holds while a submitted sort is queued and
+//! running, and the report it redeems for when the sort finishes.
+
+use crate::service::ServiceStore;
+use crate::stats::JobStats;
+use masort_core::{SortCompletion, SortError, SortOutcome, SortResult, SortedStream, Tuple};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Identifier of a job within one [`SortService`](crate::SortService)
+/// (assigned in submission order, starting at 0).
+pub type JobId = u64;
+
+/// The shared completion slot between a worker thread and the ticket holder.
+#[derive(Debug, Default)]
+pub(crate) struct TicketShared {
+    slot: Mutex<Option<SortResult<JobReport>>>,
+    cv: Condvar,
+}
+
+impl TicketShared {
+    fn lock(&self) -> MutexGuard<'_, Option<SortResult<JobReport>>> {
+        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Deliver the job's result and wake every waiter. Must be called at most
+    /// once per ticket.
+    pub(crate) fn fulfill(&self, result: SortResult<JobReport>) {
+        let mut g = self.lock();
+        debug_assert!(g.is_none(), "ticket fulfilled twice");
+        *g = Some(result);
+        self.cv.notify_all();
+    }
+}
+
+/// A claim on the result of one submitted sort.
+///
+/// Returned by [`SortService::submit`](crate::SortService::submit). Redeem it
+/// with [`wait`](Self::wait) (blocking) or poll with
+/// [`is_done`](Self::is_done) / [`wait_timeout`](Self::wait_timeout). The
+/// ticket is independent of the service handle: it can be sent to another
+/// thread and outlives `SortService` shutdown (queued work is drained before
+/// the workers exit, so every ticket is eventually fulfilled).
+#[derive(Debug)]
+pub struct SortTicket {
+    job: JobId,
+    shared: Arc<TicketShared>,
+}
+
+impl SortTicket {
+    pub(crate) fn new(job: JobId, shared: Arc<TicketShared>) -> Self {
+        SortTicket { job, shared }
+    }
+
+    /// The service-assigned identifier of this job.
+    pub fn job_id(&self) -> JobId {
+        self.job
+    }
+
+    /// True once the job has finished (successfully or not) and
+    /// [`wait`](Self::wait) would return without blocking.
+    pub fn is_done(&self) -> bool {
+        self.shared.lock().is_some()
+    }
+
+    /// Block until the sort completes, then return its report (or the error
+    /// that stopped it — I/O failures, `BudgetStarved` rejections after a
+    /// pool shrink, ...).
+    pub fn wait(self) -> SortResult<JobReport> {
+        let mut g = self.shared.lock();
+        loop {
+            if let Some(result) = g.take() {
+                return result;
+            }
+            g = self.shared.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Like [`wait`](Self::wait), but give up after `timeout`, handing the
+    /// ticket back so the caller can retry.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<SortResult<JobReport>, SortTicket> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut g = self.shared.lock();
+        loop {
+            if let Some(result) = g.take() {
+                return Ok(result);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                drop(g);
+                return Err(self);
+            }
+            let (guard, _timed_out) = self
+                .shared
+                .cv
+                .wait_timeout(g, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            g = guard;
+        }
+    }
+}
+
+/// Everything a finished sort hands back: the core
+/// [`SortCompletion`] (outcome + the store holding the output run) plus the
+/// broker's per-job statistics.
+#[derive(Debug)]
+pub struct JobReport {
+    /// The sort's outcome and output store; stream or collect it exactly as
+    /// with a standalone [`SortJob`](masort_core::SortJob).
+    pub completion: SortCompletion<ServiceStore>,
+    /// Broker-side statistics: queue wait, reallocations, delay samples.
+    pub stats: JobStats,
+}
+
+impl JobReport {
+    /// The sort outcome (runs formed, merge statistics, response time, ...).
+    pub fn outcome(&self) -> &SortOutcome {
+        &self.completion.outcome
+    }
+
+    /// Stream the sorted result page by page.
+    pub fn into_stream(self) -> SortedStream<ServiceStore> {
+        self.completion.into_stream()
+    }
+
+    /// Materialise the sorted result (convenience for small relations).
+    pub fn into_sorted_vec(self) -> Result<Vec<Tuple>, SortError> {
+        self.completion.into_sorted_vec()
+    }
+}

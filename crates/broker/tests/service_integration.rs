@@ -1,0 +1,174 @@
+//! The acceptance scenario for the broker subsystem: many concurrent sorts
+//! through one [`SortService`] on a pool smaller than their combined demand,
+//! under each arbitration policy, with pool resizes thrown in mid-flight.
+//!
+//! For every policy we verify that
+//! * every output stream is a correctly sorted permutation of its input,
+//! * every admitted job received at least its guaranteed minimum,
+//! * at least one mid-flight reallocation occurred (observed through
+//!   [`MemoryBudget::version`](masort_core::MemoryBudget::version) deltas
+//!   surfaced as [`JobStats::reallocations`]),
+//! * the service aggregates are consistent with what the tickets report.
+
+use masort_broker::prelude::*;
+use masort_core::verify::{is_key_permutation, is_sorted};
+use masort_core::{SortConfig, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+const JOBS: usize = 10;
+const POOL: usize = 24;
+
+fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Tuple::synthetic(rng.gen::<u64>(), 64))
+        .collect()
+}
+
+fn cfg() -> SortConfig {
+    // 512 B pages of 64 B tuples; each job would like 16 pages, so ten jobs
+    // demand 160 pages against a 24-page pool — heavy contention.
+    SortConfig::default()
+        .with_page_size(512)
+        .with_tuple_size(64)
+        .with_memory_pages(16)
+}
+
+fn exercise_policy(policy: impl ArbitrationPolicy + 'static) {
+    let policy_name = policy.name();
+    let service = SortService::builder()
+        .pool_pages(POOL)
+        .workers(4)
+        .policy(policy)
+        .build();
+
+    let inputs: Vec<Vec<Tuple>> = (0..JOBS)
+        .map(|i| random_tuples(8_000, 0xACCE97 + i as u64))
+        .collect();
+    let tickets: Vec<SortTicket> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            service
+                .submit(
+                    SortRequest::tuples(cfg(), input.clone())
+                        .priority(1 + (i as u32 % 3))
+                        .min_pages(2),
+                )
+                .unwrap_or_else(|e| panic!("{policy_name}: submit {i} failed: {e}"))
+        })
+        .collect();
+
+    // Shrink and re-grow the global pool while the sorts are in flight: every
+    // live budget must move.
+    std::thread::sleep(Duration::from_millis(5));
+    service.resize_pool(12);
+    std::thread::sleep(Duration::from_millis(5));
+    service.resize_pool(36);
+
+    let mut total_reallocations = 0u64;
+    let mut total_delay_samples = 0usize;
+    for (i, (ticket, input)) in tickets.into_iter().zip(&inputs).enumerate() {
+        let report = ticket
+            .wait()
+            .unwrap_or_else(|e| panic!("{policy_name}: job {i} failed: {e}"));
+        assert!(
+            report.stats.initial_grant >= 2,
+            "{policy_name}: job {i} admitted below its guaranteed minimum \
+             (got {})",
+            report.stats.initial_grant
+        );
+        total_reallocations += report.stats.reallocations;
+        total_delay_samples += report.stats.delay_samples;
+
+        let streamed: Vec<Tuple> = report
+            .into_stream()
+            .collect::<Result<_, _>>()
+            .unwrap_or_else(|e| panic!("{policy_name}: job {i} stream failed: {e}"));
+        assert!(
+            is_sorted(&streamed),
+            "{policy_name}: job {i} output not sorted"
+        );
+        assert!(
+            is_key_permutation(input, &streamed),
+            "{policy_name}: job {i} lost or duplicated tuples"
+        );
+    }
+
+    assert!(
+        total_reallocations >= 1,
+        "{policy_name}: no job observed a mid-flight reallocation \
+         ({total_delay_samples} delay samples)"
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, JOBS as u64, "{policy_name}");
+    assert_eq!(stats.completed, JOBS as u64, "{policy_name}");
+    assert_eq!(stats.failed, 0, "{policy_name}");
+    assert_eq!(stats.resizes, 2, "{policy_name}");
+    assert_eq!(
+        stats.total_reallocations, total_reallocations,
+        "{policy_name}"
+    );
+    assert!(
+        stats.rebalances >= (2 * JOBS + 2) as u64,
+        "{policy_name}: every admission, completion and resize rebalances \
+         (got {})",
+        stats.rebalances
+    );
+    assert!(
+        stats.peak_live >= 2,
+        "{policy_name}: sorts never overlapped"
+    );
+}
+
+#[test]
+fn concurrent_sorts_under_equal_share() {
+    exercise_policy(EqualShare);
+}
+
+#[test]
+fn concurrent_sorts_under_priority_weighted() {
+    exercise_policy(PriorityWeighted);
+}
+
+#[test]
+fn concurrent_sorts_under_min_guarantee() {
+    exercise_policy(MinGuarantee);
+}
+
+#[test]
+fn mixed_storage_and_priorities_under_contention() {
+    // Same contention scenario, but half the jobs spill to temporary files
+    // and priorities span the full range — the broker must not care.
+    let service = SortService::builder()
+        .pool_pages(20)
+        .workers(4)
+        .policy(PriorityWeighted)
+        .build();
+    let inputs: Vec<Vec<Tuple>> = (0..8)
+        .map(|i| random_tuples(4_000, 0xD15C + i as u64))
+        .collect();
+    let tickets: Vec<SortTicket> = inputs
+        .iter()
+        .enumerate()
+        .map(|(i, input)| {
+            let mut req = SortRequest::tuples(cfg(), input.clone())
+                .priority(1 + i as u32)
+                .min_pages(2);
+            if i % 2 == 0 {
+                req = req.spill_to_temp_dir();
+            }
+            service.submit(req).unwrap()
+        })
+        .collect();
+    for (i, (ticket, input)) in tickets.into_iter().zip(&inputs).enumerate() {
+        let sorted = ticket.wait().unwrap().into_sorted_vec().unwrap();
+        assert!(is_sorted(&sorted), "job {i}");
+        assert!(is_key_permutation(input, &sorted), "job {i}");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 8);
+}

@@ -62,6 +62,21 @@ struct Inner {
     version: u64,
 }
 
+/// A point-in-time view of a [`MemoryBudget`], read under a single lock so
+/// that the fields are mutually consistent (reading `target()` and `held()`
+/// separately can interleave with a concurrent update).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetSnapshot {
+    /// Current page target.
+    pub target: usize,
+    /// Pages the sort most recently reported holding.
+    pub held: usize,
+    /// Value of the monotonic version counter.
+    pub version: u64,
+    /// Whether a shrink request is outstanding.
+    pub shrink_pending: bool,
+}
+
 /// Shared, thread-safe handle to the page allocation of one sort operator.
 ///
 /// See the [module documentation](self) for the protocol.
@@ -193,6 +208,18 @@ impl MemoryBudget {
     pub fn shrink_pending(&self) -> bool {
         self.lock().pending_since.is_some()
     }
+
+    /// Read target, holding, version and pending-shrink state atomically,
+    /// under one lock acquisition.
+    pub fn snapshot(&self) -> BudgetSnapshot {
+        let g = self.lock();
+        BudgetSnapshot {
+            target: g.target,
+            held: g.held,
+            version: g.version,
+            shrink_pending: g.pending_since.is_some(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -278,6 +305,18 @@ mod tests {
         b.set_target(5, 0.0);
         b.set_target(9, 1.0);
         assert_eq!(b.version(), v0 + 2);
+    }
+
+    #[test]
+    fn snapshot_is_internally_consistent() {
+        let b = MemoryBudget::new(10);
+        b.record_held(10, 0.0);
+        b.set_target(4, 1.0);
+        let s = b.snapshot();
+        assert_eq!(s.target, 4);
+        assert_eq!(s.held, 10);
+        assert_eq!(s.version, 1);
+        assert!(s.shrink_pending);
     }
 
     #[test]

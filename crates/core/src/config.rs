@@ -44,8 +44,12 @@ impl RunFormation {
     }
 
     /// Replacement selection with `n`-page block writes (`repl{n}`).
+    ///
+    /// A zero block size is accepted here (so configurations can be built
+    /// programmatically without panicking) and rejected with
+    /// [`SortError::InvalidConfig`] by [`SortConfig::validate`] — i.e. at
+    /// `SortJobBuilder::build` time, before any data moves.
     pub fn repl(n: usize) -> Self {
-        assert!(n >= 1, "block size must be at least one page");
         RunFormation::ReplacementSelect { block_pages: n }
     }
 
@@ -273,8 +277,12 @@ impl Default for SortConfig {
 
 impl SortConfig {
     /// Number of tuples that fit in one page (at least 1).
+    ///
+    /// Total even for configurations [`validate`](Self::validate) would
+    /// reject: a zero `tuple_size` does not divide by zero, so pagination
+    /// helpers can run before validation surfaces `InvalidConfig`.
     pub fn tuples_per_page(&self) -> usize {
-        (self.page_size / self.tuple_size).max(1)
+        (self.page_size / self.tuple_size.max(1)).max(1)
     }
 
     /// Builder-style override of the memory allocation.
@@ -290,15 +298,19 @@ impl SortConfig {
     }
 
     /// Builder-style override of the page size in bytes.
+    ///
+    /// A zero value is stored as-is and rejected by [`validate`](Self::validate)
+    /// (i.e. at `SortJobBuilder::build` time) rather than panicking here.
     pub fn with_page_size(mut self, bytes: usize) -> Self {
-        assert!(bytes > 0, "page size must be positive");
         self.page_size = bytes;
         self
     }
 
     /// Builder-style override of the nominal tuple size in bytes.
+    ///
+    /// A zero value is stored as-is and rejected by [`validate`](Self::validate)
+    /// (i.e. at `SortJobBuilder::build` time) rather than panicking here.
     pub fn with_tuple_size(mut self, bytes: usize) -> Self {
-        assert!(bytes > 0, "tuple size must be positive");
         self.tuple_size = bytes;
         self
     }
@@ -417,9 +429,28 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "block size")]
-    fn repl_zero_panics() {
-        RunFormation::repl(0);
+    fn repl_zero_is_rejected_at_validate_not_construction() {
+        // Constructing the invalid value must not panic ...
+        let spec = AlgorithmSpec::new(
+            RunFormation::repl(0),
+            MergePolicy::Optimized,
+            MergeAdaptation::DynamicSplitting,
+        );
+        // ... but validating a configuration that uses it fails.
+        let err = SortConfig::default().with_algorithm(spec).validate();
+        assert!(matches!(err, Err(SortError::InvalidConfig(_))), "{err:?}");
+    }
+
+    #[test]
+    fn zero_page_and_tuple_sizes_are_rejected_at_validate_not_construction() {
+        let err = SortConfig::default().with_page_size(0).validate();
+        assert!(matches!(err, Err(SortError::InvalidConfig(_))), "{err:?}");
+        let err = SortConfig::default().with_tuple_size(0).validate();
+        assert!(matches!(err, Err(SortError::InvalidConfig(_))), "{err:?}");
+        // Pagination helpers stay total (no divide-by-zero, result >= 1) on
+        // the not-yet-validated values.
+        assert!(SortConfig::default().with_page_size(0).tuples_per_page() >= 1);
+        assert!(SortConfig::default().with_tuple_size(0).tuples_per_page() >= 1);
     }
 
     #[test]

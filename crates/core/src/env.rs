@@ -91,6 +91,18 @@ impl RealEnv {
             ..Self::default()
         }
     }
+
+    /// Create a real environment whose clock starts at `start` instead of
+    /// "now". A component that drives several sorts against one shared clock
+    /// (e.g. a memory broker timestamping [`MemoryBudget::set_target`] calls)
+    /// uses this so [`SortEnv::now`] and the budget's delay samples agree on
+    /// a common origin.
+    pub fn starting_at(start: Instant) -> Self {
+        RealEnv {
+            start,
+            ..Self::default()
+        }
+    }
 }
 
 impl SortEnv for RealEnv {

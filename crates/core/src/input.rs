@@ -27,6 +27,20 @@ pub trait InputSource {
     }
 }
 
+impl<T: InputSource + ?Sized> InputSource for Box<T> {
+    fn next_page(&mut self) -> SortResult<Option<Page>> {
+        (**self).next_page()
+    }
+
+    fn total_pages(&self) -> Option<usize> {
+        (**self).total_pages()
+    }
+
+    fn total_tuples(&self) -> Option<usize> {
+        (**self).total_tuples()
+    }
+}
+
 /// An [`InputSource`] over an in-memory collection of pages.
 #[derive(Debug, Clone)]
 pub struct VecSource {

@@ -64,6 +64,10 @@ impl SortMergeJoin {
 
     /// Join `left` and `right`, invoking `on_match` for every pair of tuples
     /// with equal sort keys (under the configured [`crate::order::SortOrder`]).
+    ///
+    /// The configuration is validated first (`SortError::InvalidConfig`),
+    /// like every other entry point that executes a [`SortConfig`] — the
+    /// config constructors themselves accept any value.
     pub fn join<S, L, R, E, F>(
         &self,
         left: &mut L,
@@ -80,6 +84,7 @@ impl SortMergeJoin {
         E: SortEnv,
         F: FnMut(&Tuple, &Tuple),
     {
+        self.cfg.validate()?;
         let started = env.now();
         budget.set_phase(SortPhase::Split);
         let left_split = form_runs(&self.cfg, budget, left, store, env)?;
@@ -168,6 +173,16 @@ mod tests {
             .with_tuple_size(64)
             .with_memory_pages(mem)
             .with_algorithm(spec)
+    }
+
+    #[test]
+    fn join_validates_the_config_like_the_other_entry_points() {
+        let cfg = small_cfg(6, AlgorithmSpec::recommended()).with_tuple_size(0);
+        let err = SortMergeJoin::new(cfg).join_vecs_count(Vec::new(), Vec::new());
+        assert!(
+            matches!(err, Err(crate::error::SortError::InvalidConfig(_))),
+            "{err:?}"
+        );
     }
 
     #[test]

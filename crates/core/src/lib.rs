@@ -110,7 +110,7 @@ pub mod stream;
 pub mod tuple;
 pub mod verify;
 
-pub use budget::{DelaySample, MemoryBudget, SortPhase};
+pub use budget::{BudgetSnapshot, DelaySample, MemoryBudget, SortPhase};
 pub use config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig};
 pub use env::{CpuOp, RealEnv, SortEnv};
 pub use error::{SortError, SortResult};
@@ -127,7 +127,7 @@ pub use tuple::{Page, Payload, Tuple};
 
 /// Convenient glob import of the most commonly used types.
 pub mod prelude {
-    pub use crate::budget::{MemoryBudget, SortPhase};
+    pub use crate::budget::{BudgetSnapshot, MemoryBudget, SortPhase};
     pub use crate::config::{
         AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig,
     };

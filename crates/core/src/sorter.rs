@@ -106,6 +106,11 @@ impl ExternalSorter {
     /// Run a full external sort of `input`, storing runs (including the final
     /// output run) in `store`, charging costs to `env`, and obeying `budget`.
     ///
+    /// The configuration is validated first (`SortError::InvalidConfig`), so
+    /// this low-level entry point enforces the same invariants as
+    /// `SortJob::builder().build()` — the config constructors themselves
+    /// accept any value.
+    ///
     /// On error the store may be left holding partially written runs; callers
     /// that reuse stores across sorts should delete them (or drop the store).
     pub fn sort<S, I, E>(
@@ -120,6 +125,7 @@ impl ExternalSorter {
         I: InputSource,
         E: SortEnv,
     {
+        self.cfg.validate()?;
         let started = env.now();
         budget.set_phase(SortPhase::Split);
         let split = form_runs(&self.cfg, budget, input, store, env)?;
@@ -182,6 +188,7 @@ mod tests {
     use super::*;
     use crate::config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation};
     use crate::env::{CountingEnv, RealEnv};
+    use crate::error::SortError;
     use crate::input::VecSource;
     use crate::job::SortJob;
     use crate::store::{FileStore, MemStore};
@@ -258,6 +265,31 @@ mod tests {
             .unwrap();
         let sorted = collect_run(&mut store, outcome.output_run).unwrap();
         assert_sorted_permutation(&input, &sorted);
+    }
+
+    #[test]
+    fn low_level_sort_validates_the_config_too() {
+        // The config constructors accept any value; the low-level entry point
+        // must enforce the same invariants as `SortJob::build` rather than
+        // silently sorting with garbage geometry.
+        let cfg = small_cfg(5, AlgorithmSpec::recommended()).with_tuple_size(0);
+        let sorter = ExternalSorter::new(cfg.clone());
+        let budget = MemoryBudget::new(cfg.memory_pages);
+        let mut source = VecSource::from_pages(Vec::new());
+        let mut store = MemStore::new();
+        let mut env = CountingEnv::new();
+        let err = sorter.sort(&mut source, &mut store, &mut env, &budget);
+        assert!(matches!(err, Err(SortError::InvalidConfig(_))), "{err:?}");
+        let cfg = small_cfg(
+            5,
+            AlgorithmSpec::new(
+                RunFormation::repl(0),
+                MergePolicy::Optimized,
+                MergeAdaptation::DynamicSplitting,
+            ),
+        );
+        let err = ExternalSorter::new(cfg).sort(&mut source, &mut store, &mut env, &budget);
+        assert!(matches!(err, Err(SortError::InvalidConfig(_))), "{err:?}");
     }
 
     #[test]

@@ -1,0 +1,128 @@
+//! Contention stress test for [`MemoryBudget`]: many threads hammer
+//! `set_target` / `record_held` while a real sort runs against the same
+//! budget. Verifies that
+//!
+//! * `version()` is observed monotonically non-decreasing from a concurrent
+//!   watcher thread,
+//! * no `set_target` call is lost: the final version equals exactly the
+//!   number of `set_target` calls issued (the sort itself never changes the
+//!   target, only reports holdings),
+//! * the sort still produces a sorted permutation of its input.
+//!
+//! CI additionally runs this in release mode
+//! (`cargo test --release -p masort-core --test budget_stress`), where the
+//! thread interleavings are tighter.
+
+use masort_core::prelude::*;
+use masort_core::verify::assert_sorted_permutation;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+#[cfg(debug_assertions)]
+const SET_TARGET_CALLS_PER_THREAD: usize = 4_000;
+#[cfg(not(debug_assertions))]
+const SET_TARGET_CALLS_PER_THREAD: usize = 40_000;
+
+const SETTER_THREADS: usize = 6;
+const HOLD_REPORTER_THREADS: usize = 3;
+
+#[test]
+fn concurrent_hammering_loses_no_updates() {
+    let mut rng = StdRng::seed_from_u64(0xB0D6E7);
+    let input: Vec<Tuple> = (0..30_000)
+        .map(|_| Tuple::synthetic(rng.gen::<u64>(), 64))
+        .collect();
+    let cfg = SortConfig::default()
+        .with_page_size(512)
+        .with_tuple_size(64)
+        .with_memory_pages(24);
+
+    let budget = MemoryBudget::new(cfg.memory_pages);
+    let base_version = budget.version();
+    let done = Arc::new(AtomicBool::new(false));
+
+    // The sort under test, on its own thread, sharing the hammered budget.
+    // Built *before* the setter threads start: `build()` rejects a
+    // zero-target budget, and the setters legitimately write zero targets.
+    let job = SortJob::builder()
+        .config(cfg.clone())
+        .tuples(input.clone())
+        .budget(budget.clone())
+        .build()
+        .unwrap();
+    let sorter = std::thread::spawn(move || job.run().unwrap().into_sorted_vec().unwrap());
+
+    // A watcher asserting version monotonicity from outside.
+    let watcher = {
+        let budget = budget.clone();
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut last = budget.version();
+            let mut observations = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let v = budget.version();
+                assert!(v >= last, "version went backwards: {last} -> {v}");
+                last = v;
+                observations += 1;
+            }
+            observations
+        })
+    };
+
+    // N threads hammer set_target with adversarial values (including zero)...
+    let setters: Vec<_> = (0..SETTER_THREADS)
+        .map(|t| {
+            let budget = budget.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x5E77E6 + t as u64);
+                for i in 0..SET_TARGET_CALLS_PER_THREAD {
+                    budget.set_target(rng.gen_range(0usize..40), i as f64 * 1e-6);
+                }
+            })
+        })
+        .collect();
+
+    // ... while others race record_held (which must never bump the version).
+    let reporters: Vec<_> = (0..HOLD_REPORTER_THREADS)
+        .map(|t| {
+            let budget = budget.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0x4E1D + t as u64);
+                for i in 0..SET_TARGET_CALLS_PER_THREAD {
+                    budget.record_held(rng.gen_range(0usize..40), i as f64 * 1e-6);
+                }
+            })
+        })
+        .collect();
+
+    for h in setters {
+        h.join().expect("setter panicked");
+    }
+    for h in reporters {
+        h.join().expect("reporter panicked");
+    }
+    let sorted = sorter.join().expect("sort thread panicked");
+    done.store(true, Ordering::Relaxed);
+    let observations = watcher.join().expect("watcher found a regression");
+    assert!(observations > 0);
+
+    // No lost updates: exactly one version bump per set_target call. (The
+    // sort and the reporters call record_held / set_phase only, which do not
+    // touch the version counter.)
+    let expected = (SETTER_THREADS * SET_TARGET_CALLS_PER_THREAD) as u64;
+    assert_eq!(
+        budget.version() - base_version,
+        expected,
+        "set_target calls were lost or double-counted"
+    );
+
+    // And the sort survived the bombardment.
+    assert_sorted_permutation(&input, &sorted);
+    // Consistency after the dust settles: snapshot fields agree with the
+    // individual accessors.
+    let snap = budget.snapshot();
+    assert_eq!(snap.target, budget.target());
+    assert_eq!(snap.version, budget.version());
+}

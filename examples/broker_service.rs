@@ -1,0 +1,92 @@
+//! Many sorts, one memory pool: the broker subsystem end to end.
+//!
+//! A `SortService` runs eight concurrent sorts on four worker threads
+//! against a 32-page global pool — far less than their combined demand — while
+//! the main thread plays "operator" and resizes the pool mid-flight. The
+//! `MemoryBroker` re-divides the pool on every admission, completion and
+//! resize, so each sort's memory genuinely fluctuates while it runs, exactly
+//! as in the paper but on real threads.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example broker_service
+//! ```
+
+use memory_adaptive_sort::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+fn main() -> Result<(), SortError> {
+    let service = SortService::builder()
+        .pool_pages(32)
+        .workers(4)
+        .policy(PriorityWeighted)
+        .build();
+
+    let cfg = SortConfig::default()
+        .with_tuple_size(128)
+        .with_memory_pages(24) // what each sort would like
+        .with_algorithm("repl6,opt,split".parse().unwrap());
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut tickets = Vec::new();
+    for job in 0..8u32 {
+        let tuples: Vec<Tuple> = (0..120_000)
+            .map(|_| Tuple::synthetic(rng.gen::<u64>(), 128))
+            .collect();
+        let priority = 1 + job % 4; // a mixed-priority workload
+        let ticket = service.submit(
+            SortRequest::tuples(cfg.clone(), tuples)
+                .priority(priority)
+                .min_pages(3),
+        )?;
+        tickets.push((priority, ticket));
+    }
+
+    // The "operator": steal half the pool while the sorts run, then return
+    // double. Every live sort's budget moves immediately.
+    std::thread::sleep(Duration::from_millis(20));
+    service.resize_pool(16);
+    std::thread::sleep(Duration::from_millis(20));
+    service.resize_pool(64);
+
+    println!("job  prio  grant  reallocs  delays  queued(ms)  ran(ms)");
+    for (priority, ticket) in tickets {
+        let report = ticket.wait()?;
+        let s = &report.stats;
+        println!(
+            "{:>3}  {:>4}  {:>5}  {:>8}  {:>6}  {:>10.2}  {:>7.2}",
+            s.job,
+            priority,
+            s.initial_grant,
+            s.reallocations,
+            s.delay_samples,
+            s.queued_for * 1e3,
+            s.ran_for * 1e3,
+        );
+        // Stream the result and check it on the fly.
+        let mut previous = 0u64;
+        let mut count = 0usize;
+        for tuple in report.into_stream() {
+            let tuple = tuple?;
+            assert!(tuple.key >= previous, "output out of order");
+            previous = tuple.key;
+            count += 1;
+        }
+        assert_eq!(count, 120_000);
+    }
+
+    let stats = service.shutdown();
+    println!(
+        "\n{} sorts completed; {} rebalances across {} resizes; \
+         peak {} live / {} queued; {} mid-flight reallocations total",
+        stats.completed,
+        stats.rebalances,
+        stats.resizes,
+        stats.peak_live,
+        stats.peak_queued,
+        stats.total_reallocations,
+    );
+    Ok(())
+}

@@ -15,6 +15,12 @@
 //!   [`core::MemoryBudget`] handle, pluggable sort orders
 //!   ([`core::SortOrder`]), streaming output ([`core::SortedStream`]), and
 //!   memory-adaptive sort-merge joins.
+//! * [`broker`] (`masort-broker`) — the concurrent multi-sort service: a
+//!   [`broker::SortService`] runs many submissions on a worker-thread pool
+//!   while a [`broker::MemoryBroker`] re-divides one global page pool across
+//!   all live sorts (equal-share, priority-weighted or min-guarantee
+//!   arbitration — or your own [`broker::ArbitrationPolicy`]), so sorts
+//!   grow, shrink, suspend, page and split while running on real threads.
 //! * [`simkit`], [`diskmodel`], [`sysmodel`] — the simulation substrates
 //!   (event kernel, analytic disk model, CPU/buffer/workload models).
 //! * [`dbsim`] — the paper's database-system simulation model and the
@@ -66,6 +72,7 @@
 //! whose memory budget is changed from another thread while it runs, and a
 //! priority-workload simulation comparing the adaptation strategies.
 
+pub use masort_broker as broker;
 pub use masort_core as core;
 pub use masort_dbsim as dbsim;
 pub use masort_diskmodel as diskmodel;
@@ -74,6 +81,7 @@ pub use masort_sysmodel as sysmodel;
 
 /// The most commonly used types, re-exported flat.
 pub mod prelude {
+    pub use masort_broker::prelude::*;
     pub use masort_core::prelude::*;
     pub use masort_dbsim::{SimConfig, SimEnv, SimRelationSource, SimRunStore, SimSystem};
 }
@@ -95,5 +103,35 @@ mod tests {
             .unwrap();
         assert_eq!(sorted.first().map(|t| t.key), Some(0));
         assert_eq!(sorted.len(), 100);
+    }
+
+    #[test]
+    fn facade_reexports_the_broker_service() {
+        let service = SortService::builder()
+            .pool_pages(12)
+            .workers(2)
+            .policy(MinGuarantee)
+            .build();
+        let cfg = SortConfig::default()
+            .with_page_size(512)
+            .with_tuple_size(64)
+            .with_memory_pages(6);
+        let tickets: Vec<SortTicket> = (0..3)
+            .map(|i| {
+                let tuples = (0..500u64)
+                    .rev()
+                    .map(|k| Tuple::synthetic(k ^ (i * 0x1000), 64))
+                    .collect();
+                service
+                    .submit(SortRequest::tuples(cfg.clone(), tuples).priority(i as u32))
+                    .unwrap()
+            })
+            .collect();
+        for ticket in tickets {
+            let sorted = ticket.wait().unwrap().into_sorted_vec().unwrap();
+            assert_eq!(sorted.len(), 500);
+            assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+        }
+        assert_eq!(service.shutdown().completed, 3);
     }
 }

@@ -105,6 +105,75 @@ fn small_cfg(mem: usize, spec: AlgorithmSpec) -> SortConfig {
 }
 
 #[test]
+fn algorithm_spec_display_fromstr_round_trips_for_all_combinations() {
+    // Satellite property: `AlgorithmSpec` survives a Display -> FromStr round
+    // trip for every `X1,X2,X3` combination — all three in-memory methods
+    // (with randomized `replN` block sizes), both merge policies, all three
+    // adaptation strategies — plus the adaptive-replacement extension.
+    let mut cases = 0usize;
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(0xA160 + seed);
+        let block = rng.gen_range(1usize..512);
+        for spec in AlgorithmSpec::all(block) {
+            let text = spec.to_string();
+            let parsed: AlgorithmSpec = text
+                .parse()
+                .unwrap_or_else(|e| panic!("`{text}` failed to parse: {e}"));
+            assert_eq!(parsed, spec, "round trip changed `{text}`");
+            assert_eq!(parsed.to_string(), text, "second Display diverged");
+            cases += 1;
+        }
+    }
+    // `adapt` (default bounds) round-trips with every policy x adaptation.
+    for policy in [MergePolicy::Naive, MergePolicy::Optimized] {
+        for adaptation in [
+            MergeAdaptation::Suspension,
+            MergeAdaptation::Paging,
+            MergeAdaptation::DynamicSplitting,
+        ] {
+            let spec = AlgorithmSpec::new(RunFormation::adaptive(), policy, adaptation);
+            let parsed: AlgorithmSpec = spec.to_string().parse().unwrap();
+            assert_eq!(parsed, spec);
+            cases += 1;
+        }
+    }
+    assert_eq!(cases, 32 * 18 + 6);
+
+    // Fuzz the parser with mangled variants: it must reject or round-trip,
+    // never panic or accept something that re-displays differently.
+    let mut rng = StdRng::seed_from_u64(0xF022);
+    let fragments = [
+        "quick",
+        "repl",
+        "repl1",
+        "repl0",
+        "adapt",
+        "naive",
+        "opt",
+        "susp",
+        "page",
+        "split",
+        "",
+        " ",
+        "quack",
+        "replX",
+        "9999999999999999999999",
+    ];
+    for _ in 0..500 {
+        let n = rng.gen_range(0usize..5);
+        let s: Vec<&str> = (0..n)
+            .map(|_| fragments[rng.gen_range(0usize..fragments.len())])
+            .collect();
+        let text = s.join(",");
+        if let Ok(spec) = text.parse::<AlgorithmSpec>() {
+            let canonical = spec.to_string();
+            let reparsed: AlgorithmSpec = canonical.parse().unwrap();
+            assert_eq!(reparsed, spec, "`{text}` -> `{canonical}` not stable");
+        }
+    }
+}
+
+#[test]
 fn sort_is_a_sorted_permutation_under_fluctuation() {
     for case in 0..24u64 {
         let mut rng = StdRng::seed_from_u64(0x50F7 + case);
