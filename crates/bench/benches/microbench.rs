@@ -91,10 +91,18 @@ fn bench_planning(c: &mut Criterion) {
     let runs: Vec<usize> = (0..500).map(|i| 3 + (i * 7 % 23)).collect();
     let mut group = c.benchmark_group("merge_planning");
     group.bench_function("naive", |b| {
-        b.iter(|| StaticPlanSummary::plan(&runs, 38, MergePolicy::Naive).preliminary_pages())
+        b.iter(|| {
+            StaticPlanSummary::plan(&runs, 38, MergePolicy::Naive)
+                .unwrap()
+                .preliminary_pages()
+        })
     });
     group.bench_function("optimized", |b| {
-        b.iter(|| StaticPlanSummary::plan(&runs, 38, MergePolicy::Optimized).preliminary_pages())
+        b.iter(|| {
+            StaticPlanSummary::plan(&runs, 38, MergePolicy::Optimized)
+                .unwrap()
+                .preliminary_pages()
+        })
     });
     group.finish();
 }

@@ -7,8 +7,8 @@ use crate::policy::{ArbitrationPolicy, EqualShare, JobDemand};
 use crate::stats::{JobStats, ServiceStats};
 use crate::ticket::{JobId, JobReport, SortTicket, TicketShared};
 use masort_core::{
-    DelaySample, FileStore, InputSource, MemStore, MemoryBudget, Page, RealEnv, RunId, RunStore,
-    SortConfig, SortError, SortJob, SortResult, Tuple, VecSource,
+    BlockReadJob, DelaySample, FileStore, InputSource, IoPool, MemStore, MemoryBudget, Page,
+    RealEnv, RunId, RunStore, SortConfig, SortError, SortJob, SortResult, Tuple, VecSource,
 };
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -68,6 +68,30 @@ impl RunStore for ServiceStore {
 
     fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page> {
         self.inner_mut().read_page(run, idx)
+    }
+
+    fn read_block(&mut self, run: RunId, start: usize, len: usize) -> SortResult<Vec<Page>> {
+        self.inner_mut().read_block(run, start, len)
+    }
+
+    fn block_read_job(&mut self, run: RunId, start: usize, len: usize) -> Option<BlockReadJob> {
+        self.inner_mut().block_read_job(run, start, len)
+    }
+
+    fn attach_io_pool(&mut self, pool: IoPool) {
+        self.inner_mut().attach_io_pool(pool)
+    }
+
+    fn io_pool(&self) -> Option<IoPool> {
+        self.inner().io_pool()
+    }
+
+    fn set_write_coalescing(&mut self, pages: usize) {
+        self.inner_mut().set_write_coalescing(pages)
+    }
+
+    fn flush(&mut self) -> SortResult<()> {
+        self.inner_mut().flush()
     }
 
     fn run_pages(&self, run: RunId) -> usize {
@@ -166,6 +190,8 @@ pub struct SortServiceBuilder {
     workers: usize,
     policy: Arc<dyn ArbitrationPolicy>,
     suspension_wait: Duration,
+    io_threads: usize,
+    io_pipeline_depth: usize,
 }
 
 impl std::fmt::Debug for SortServiceBuilder {
@@ -190,6 +216,8 @@ impl Default for SortServiceBuilder {
             workers,
             policy: Arc::new(EqualShare),
             suspension_wait: Duration::from_secs(5),
+            io_threads: 0,
+            io_pipeline_depth: 0,
         }
     }
 }
@@ -223,11 +251,32 @@ impl SortServiceBuilder {
         self
     }
 
+    /// Share one background [`IoPool`] of `n` worker threads across every
+    /// sort this service runs (default 0 = no pool, synchronous I/O).
+    /// Spilled jobs gain write-behind and merge read-ahead; see
+    /// [`io_pipeline`](Self::io_pipeline) for the depth.
+    pub fn io_threads(mut self, n: usize) -> Self {
+        self.io_threads = n;
+        self
+    }
+
+    /// Default read-ahead depth (pages per merge cursor) applied to every
+    /// submission that does not set its own `SortConfig::io` pipeline depth
+    /// (default 0 = pipeline off). Depth is rented from each job's own
+    /// memory budget, so pipelining never lets a job exceed its brokered
+    /// allocation.
+    pub fn io_pipeline(mut self, depth: usize) -> Self {
+        self.io_pipeline_depth = depth;
+        self
+    }
+
     /// Start the service: spawn the worker threads and return the handle.
     pub fn build(self) -> SortService {
         let shared = Arc::new(Shared {
             start: Instant::now(),
             suspension_wait: self.suspension_wait,
+            io_pool: (self.io_threads > 0).then(|| IoPool::new(self.io_threads)),
+            default_io_depth: self.io_pipeline_depth,
             state: Mutex::new(State {
                 broker: MemoryBroker::new(self.pool_pages, self.policy),
                 queue: AdmissionQueue::default(),
@@ -261,6 +310,10 @@ struct State {
 struct Shared {
     start: Instant,
     suspension_wait: Duration,
+    /// Background I/O pool shared by every sort this service runs, if any.
+    io_pool: Option<IoPool>,
+    /// Pipeline depth applied to submissions that do not choose their own.
+    default_io_depth: usize,
     state: Mutex<State>,
     work: Condvar,
 }
@@ -511,10 +564,19 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
     // worker thread down with it: its pages would stay committed forever and
     // its ticket would never be fulfilled. Contain the unwind and surface it
     // as an error on the ticket instead.
+    // Service-wide I/O pipelining: submissions inherit the service's default
+    // read-ahead depth unless they chose their own, and every pipelined sort
+    // shares the service's single background I/O pool through its
+    // environment.
+    let mut cfg = cfg;
+    if cfg.io.pipeline_depth == 0 {
+        cfg.io.pipeline_depth = shared.default_io_depth;
+    }
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         build_store(storage).and_then(|store| {
             let mut env = RealEnv::starting_at(shared.start);
             env.max_wait = shared.suspension_wait;
+            env.io_pool = shared.io_pool.clone();
             SortJob::builder()
                 .config(cfg)
                 .input(input)
@@ -753,6 +815,33 @@ mod tests {
         let stats = svc.shutdown();
         assert_eq!(stats.failed, 1);
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn pipelined_service_round_trips_spilled_sorts() {
+        // One shared I/O pool across the whole service; every submission
+        // inherits the default read-ahead depth and spills to disk.
+        let svc = SortService::builder()
+            .pool_pages(24)
+            .workers(2)
+            .io_threads(2)
+            .io_pipeline(4)
+            .build();
+        let inputs: Vec<Vec<Tuple>> = (0..4).map(|i| random_tuples(2_000, 90 + i)).collect();
+        let tickets: Vec<SortTicket> = inputs
+            .iter()
+            .map(|input| {
+                svc.submit(SortRequest::tuples(small_cfg(8), input.clone()).spill_to_temp_dir())
+                    .unwrap()
+            })
+            .collect();
+        for (ticket, input) in tickets.into_iter().zip(&inputs) {
+            let sorted = ticket.wait().unwrap().into_sorted_vec().unwrap();
+            assert_sorted_permutation(input, &sorted);
+        }
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.failed, 0);
     }
 
     #[test]

@@ -54,6 +54,15 @@ pub trait SortEnv {
     /// back as one batch. The default implementation ignores the charge; the
     /// simulation environment bills it against the disk model.
     fn charge_extra_read(&mut self, _pages: usize) {}
+
+    /// The background I/O thread pool this environment shares with the sort,
+    /// if any. With a pool, stores gain write-behind and merge cursors
+    /// prefetch their next block on a worker thread; without one (the
+    /// default) pipelined configurations fall back to synchronous batched
+    /// reads.
+    fn io_pool(&self) -> Option<crate::io::IoPool> {
+        None
+    }
 }
 
 /// A production environment: wall-clock time, no CPU accounting, and
@@ -66,6 +75,8 @@ pub struct RealEnv {
     pub max_wait: Duration,
     /// Interval between budget polls while waiting.
     pub poll_interval: Duration,
+    /// Shared background I/O pool handed to pipelined sorts, if any.
+    pub io_pool: Option<crate::io::IoPool>,
 }
 
 impl Default for RealEnv {
@@ -74,6 +85,7 @@ impl Default for RealEnv {
             start: Instant::now(),
             max_wait: Duration::from_secs(30),
             poll_interval: Duration::from_millis(1),
+            io_pool: None,
         }
     }
 }
@@ -103,6 +115,12 @@ impl RealEnv {
             ..Self::default()
         }
     }
+
+    /// Builder-style: share `pool` with sorts running in this environment.
+    pub fn with_io_pool(mut self, pool: crate::io::IoPool) -> Self {
+        self.io_pool = Some(pool);
+        self
+    }
 }
 
 impl SortEnv for RealEnv {
@@ -123,6 +141,10 @@ impl SortEnv for RealEnv {
             }
             std::thread::sleep(self.poll_interval);
         }
+    }
+
+    fn io_pool(&self) -> Option<crate::io::IoPool> {
+        self.io_pool.clone()
     }
 }
 

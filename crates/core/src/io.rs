@@ -1,0 +1,294 @@
+//! The background I/O machinery: a small shared thread pool that run stores
+//! and merge cursors use to overlap disk transfers (and page encode/decode
+//! work) with sorting and merging.
+//!
+//! An [`IoPool`] is a handle to a fixed set of worker threads executing
+//! one-shot jobs. It is cheaply cloneable: a [`crate::SortJob`] can create one
+//! pool and share it between the store's write-behind stage and every merge
+//! cursor's read-ahead, and a multi-sort service (`masort-broker`) can share a
+//! single pool across all of its concurrent sorts. When the last handle is
+//! dropped the workers finish whatever is queued and exit on their own; no
+//! join is required.
+//!
+//! Pipelining is **opt-in** end to end: with no pool attached (the default)
+//! every store read and write stays synchronous and the sort behaves exactly
+//! as before.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    queue: Mutex<Queue>,
+    work: Condvar,
+    threads: usize,
+}
+
+/// Signals shutdown to the workers when the last user-held clone drops.
+/// Workers hold only `Arc<PoolInner>`, so this guard's strong count tracks
+/// user handles exactly.
+struct PoolGuard {
+    inner: Arc<PoolInner>,
+}
+
+impl Drop for PoolGuard {
+    fn drop(&mut self) {
+        let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        q.shutdown = true;
+        drop(q);
+        self.inner.work.notify_all();
+    }
+}
+
+/// A shared pool of background I/O worker threads.
+///
+/// Submit work with [`submit`](Self::submit) and redeem the returned
+/// [`IoHandle`]. Dropping every clone of the pool tells the workers to drain
+/// the queue and exit; outstanding handles are still fulfilled because
+/// workers finish queued jobs before exiting.
+#[derive(Clone)]
+pub struct IoPool {
+    inner: Arc<PoolInner>,
+    _guard: Arc<PoolGuard>,
+}
+
+impl std::fmt::Debug for IoPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoPool")
+            .field("threads", &self.inner.threads)
+            .finish()
+    }
+}
+
+impl IoPool {
+    /// Spawn a pool with `threads` worker threads (floored at 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let inner = Arc::new(PoolInner {
+            queue: Mutex::new(Queue::default()),
+            work: Condvar::new(),
+            threads,
+        });
+        for i in 0..threads {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name(format!("masort-io-{i}"))
+                .spawn(move || worker_loop(inner))
+                .expect("spawning an I/O worker thread failed");
+        }
+        IoPool {
+            _guard: Arc::new(PoolGuard {
+                inner: Arc::clone(&inner),
+            }),
+            inner,
+        }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Queue `job` for execution on a worker thread and return a handle to
+    /// its result.
+    pub fn submit<T, F>(&self, job: F) -> IoHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.push(job, false)
+    }
+
+    /// Like [`submit`](Self::submit) but the job jumps the queue. Use for
+    /// latency-sensitive work (a prefetch the consumer will soon block on)
+    /// so it is not stuck behind bulk write-behind blocks.
+    pub fn submit_urgent<T, F>(&self, job: F) -> IoHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        self.push(job, true)
+    }
+
+    fn push<T, F>(&self, job: F, urgent: bool) -> IoHandle<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let (tx, rx) = mpsc::channel();
+        let wrapped: Job = Box::new(move || {
+            let _ = tx.send(job());
+        });
+        let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if urgent {
+            q.jobs.push_front(wrapped);
+        } else {
+            q.jobs.push_back(wrapped);
+        }
+        drop(q);
+        self.inner.work.notify_one();
+        IoHandle { rx }
+    }
+
+    /// Number of jobs currently waiting for a worker (for tests/metrics).
+    pub fn queued(&self) -> usize {
+        self.inner
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .jobs
+            .len()
+    }
+}
+
+fn worker_loop(inner: Arc<PoolInner>) {
+    let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+    loop {
+        if let Some(job) = q.jobs.pop_front() {
+            drop(q);
+            // A panicking job must not kill the worker: the submitter sees
+            // `None` from its handle and the pool keeps serving other jobs.
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            continue;
+        }
+        if q.shutdown {
+            return;
+        }
+        q = inner.work.wait(q).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+/// The pending result of a job submitted to an [`IoPool`].
+#[derive(Debug)]
+pub struct IoHandle<T> {
+    rx: mpsc::Receiver<T>,
+}
+
+impl<T> IoHandle<T> {
+    /// Block until the job finishes and return its result, or `None` if the
+    /// job panicked (its sender was dropped without delivering a value).
+    pub fn wait(self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+
+    /// Return the result if the job has already finished, or the handle back
+    /// if it is still running. `Err(None)` means the job panicked.
+    pub fn try_wait(self) -> Result<T, Option<Self>> {
+        match self.rx.try_recv() {
+            Ok(v) => Ok(v),
+            Err(mpsc::TryRecvError::Empty) => Err(Some(self)),
+            Err(mpsc::TryRecvError::Disconnected) => Err(None),
+        }
+    }
+}
+
+/// Configuration of the I/O pipeline, carried by
+/// [`SortConfig`](crate::SortConfig).
+///
+/// The defaults (`pipeline_depth == 0`, `io_threads == 0`) disable
+/// pipelining entirely: every read and write stays synchronous and
+/// page-at-a-time, exactly matching the paper's cost model. See the
+/// [`SortJob`](crate::SortJob) builder's `io_pipeline` / `io_threads` knobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoConfig {
+    /// Pages of read-ahead each merge cursor may stage beyond the one page
+    /// the merge plan accounts for. `0` disables batched reads. The depth is
+    /// a *ceiling*: the actual read-ahead is rented from the sort's
+    /// [`MemoryBudget`](crate::MemoryBudget) headroom and shrinks to zero
+    /// under memory pressure.
+    pub pipeline_depth: usize,
+    /// Background I/O worker threads. `0` keeps all I/O on the sorting
+    /// thread (reads are still batched when `pipeline_depth > 0`); with
+    /// threads, stores gain write-behind and cursors prefetch the next block
+    /// while the current one is consumed.
+    pub io_threads: usize,
+}
+
+impl IoConfig {
+    /// True when any form of pipelining (batched or background I/O) is on.
+    pub fn enabled(&self) -> bool {
+        self.pipeline_depth > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn submit_returns_results() {
+        let pool = IoPool::new(2);
+        let h1 = pool.submit(|| 1 + 1);
+        let h2 = pool.submit(|| "hello".to_string());
+        assert_eq!(h1.wait(), Some(2));
+        assert_eq!(h2.wait(), Some("hello".to_string()));
+    }
+
+    #[test]
+    fn many_jobs_across_clones_all_run() {
+        let pool = IoPool::new(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..64)
+            .map(|_| {
+                let pool = pool.clone();
+                let counter = Arc::clone(&counter);
+                pool.submit(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            assert!(h.wait().is_some());
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn queued_jobs_survive_pool_drop() {
+        let pool = IoPool::new(1);
+        let slow = pool.submit(|| std::thread::sleep(std::time::Duration::from_millis(20)));
+        let queued = pool.submit(|| 7usize);
+        drop(pool);
+        // The worker drains the queue before exiting.
+        assert!(slow.wait().is_some());
+        assert_eq!(queued.wait(), Some(7));
+    }
+
+    #[test]
+    fn panicking_job_yields_none_not_poison() {
+        let pool = IoPool::new(1);
+        let h = pool.submit(|| panic!("job exploded"));
+        assert_eq!(h.wait(), None);
+        // The worker caught the panic and keeps serving jobs.
+        assert_eq!(pool.submit(|| 3).wait(), Some(3));
+    }
+
+    #[test]
+    fn try_wait_distinguishes_running_from_done() {
+        let pool = IoPool::new(1);
+        let h = pool.submit(|| std::thread::sleep(std::time::Duration::from_millis(30)));
+        let h = match h.try_wait() {
+            Err(Some(h)) => h,
+            other => panic!("expected still-running, got {other:?}"),
+        };
+        assert!(h.wait().is_some());
+    }
+
+    #[test]
+    fn default_io_config_is_disabled() {
+        let io = IoConfig::default();
+        assert!(!io.enabled());
+        assert_eq!(io.pipeline_depth, 0);
+        assert_eq!(io.io_threads, 0);
+    }
+}

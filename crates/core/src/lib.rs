@@ -99,6 +99,7 @@ pub mod config;
 pub mod env;
 pub mod error;
 pub mod input;
+pub mod io;
 pub mod job;
 pub mod join;
 pub mod merge;
@@ -115,13 +116,14 @@ pub use config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, Sort
 pub use env::{CpuOp, RealEnv, SortEnv};
 pub use error::{SortError, SortResult};
 pub use input::{GenSource, InputSource, IterSource, VecSource};
+pub use io::{IoConfig, IoHandle, IoPool};
 pub use job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};
 pub use join::{JoinOutcome, SortMergeJoin};
 pub use merge::{MergeStats, StaticPlanSummary};
 pub use order::{SortDirection, SortOrder};
 pub use run_formation::SplitStats;
 pub use sorter::{ExternalSorter, SortOutcome};
-pub use store::{FileStore, MemStore, RunId, RunMeta, RunStore};
+pub use store::{BlockReadJob, FileStore, MemStore, RunId, RunMeta, RunStore};
 pub use stream::SortedStream;
 pub use tuple::{Page, Payload, Tuple};
 
@@ -134,6 +136,7 @@ pub mod prelude {
     pub use crate::env::{CpuOp, RealEnv, SortEnv};
     pub use crate::error::{SortError, SortResult};
     pub use crate::input::{GenSource, InputSource, IterSource, VecSource};
+    pub use crate::io::{IoConfig, IoPool};
     pub use crate::job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};
     pub use crate::join::{JoinOutcome, SortMergeJoin};
     pub use crate::order::{SortDirection, SortOrder};

@@ -1,26 +1,67 @@
 //! A read cursor over a stored run: one buffered page at a time, exactly as
-//! the merge phase consumes its input runs.
+//! the merge phase consumes its input runs — plus an opt-in, budget-aware
+//! read-ahead pipeline.
+//!
+//! With pipelining off (the default) the cursor reads one page per store
+//! call. When the merge executor grants it a *read-ahead depth* (pages rented
+//! from the [`crate::MemoryBudget`]'s headroom via
+//! [`RunCursor::set_pipeline`]), the cursor pulls whole blocks through
+//! [`RunStore::read_block`] and — when the store supports background I/O and
+//! an [`IoPool`] is attached — double-buffers: while the executor consumes
+//! the staged block, the next block is fetched (and decoded) on an I/O worker
+//! thread. Staged pages are handed back instantly via
+//! [`RunCursor::shed_to`] when memory pressure returns.
 
 use crate::env::{CpuOp, SortEnv};
-use crate::error::SortResult;
+use crate::error::{SortError, SortResult};
+use crate::io::{IoHandle, IoPool};
 use crate::order::SortOrder;
 use crate::store::{RunId, RunStore};
-use crate::tuple::Tuple;
+use crate::tuple::{Page, Tuple};
 use std::collections::VecDeque;
 
-/// Cursor over a run held in a [`RunStore`], buffering one page of tuples.
+/// A block read in flight on a background I/O thread.
+#[derive(Debug)]
+struct PendingBlock {
+    handle: IoHandle<SortResult<Vec<Page>>>,
+    /// First page index of the block (always equals `next_page` at issue
+    /// time; re-checked at completion in case the cursor was shed/reset).
+    start: usize,
+    len: usize,
+}
+
+/// Cursor over a run held in a [`RunStore`], buffering one page of tuples
+/// (plus optional rented read-ahead pages).
 #[derive(Debug)]
 pub struct RunCursor {
     /// The run being read.
     pub run: RunId,
-    /// Index of the next page to read from the store.
+    /// Index of the next page to read from the store. Staged (prefetched)
+    /// pages count as read; shedding them rewinds this.
     pub next_page: usize,
     /// Tuples of the currently buffered page that have not been consumed yet.
     pub buf: VecDeque<Tuple>,
     /// Total tuples consumed through this cursor.
     pub consumed: usize,
-    /// Pages read through this cursor.
+    /// Pages read through this cursor (including prefetched pages that were
+    /// later shed and re-read — it counts real store I/O).
     pub pages_read: usize,
+    /// Seconds this cursor spent blocked on store reads / prefetch joins.
+    pub io_stall: f64,
+    /// Blocks loaded synchronously (prefetch missing or unsupported).
+    pub sync_loads: usize,
+    /// Prefetched blocks joined (completed on a background worker).
+    pub prefetch_joins: usize,
+    /// Whole prefetched pages not yet promoted into `buf`. These are the
+    /// pages "rented" from the memory budget's headroom.
+    staged: VecDeque<Page>,
+    /// Read-ahead block in flight, if any.
+    pending: Option<PendingBlock>,
+    /// Pages of read-ahead this cursor may hold beyond the one page the merge
+    /// plan accounts for (0 = classic synchronous single-page reads).
+    depth: usize,
+    /// Background pool for double-buffered prefetch (requires store support).
+    pool: Option<IoPool>,
 }
 
 impl RunCursor {
@@ -32,6 +73,92 @@ impl RunCursor {
             buf: VecDeque::new(),
             consumed: 0,
             pages_read: 0,
+            io_stall: 0.0,
+            sync_loads: 0,
+            prefetch_joins: 0,
+            staged: VecDeque::new(),
+            pending: None,
+            depth: 0,
+            pool: None,
+        }
+    }
+
+    /// Grant this cursor `depth` pages of read-ahead (rented from the memory
+    /// budget's headroom) and, optionally, a background pool for
+    /// double-buffered prefetch. Passing `depth == 0` returns the cursor to
+    /// classic synchronous single-page reads (staged pages are shed).
+    pub fn set_pipeline(&mut self, depth: usize, pool: Option<IoPool>) {
+        self.depth = depth;
+        self.pool = pool;
+        if depth == 0 {
+            self.shed_to(0);
+        }
+    }
+
+    /// Pages currently staged beyond the in-consumption page — the cursor's
+    /// outstanding rent against the memory budget.
+    pub fn staged_pages(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Total read-ahead rent: staged pages plus pages of the in-flight
+    /// prefetch block (those become resident the moment the worker finishes,
+    /// so they are billed from issue time).
+    pub fn rented_pages(&self) -> usize {
+        self.staged.len() + self.pending.as_ref().map_or(0, |p| p.len)
+    }
+
+    /// Give staged read-ahead pages back until at most `keep` remain,
+    /// rewinding `next_page` so they are re-read later, and drop any
+    /// in-flight prefetch. Returns the number of pages shed. This is how
+    /// rented pages return to the [`crate::MemoryBudget`] immediately when
+    /// the allocation shrinks.
+    pub fn shed_to(&mut self, keep: usize) -> usize {
+        self.pending = None;
+        let mut shed = 0;
+        while self.staged.len() > keep {
+            self.staged.pop_back();
+            self.next_page -= 1;
+            shed += 1;
+        }
+        shed
+    }
+
+    /// Issue a background read of the next block if double-buffering is
+    /// possible and worthwhile. Below two pages of depth the per-job
+    /// dispatch/join overhead exceeds a direct read, so shallow grants stay
+    /// on the synchronous batched path.
+    fn maybe_prefetch<S: RunStore>(&mut self, store: &mut S) {
+        if self.pending.is_some() || self.depth < 2 {
+            return;
+        }
+        let Some(pool) = self.pool.clone() else {
+            return;
+        };
+        // Double buffering within the rented quota: the staged pages plus
+        // the in-flight block never exceed `depth`, so the budget billing
+        // (`rented_pages`) is exact. Refill once at most half the quota
+        // remains staged; blocks of fewer than 2 pages are not worth a
+        // dispatch/join cycle.
+        if self.staged.len() * 2 > self.depth {
+            return;
+        }
+        let total = store.run_pages(self.run);
+        if self.next_page >= total {
+            return;
+        }
+        let len = (self.depth - self.staged.len()).min(total - self.next_page);
+        if len < 2 {
+            return;
+        }
+        if let Some(job) = store.block_read_job(self.run, self.next_page, len) {
+            // Urgent: the merge will block on this read soon; it must not
+            // queue behind bulk write-behind blocks.
+            self.pending = Some(PendingBlock {
+                handle: pool.submit_urgent(job),
+                start: self.next_page,
+                len,
+            });
         }
     }
 
@@ -44,14 +171,59 @@ impl RunCursor {
         env: &mut E,
     ) -> SortResult<bool> {
         while self.buf.is_empty() {
-            if self.next_page >= store.run_pages(self.run) {
+            // Promote a staged (prefetched) page first.
+            if let Some(page) = self.staged.pop_front() {
+                self.buf = page.tuples.into();
+                self.maybe_prefetch(store);
+                continue; // empty pages are legal (loop again)
+            }
+            // Join an in-flight prefetched block.
+            if let Some(pending) = self.pending.take() {
+                let t0 = env.now();
+                let result = pending.handle.wait();
+                self.io_stall += env.now() - t0;
+                self.prefetch_joins += 1;
+                let pages = match result {
+                    Some(r) => r?,
+                    None => {
+                        return Err(SortError::Io(std::io::Error::other(
+                            "background I/O worker lost a prefetch block",
+                        )))
+                    }
+                };
+                if pending.start == self.next_page {
+                    self.pages_read += pages.len();
+                    self.next_page += pending.len;
+                    self.staged.extend(pages);
+                }
+                // A stale block (cursor was shed/reset underneath) is simply
+                // dropped; the loop re-reads synchronously.
+                continue;
+            }
+            let total = store.run_pages(self.run);
+            if self.next_page >= total {
                 return Ok(false);
             }
+            // Synchronous (possibly batched) load of up to 1 + depth pages.
+            let want = (1 + self.depth).min(total - self.next_page);
             env.charge_cpu(CpuOp::StartIo, 1);
-            let page = store.read_page(self.run, self.next_page)?;
-            self.next_page += 1;
-            self.pages_read += 1;
-            self.buf = page.tuples.into();
+            self.sync_loads += 1;
+            let t0 = env.now();
+            let mut pages = if want > 1 {
+                store.read_block(self.run, self.next_page, want)?
+            } else {
+                vec![store.read_page(self.run, self.next_page)?]
+            };
+            self.io_stall += env.now() - t0;
+            self.pages_read += pages.len();
+            self.next_page += want;
+            if pages.len() > 1 {
+                self.staged.extend(pages.drain(1..));
+            }
+            if let Some(first) = pages.pop() {
+                self.buf = first.tuples.into();
+            }
+            self.maybe_prefetch(store);
             // Empty pages are legal (loop again).
         }
         Ok(true)
@@ -86,16 +258,20 @@ impl RunCursor {
         }
     }
 
-    /// True when the buffered page and the store both have nothing left.
+    /// True when the buffered/staged pages and the store both have nothing
+    /// left.
     pub fn exhausted<S: RunStore>(&self, store: &S) -> bool {
-        self.buf.is_empty() && self.next_page >= store.run_pages(self.run)
+        self.buf.is_empty()
+            && self.staged.is_empty()
+            && self.pending.is_none()
+            && self.next_page >= store.run_pages(self.run)
     }
 
     /// Remaining data in pages (buffered fraction counts as one page); used
     /// when picking the "shortest runs" for a preliminary merge step.
     pub fn remaining_pages<S: RunStore>(&self, store: &S) -> usize {
         let unread = store.run_pages(self.run).saturating_sub(self.next_page);
-        unread + usize::from(!self.buf.is_empty())
+        unread + self.staged.len() + usize::from(!self.buf.is_empty())
     }
 }
 
@@ -197,6 +373,91 @@ mod tests {
             )
             .unwrap();
         assert_eq!(c.pop(&mut store, &mut env).unwrap().unwrap().key, 5);
+    }
+
+    #[test]
+    fn pipelined_cursor_streams_identically() {
+        // Same tuples, same order, fewer I/O starts — for every depth and
+        // with/without a background pool.
+        for depth in [1, 2, 5, 64] {
+            for with_pool in [false, true] {
+                let (mut store, run) = setup(23, 3);
+                let mut env = CountingEnv::new();
+                let mut c = RunCursor::new(run);
+                c.set_pipeline(depth, with_pool.then(|| crate::io::IoPool::new(1)));
+                let mut got = Vec::new();
+                while let Some(t) = c.pop(&mut store, &mut env).unwrap() {
+                    got.push(t.key);
+                }
+                assert_eq!(got, (0..23).collect::<Vec<u64>>());
+                assert!(c.exhausted(&store));
+                assert_eq!(c.consumed, 23);
+                assert!(
+                    env.charged(CpuOp::StartIo) < 8,
+                    "batched reads must issue fewer I/O starts (depth {depth})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shed_returns_staged_pages_and_rereads_them() {
+        let (mut store, run) = setup(12, 2); // 6 pages
+        let mut env = CountingEnv::new();
+        let mut c = RunCursor::new(run);
+        c.set_pipeline(4, None);
+        // First load stages pages beyond the one being consumed.
+        assert!(c.ensure_loaded(&mut store, &mut env).unwrap());
+        assert!(c.staged_pages() > 0);
+        let staged = c.staged_pages();
+        let shed = c.shed_to(0);
+        assert_eq!(shed, staged);
+        assert_eq!(c.staged_pages(), 0);
+        // Depth 0 = classic synchronous mode; the stream is still complete
+        // and in order even though pages were given back mid-flight.
+        c.set_pipeline(0, None);
+        let mut got = Vec::new();
+        while let Some(t) = c.pop(&mut store, &mut env).unwrap() {
+            got.push(t.key);
+        }
+        assert_eq!(got, (0..12).collect::<Vec<u64>>());
+        // Shed pages were re-read: total pages read exceeds the run length.
+        assert_eq!(c.pages_read, 6 + shed);
+    }
+
+    #[test]
+    fn remaining_pages_counts_staged_pages() {
+        let (mut store, run) = setup(12, 2); // 6 pages
+        let mut env = CountingEnv::new();
+        let mut c = RunCursor::new(run);
+        c.set_pipeline(3, None);
+        assert_eq!(c.remaining_pages(&store), 6);
+        c.pop(&mut store, &mut env).unwrap(); // loads 1 + 3 pages
+        assert_eq!(
+            c.remaining_pages(&store),
+            6,
+            "2 unread + 3 staged + partial buffer"
+        );
+    }
+
+    #[test]
+    fn background_prefetch_sees_pages_appended_after_issue() {
+        // A growing run (dynamic splitting's child output) must still be
+        // fully consumed when prefetching is on.
+        let mut store = MemStore::new();
+        let run = store.create_run().unwrap();
+        let mut env = CountingEnv::new();
+        let mut c = RunCursor::new(run);
+        c.set_pipeline(2, Some(crate::io::IoPool::new(1)));
+        assert_eq!(c.pop(&mut store, &mut env).unwrap(), None);
+        for p in paginate((0..6u64).map(|k| Tuple::synthetic(k, 16)).collect(), 2) {
+            store.append_page(run, p).unwrap();
+        }
+        let mut got = Vec::new();
+        while let Some(t) = c.pop(&mut store, &mut env).unwrap() {
+            got.push(t.key);
+        }
+        assert_eq!(got, (0..6).collect::<Vec<u64>>());
     }
 
     #[test]

@@ -25,7 +25,8 @@ use crate::merge::plan::preliminary_fan_in;
 use crate::merge::step::{Input, Side, StepArena};
 use crate::store::{RunId, RunMeta, RunStore};
 use crate::tuple::{Page, Tuple};
-use std::collections::HashSet;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
 
 /// Parameters of one merge-phase execution.
 #[derive(Clone, Copy, Debug)]
@@ -36,6 +37,11 @@ pub struct ExecParams {
     pub adaptation: MergeAdaptation,
     /// Minimum number of pages the merge always keeps (2 inputs + 1 output).
     pub min_pages: usize,
+    /// Ceiling on per-cursor read-ahead pages (0 disables the I/O pipeline).
+    /// The actual depth is rented from the [`MemoryBudget`]'s headroom above
+    /// the active step's working set and shrinks to zero under pressure, so
+    /// pipelining never competes with the paper's adaptation logic for pages.
+    pub io_depth: usize,
 }
 
 impl ExecParams {
@@ -45,7 +51,14 @@ impl ExecParams {
             policy: spec.policy,
             adaptation: spec.adaptation,
             min_pages: 3,
+            io_depth: 0,
         }
+    }
+
+    /// Builder-style override of the read-ahead depth ceiling.
+    pub fn with_io_depth(mut self, depth: usize) -> Self {
+        self.io_depth = depth;
+        self
     }
 }
 
@@ -55,6 +68,7 @@ impl Default for ExecParams {
             policy: MergePolicy::Optimized,
             adaptation: MergeAdaptation::DynamicSplitting,
             min_pages: 3,
+            io_depth: 0,
         }
     }
 }
@@ -80,6 +94,13 @@ pub struct MergeStats {
     pub refetched_pages: usize,
     /// Total simulated/real time spent suspended waiting for memory.
     pub suspended_time: f64,
+    /// Seconds the executor spent blocked on input I/O (synchronous reads
+    /// plus waits for not-yet-finished prefetch blocks).
+    pub io_stall: f64,
+    /// Input blocks loaded synchronously on the merge thread.
+    pub sync_block_loads: usize,
+    /// Input blocks fetched by the background prefetcher.
+    pub prefetch_block_joins: usize,
     /// Tuples written to output runs (or consumed, for joins).
     pub tuples_output: u64,
     /// Join result pairs produced (zero for plain sorts).
@@ -125,6 +146,21 @@ struct Exec<'a, S: RunStore, E: SortEnv> {
     /// MRU-paging residency state (keyed by run id of the active step's inputs).
     resident: HashSet<RunId>,
     recency: Vec<RunId>,
+    /// Background I/O pool for prefetching, when pipelining is enabled and
+    /// the environment provides one.
+    pool: Option<crate::io::IoPool>,
+    /// `(active step, its input count, budget version)` when the pipeline
+    /// grants were last recomputed; re-granting is skipped while unchanged so
+    /// the per-produce-unit adaptation loop stays cheap.
+    pipeline_stamp: Option<(usize, usize, u64)>,
+    /// Selection heap over the active step's inputs: `(rank, input index)`,
+    /// smallest first. Replaces an O(fan-in) scan per output tuple with the
+    /// selection tree the CPU cost model already assumes. Entries are
+    /// validated against the live cursor before use and the heap is rebuilt
+    /// whenever inputs renumber (splits, switches, exhausted inputs).
+    sel_heap: BinaryHeap<Reverse<(u64, usize)>>,
+    /// True when `sel_heap` no longer matches the active step's inputs.
+    sel_dirty: bool,
 }
 
 impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
@@ -140,6 +176,13 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         output: Option<RunId>,
     ) -> Self {
         let plan_memory = budget.target().max(params.min_pages);
+        // Prefetch workers: the environment's shared pool, or the one a
+        // pipelined sort attached to its store.
+        let pool = if params.io_depth > 0 {
+            env.io_pool().or_else(|| store.io_pool())
+        } else {
+            None
+        };
         Exec {
             cfg,
             budget,
@@ -152,6 +195,10 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             plan_memory,
             resident: HashSet::new(),
             recency: Vec::new(),
+            pool,
+            pipeline_stamp: None,
+            sel_heap: BinaryHeap::new(),
+            sel_dirty: true,
         }
     }
 
@@ -165,9 +212,66 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
 
     fn adapt(&mut self) -> SortResult<()> {
         match self.params.adaptation {
-            MergeAdaptation::DynamicSplitting => self.adapt_dynamic(),
-            MergeAdaptation::Suspension => self.adapt_static(true),
-            MergeAdaptation::Paging => self.adapt_static(false),
+            MergeAdaptation::DynamicSplitting => self.adapt_dynamic()?,
+            MergeAdaptation::Suspension => self.adapt_static(true)?,
+            MergeAdaptation::Paging => self.adapt_static(false)?,
+        }
+        self.update_pipeline();
+        Ok(())
+    }
+
+    /// Re-divide the budget's headroom above the active step's working set
+    /// into per-cursor read-ahead depths, shedding staged pages that no
+    /// longer fit. With `io_depth == 0` this is a no-op and the merge reads
+    /// one page at a time, exactly as the paper models.
+    fn update_pipeline(&mut self) {
+        if self.params.io_depth == 0 {
+            return;
+        }
+        // Cheap change detection: depths only move when the budget target
+        // moves (version bump), the active step switches, or an input is
+        // exhausted/absorbed.
+        let active = self.arena.active;
+        let n_inputs = self.arena.steps[active].inputs.len();
+        let stamp = (active, n_inputs, self.budget.version());
+        if self.pipeline_stamp == Some(stamp) {
+            return;
+        }
+        self.pipeline_stamp = Some(stamp);
+        let target = self.effective_target();
+        let need = self.arena.steps[active].pages_needed();
+        let headroom = target.saturating_sub(need);
+        let n = n_inputs.max(1);
+        let per = self.params.io_depth.min(headroom / n);
+        for input in &mut self.arena.steps[active].inputs {
+            if input.cursor.rented_pages() > per {
+                input.cursor.shed_to(per);
+            }
+            input.cursor.set_pipeline(per, self.pool.clone());
+        }
+        let staged = self.staged_total();
+        self.budget
+            .record_held((need + staged).min(target), self.env.now());
+    }
+
+    /// Read-ahead pages currently rented across every step (staged plus
+    /// in-flight prefetch blocks) — the merge's outstanding rent against the
+    /// memory budget.
+    fn staged_total(&self) -> usize {
+        self.arena
+            .steps
+            .iter()
+            .flat_map(|s| s.inputs.iter())
+            .map(|i| i.cursor.rented_pages())
+            .sum()
+    }
+
+    /// Return every staged read-ahead page of `step` to the budget (used when
+    /// execution switches away from a step; its buffers would be refetched
+    /// after the switch anyway).
+    fn shed_step(&mut self, step: usize) {
+        for input in &mut self.arena.steps[step].inputs {
+            input.cursor.shed_to(0);
         }
     }
 
@@ -189,7 +293,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
                 }
             }
         }
-        let need_now = self.arena.active_step().pages_needed();
+        let need_now = self.arena.active_step().pages_needed() + self.staged_total();
         self.budget
             .record_held(need_now.min(target), self.env.now());
         Ok(())
@@ -207,7 +311,9 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         let need = self.arena.active_step().pages_needed();
         if suspend {
             if need > target {
-                // Give every buffer back, then stop until the memory returns.
+                // Give every buffer back — including staged read-ahead pages —
+                // then stop until the memory returns.
+                self.shed_step(self.arena.active);
                 self.budget.record_held(0, self.env.now());
                 let waited_from = self.env.now();
                 let _granted = self.env.wait_for_pages(self.budget, need);
@@ -219,13 +325,14 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             }
             let target_now = self.effective_target();
             self.budget
-                .record_held(need.min(target_now), self.env.now());
+                .record_held((need + self.staged_total()).min(target_now), self.env.now());
         } else {
             if need <= target {
                 self.resident.clear();
                 self.recency.clear();
             }
-            self.budget.record_held(need.min(target), self.env.now());
+            self.budget
+                .record_held((need + self.staged_total()).min(target), self.env.now());
         }
         Ok(())
     }
@@ -233,7 +340,9 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     fn do_split(&mut self, memory: usize) -> SortResult<()> {
         let active = self.arena.active;
         let n = self.arena.steps[active].inputs.len();
-        let fan = preliminary_fan_in(n, memory, self.params.policy)
+        // `memory` is floored at `min_pages >= 3` by every caller, so the
+        // starved-planner error cannot fire here; `?` keeps it honest anyway.
+        let fan = preliminary_fan_in(n, memory, self.params.policy)?
             .unwrap_or_else(|| memory.saturating_sub(1).max(2))
             .min(n.saturating_sub(1))
             .max(2);
@@ -263,7 +372,11 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             return Ok(()); // cannot split any further
         }
         let child_out = self.store.create_run()?;
+        let parent = self.arena.active;
         self.arena.split_active(indices, child_out, side, memory);
+        // The (now dormant) parent keeps its cursors; return their staged
+        // read-ahead pages to the budget immediately.
+        self.shed_step(parent);
         self.stats.splits += 1;
         self.charge_switch();
         self.reset_paging_state();
@@ -317,6 +430,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     fn switch_to_parent(&mut self) -> SortResult<()> {
         self.flush_active_output(true)?;
         if let Some(parent) = self.arena.active_step().parent {
+            self.shed_step(self.arena.active);
             self.arena.active = parent;
             self.charge_switch();
             self.reset_paging_state();
@@ -329,6 +443,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         self.env.charge_extra_read(pages);
         self.stats.refetched_pages += pages;
         self.stats.switches += 1;
+        self.sel_dirty = true;
     }
 
     fn reset_paging_state(&mut self) {
@@ -390,12 +505,18 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         let active = self.arena.active;
         let run = self.arena.steps[active].inputs[idx].cursor.run;
         self.stats.pages_read += self.arena.steps[active].inputs[idx].cursor.pages_read;
+        self.stats.io_stall += self.arena.steps[active].inputs[idx].cursor.io_stall;
+        self.stats.sync_block_loads += self.arena.steps[active].inputs[idx].cursor.sync_loads;
+        self.stats.prefetch_block_joins +=
+            self.arena.steps[active].inputs[idx].cursor.prefetch_joins;
         let absorbed = self.arena.remove_input(active, idx);
         self.store.delete_run(run)?;
         if absorbed.is_some() {
             self.stats.combines += 1;
         }
         self.reset_paging_state();
+        // Inputs renumbered (swap_remove / absorbed children).
+        self.sel_dirty = true;
         Ok(())
     }
 
@@ -469,6 +590,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     fn complete_active(&mut self) -> SortResult<Progress> {
         self.flush_active_output(true)?;
         let active = self.arena.active;
+        self.shed_step(active);
         self.arena.steps[active].completed = true;
         Ok(match self.arena.steps[active].parent {
             None => Progress::Done,
@@ -481,20 +603,102 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         })
     }
 
+    /// Rebuild the selection heap from the active step's live inputs,
+    /// removing exhausted inputs (and absorbing their producer steps) along
+    /// the way — the same sweep `min_input` performs.
+    fn rebuild_selection(&mut self) -> SortResult<()> {
+        self.sel_heap.clear();
+        let mut i = 0;
+        loop {
+            let active = self.arena.active;
+            if i >= self.arena.steps[active].inputs.len() {
+                break;
+            }
+            let rank = self.arena.steps[active].inputs[i].cursor.peek_rank(
+                &self.cfg.order,
+                self.store,
+                self.env,
+            )?;
+            match rank {
+                Some(r) => {
+                    self.sel_heap.push(Reverse((r, i)));
+                    i += 1;
+                }
+                None => {
+                    self.handle_exhausted_input(i)?;
+                    self.sel_heap.clear();
+                    i = 0;
+                }
+            }
+        }
+        self.sel_dirty = false;
+        Ok(())
+    }
+
+    /// Pop the input with the smallest rank from the selection heap,
+    /// validating the entry against the live cursor (memory adaptation can
+    /// invalidate entries between selections). Returns `None` when every
+    /// input is exhausted. The caller must consume one tuple from the
+    /// returned input and then re-insert its next rank.
+    fn select_min(&mut self) -> SortResult<Option<usize>> {
+        loop {
+            if self.sel_dirty {
+                self.rebuild_selection()?;
+            }
+            let Some(Reverse((rank, idx))) = self.sel_heap.pop() else {
+                return Ok(None);
+            };
+            let active = self.arena.active;
+            if idx >= self.arena.steps[active].inputs.len() {
+                self.sel_dirty = true;
+                continue;
+            }
+            let live = self.arena.steps[active].inputs[idx].cursor.peek_rank(
+                &self.cfg.order,
+                self.store,
+                self.env,
+            )?;
+            match live {
+                Some(r) if r == rank => {
+                    // Selection-tree cost, as in paper Table 4.
+                    let fan = self.arena.steps[active].inputs.len().max(1) as u64;
+                    self.env
+                        .charge_cpu(CpuOp::Compare, (64 - fan.leading_zeros() as u64).max(1));
+                    return Ok(Some(idx));
+                }
+                // Stale entry: re-insert the corrected rank and retry.
+                Some(r) => self.sel_heap.push(Reverse((r, idx))),
+                None => {
+                    self.handle_exhausted_input(idx)?;
+                }
+            }
+        }
+    }
+
     /// Produce roughly one output page of merged tuples on the active step.
     fn produce_unit(&mut self) -> SortResult<Progress> {
         let tpp = self.cfg.tuples_per_page();
         let mut produced = 0usize;
         while produced < tpp {
-            match self.min_input(None)? {
+            match self.select_min()? {
                 None => return self.complete_active(),
-                Some((idx, _)) => {
+                Some(idx) => {
                     let t = self.pop_input(idx)?;
                     let active = self.arena.active;
                     self.arena.steps[active].out_buf.push(t);
                     self.arena.steps[active].produced_anything = true;
                     self.stats.tuples_output += 1;
                     produced += 1;
+                    // Re-arm this input's heap entry with its next rank.
+                    let rank = self.arena.steps[active].inputs[idx].cursor.peek_rank(
+                        &self.cfg.order,
+                        self.store,
+                        self.env,
+                    )?;
+                    match rank {
+                        Some(r) => self.sel_heap.push(Reverse((r, idx))),
+                        None => self.handle_exhausted_input(idx)?,
+                    }
                 }
             }
         }
@@ -747,6 +951,7 @@ mod tests {
             policy,
             adaptation,
             min_pages: 3,
+            io_depth: 0,
         }
     }
 

@@ -27,17 +27,20 @@ mod tests {
     fn paper_example_fan_ins() {
         // Paper Figure 1: n = 10 runs, m = 8 buffers.
         assert_eq!(
-            preliminary_fan_in(10, 8, MergePolicy::Naive),
+            preliminary_fan_in(10, 8, MergePolicy::Naive).unwrap(),
             Some(7),
             "naive merges m-1 runs"
         );
         assert_eq!(
-            preliminary_fan_in(10, 8, MergePolicy::Optimized),
+            preliminary_fan_in(10, 8, MergePolicy::Optimized).unwrap(),
             Some(4),
             "optimized merges just enough runs"
         );
         // With enough memory no preliminary step is needed.
-        assert_eq!(preliminary_fan_in(7, 8, MergePolicy::Naive), None);
-        assert_eq!(preliminary_fan_in(7, 8, MergePolicy::Optimized), None);
+        assert_eq!(preliminary_fan_in(7, 8, MergePolicy::Naive).unwrap(), None);
+        assert_eq!(
+            preliminary_fan_in(7, 8, MergePolicy::Optimized).unwrap(),
+            None
+        );
     }
 }

@@ -127,13 +127,38 @@ impl ExternalSorter {
     {
         self.cfg.validate()?;
         let started = env.now();
+
+        // Resolve the background I/O pool for pipelined configurations:
+        // prefer the environment's shared pool (a service hands one pool to
+        // all of its sorts); otherwise spin up a private one when the
+        // configuration asks for worker threads. Attaching it to the store
+        // enables write-behind during run formation and merging; merge
+        // cursors pick the same pool up for read-ahead.
+        if self.cfg.io.enabled() {
+            let pool = env.io_pool().or_else(|| {
+                (self.cfg.io.io_threads > 0).then(|| crate::io::IoPool::new(self.cfg.io.io_threads))
+            });
+            if let Some(pool) = pool {
+                store.attach_io_pool(pool);
+            }
+            // Even without worker threads, pipelined sorts batch their
+            // writes: appends coalesce into ~read-block-sized block writes.
+            store.set_write_coalescing(self.cfg.io.pipeline_depth.clamp(8, 64));
+        }
+
         budget.set_phase(SortPhase::Split);
         let split = form_runs(&self.cfg, budget, input, store, env)?;
 
         budget.set_phase(SortPhase::Merge);
-        let params = ExecParams::from_algorithm(&self.cfg.algorithm);
+        let params = ExecParams::from_algorithm(&self.cfg.algorithm)
+            .with_io_depth(self.cfg.io.pipeline_depth);
         let (output_run, merge) =
             execute_merge(&self.cfg, budget, &split.runs, store, env, params)?;
+
+        // Write-behind stores may still have the tail of the output run in
+        // flight; wait for it so a deferred write error fails the sort here
+        // rather than surfacing as a corrupt run later.
+        store.flush()?;
 
         let response_time = env.now() - started;
         Ok(SortOutcome {

@@ -16,11 +16,18 @@
 //! [`SortError::CorruptRun`] instead of panicking.
 
 use crate::error::{SortError, SortResult};
+use crate::io::{IoHandle, IoPool};
 use crate::tuple::{Page, Payload, Tuple};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// A one-shot batched read that can execute on a background thread: reads and
+/// decodes a contiguous range of pages without touching the store again.
+/// Produced by [`RunStore::block_read_job`].
+pub type BlockReadJob = Box<dyn FnOnce() -> SortResult<Vec<Page>> + Send + 'static>;
 
 /// Identifier of a run within a [`RunStore`].
 pub type RunId = u32;
@@ -62,6 +69,51 @@ pub trait RunStore {
 
     /// Read page `idx` of `run`.
     fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page>;
+
+    /// Read `len` consecutive pages of `run` starting at page `start` (a
+    /// *block read*). Implementations that talk to real devices should issue
+    /// a single seek and one contiguous transfer for the whole block; the
+    /// default falls back to `len` individual page reads.
+    fn read_block(&mut self, run: RunId, start: usize, len: usize) -> SortResult<Vec<Page>> {
+        (start..start + len)
+            .map(|idx| self.read_page(run, idx))
+            .collect()
+    }
+
+    /// Package a block read as a job that can run on a background I/O thread
+    /// ([`BlockReadJob`]), or `None` when this store can only read
+    /// synchronously (the default). Stores that support it hand back a
+    /// self-contained closure over an independent file handle, so the caller
+    /// may keep using the store while the job executes.
+    fn block_read_job(&mut self, _run: RunId, _start: usize, _len: usize) -> Option<BlockReadJob> {
+        None
+    }
+
+    /// Attach a background I/O pool. Stores that support write-behind (e.g.
+    /// [`FileStore`]) start completing `append_page`/`append_block` calls
+    /// asynchronously; the default ignores the pool and stays synchronous.
+    fn attach_io_pool(&mut self, _pool: IoPool) {}
+
+    /// The background I/O pool previously attached with
+    /// [`attach_io_pool`](Self::attach_io_pool), if the store kept one.
+    /// Merge cursors use this to prefetch blocks on the store's own workers.
+    fn io_pool(&self) -> Option<IoPool> {
+        None
+    }
+
+    /// Wait until every buffered / in-flight write has reached the backing
+    /// medium, surfacing any deferred write error. A no-op for synchronous
+    /// stores (the default).
+    fn flush(&mut self) -> SortResult<()> {
+        Ok(())
+    }
+
+    /// Hint that the caller runs a pipelined sort: stores that support it
+    /// coalesce small appends into block writes (one seek + one transfer per
+    /// ~`pages` pages) even without a background pool. Appends may then be
+    /// buffered; errors surface at the next read/flush with the run rolled
+    /// back to its last durable prefix. The default ignores the hint.
+    fn set_write_coalescing(&mut self, _pages: usize) {}
 
     /// Number of pages currently in `run` (0 for unknown runs).
     fn run_pages(&self, run: RunId) -> usize;
@@ -149,6 +201,22 @@ impl RunStore for MemStore {
         })?;
         self.pages_read += 1;
         Ok(page.clone())
+    }
+
+    fn read_block(&mut self, run: RunId, start: usize, len: usize) -> SortResult<Vec<Page>> {
+        let pages = self.runs.get(&run).ok_or(SortError::UnknownRun(run))?;
+        let end = start + len;
+        if end > pages.len() {
+            return Err(SortError::corrupt(
+                run,
+                format!(
+                    "block [{start}, {end}) out of range ({} page(s))",
+                    pages.len()
+                ),
+            ));
+        }
+        self.pages_read += len;
+        Ok(pages[start..end].to_vec())
     }
 
     fn run_pages(&self, run: RunId) -> usize {
@@ -274,14 +342,259 @@ fn decode_page(buf: &[u8]) -> Result<Page, String> {
     Ok(page)
 }
 
+/// Number of encoded bytes [`encode_page`] produces for `page`, computed
+/// without encoding — lets write-behind reserve index entries up front and
+/// move the actual encoding onto a background thread.
+fn encoded_page_len(page: &Page) -> usize {
+    4 + page
+        .tuples
+        .iter()
+        .map(|t| {
+            8 + 1
+                + 4
+                + match &t.payload {
+                    Payload::Synthetic(_) => 0,
+                    Payload::Bytes(b) => b.len(),
+                }
+        })
+        .sum::<usize>()
+}
+
+/// Encode `pages` back to back into one contiguous buffer (one block).
+fn encode_pages(pages: &[Page]) -> Vec<u8> {
+    let total: usize = pages.iter().map(encoded_page_len).sum();
+    let mut buf = Vec::with_capacity(total);
+    let mut tmp = Vec::new();
+    for p in pages {
+        encode_page(p, &mut tmp);
+        buf.extend_from_slice(&tmp);
+    }
+    buf
+}
+
+/// One block write still in flight on the I/O pool, with everything needed to
+/// roll the run back to its last durable prefix if the write fails.
+#[derive(Debug)]
+struct PendingWrite {
+    handle: IoHandle<std::io::Result<()>>,
+    start_offset: u64,
+    index_from: usize,
+    tuples_before: usize,
+}
+
+/// Roll `r` back to the durable prefix ending at `start_offset`
+/// (truncate-on-error): the file is truncated there, the index and tuple
+/// bookkeeping shrink to match, and any pages still queued for coalescing
+/// (which would land even further out) are discarded.
+fn rollback_run(r: &mut FileRun, start_offset: u64, index_from: usize, tuples_before: usize) {
+    let _ = r.file.set_len(start_offset);
+    r.index.truncate(index_from);
+    r.tuples = tuples_before;
+    r.write_pos = start_offset;
+    r.queued.clear();
+    r.queued_from = None;
+}
+
 #[derive(Debug)]
 struct FileRun {
     file: File,
-    /// (offset, encoded length) of each page.
+    /// (offset, encoded length) of each page. With write-behind the entries
+    /// for queued/in-flight blocks are present but not yet durable; every
+    /// read path drains [`FileRun::queued`] and [`FileRun::pending`] first.
     index: Vec<(u64, u32)>,
     tuples: usize,
     write_pos: u64,
     path: PathBuf,
+    /// Pages accepted but not yet handed to the I/O pool: small appends are
+    /// coalesced into one job per [`WRITE_COALESCE_PAGES`]-page block so the
+    /// per-job overhead amortises across many pages.
+    queued: Vec<Page>,
+    /// Rollback bookkeeping for the first queued page, captured when the
+    /// queue went from empty to non-empty.
+    queued_from: Option<(u64, usize, usize)>,
+    /// Outstanding write-behind blocks, oldest first.
+    pending: VecDeque<PendingWrite>,
+    /// Test hook: fail the next coalesced block when it is submitted.
+    #[cfg(test)]
+    poison_next_block: bool,
+}
+
+/// Bound on in-flight write-behind blocks per run; beyond it the appender
+/// blocks until the backlog drains, so memory for encoded-but-unwritten
+/// blocks stays bounded.
+const MAX_INFLIGHT_WRITES: usize = 8;
+
+/// Queued single-page appends are shipped to the pool once this many pages
+/// accumulate (one job, one positioned write for the whole block).
+const WRITE_COALESCE_PAGES: usize = 16;
+
+/// Wait for every in-flight write of `r`. On the first failure the run is
+/// rolled back to its last durable prefix: the file is truncated at the
+/// failed block's start offset and the index/tuple bookkeeping shrinks to
+/// match, so no half-written page is ever readable. Time spent blocked is
+/// accumulated into `stall`.
+fn drain_pending(r: &mut FileRun, stall: &mut f64) -> SortResult<()> {
+    if r.pending.is_empty() {
+        return Ok(());
+    }
+    let t0 = Instant::now();
+    let mut failure: Option<(u64, usize, usize, std::io::Error)> = None;
+    while let Some(p) = r.pending.pop_front() {
+        let err = match p.handle.wait() {
+            Some(Ok(())) => None,
+            Some(Err(e)) => Some(e),
+            None => Some(std::io::Error::other(
+                "background I/O worker lost a write-behind block",
+            )),
+        };
+        if let (Some(e), None) = (err, failure.as_ref()) {
+            failure = Some((p.start_offset, p.index_from, p.tuples_before, e));
+        }
+    }
+    *stall += t0.elapsed().as_secs_f64();
+    if let Some((off, index_from, tuples_before, e)) = failure {
+        // Later blocks past the failed one would sit beyond a hole; discard
+        // them too rather than leave garbage readable.
+        rollback_run(r, off, index_from, tuples_before);
+        return Err(SortError::Io(e));
+    }
+    Ok(())
+}
+
+/// Wait for the oldest in-flight block only (backpressure without a full
+/// barrier). A failure still triggers the full drain-and-rollback, since the
+/// oldest block has the earliest offset.
+fn wait_oldest_pending(r: &mut FileRun, stall: &mut f64) -> SortResult<()> {
+    let Some(p) = r.pending.pop_front() else {
+        return Ok(());
+    };
+    let t0 = Instant::now();
+    let result = p.handle.wait();
+    *stall += t0.elapsed().as_secs_f64();
+    match result {
+        Some(Ok(())) => Ok(()),
+        other => {
+            let e = match other {
+                Some(Err(e)) => e,
+                _ => std::io::Error::other("background I/O worker lost a write-behind block"),
+            };
+            // Oldest block failed: everything at or beyond it must go. Wait
+            // out the rest, then roll back to this block's origin.
+            let _ = drain_pending(r, stall);
+            rollback_run(r, p.start_offset, p.index_from, p.tuples_before);
+            Err(SortError::Io(e))
+        }
+    }
+}
+
+/// Retire already-finished in-flight blocks without blocking. A completed
+/// failure triggers the same full drain-and-rollback as a waited one.
+fn reap_completed_pending(r: &mut FileRun, stall: &mut f64) -> SortResult<()> {
+    while let Some(p) = r.pending.pop_front() {
+        let err = match p.handle.try_wait() {
+            Ok(Ok(())) => continue,
+            Err(Some(handle)) => {
+                // Still running: put it back and stop reaping.
+                r.pending.push_front(PendingWrite {
+                    handle,
+                    start_offset: p.start_offset,
+                    index_from: p.index_from,
+                    tuples_before: p.tuples_before,
+                });
+                return Ok(());
+            }
+            Ok(Err(e)) => e,
+            Err(None) => std::io::Error::other("background I/O worker lost a write-behind block"),
+        };
+        let _ = drain_pending(r, stall);
+        rollback_run(r, p.start_offset, p.index_from, p.tuples_before);
+        return Err(SortError::Io(err));
+    }
+    Ok(())
+}
+
+/// Flush `r`'s queued pages as one coalesced block: on the pool when one is
+/// available (write-behind), synchronously otherwise. No-op when nothing is
+/// queued.
+fn flush_queued(r: &mut FileRun, pool: Option<&IoPool>, stall: &mut f64) -> SortResult<()> {
+    if r.queued.is_empty() {
+        return Ok(());
+    }
+    #[cfg(unix)]
+    if let Some(pool) = pool {
+        return submit_queued(r, pool, stall);
+    }
+    #[cfg(not(unix))]
+    let _ = pool; // positioned writes (pwrite) are unix-only
+    let (start_offset, index_from, tuples_before) = r
+        .queued_from
+        .take()
+        .expect("queued pages always record their rollback origin");
+    let pages = std::mem::take(&mut r.queued);
+    #[cfg(test)]
+    let poisoned = std::mem::take(&mut r.poison_next_block);
+    #[cfg(not(test))]
+    let poisoned = false;
+    let result = (|| -> std::io::Result<()> {
+        if poisoned {
+            return Err(std::io::Error::other("injected write failure"));
+        }
+        let buf = encode_pages(&pages);
+        r.file.seek(SeekFrom::Start(start_offset))?;
+        r.file.write_all(&buf)
+    })();
+    match result {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            rollback_run(r, start_offset, index_from, tuples_before);
+            Err(e.into())
+        }
+    }
+}
+
+/// Hand `r`'s queued pages to the pool as one coalesced block write,
+/// enforcing the in-flight bound. No-op when nothing is queued.
+#[cfg(unix)]
+fn submit_queued(r: &mut FileRun, pool: &IoPool, stall: &mut f64) -> SortResult<()> {
+    if r.queued.is_empty() {
+        return Ok(());
+    }
+    reap_completed_pending(r, stall)?;
+    if r.pending.len() >= MAX_INFLIGHT_WRITES {
+        wait_oldest_pending(r, stall)?;
+    }
+    let (start_offset, index_from, tuples_before) = r
+        .queued_from
+        .take()
+        .expect("queued pages always record their rollback origin");
+    let pages = std::mem::take(&mut r.queued);
+    #[cfg(test)]
+    let poisoned = std::mem::take(&mut r.poison_next_block);
+    #[cfg(not(test))]
+    let poisoned = false;
+    let file = match r.file.try_clone() {
+        Ok(f) => f,
+        Err(e) => {
+            // Cannot ship the block: discard it entirely (truncate-on-error).
+            rollback_run(r, start_offset, index_from, tuples_before);
+            return Err(e.into());
+        }
+    };
+    let handle = pool.submit(move || -> std::io::Result<()> {
+        if poisoned {
+            return Err(std::io::Error::other("injected write failure"));
+        }
+        let buf = encode_pages(&pages);
+        use std::os::unix::fs::FileExt;
+        file.write_all_at(&buf, start_offset)
+    });
+    r.pending.push_back(PendingWrite {
+        handle,
+        start_offset,
+        index_from,
+        tuples_before,
+    });
+    Ok(())
 }
 
 /// A [`RunStore`] that spills each run into its own temporary file under a
@@ -296,6 +609,20 @@ pub struct FileStore {
     runs: HashMap<RunId, FileRun>,
     next: RunId,
     own_dir: bool,
+    /// Background I/O pool for write-behind; `None` keeps all I/O synchronous.
+    pool: Option<IoPool>,
+    /// Coalesce appends into blocks of about this many pages (0 = write
+    /// through on every append, the classic behaviour).
+    coalesce_pages: usize,
+    /// Seconds spent blocked waiting for write-behind blocks to land.
+    write_stall: f64,
+    /// Run files whose deletion failed; retried on later store operations and
+    /// on drop so a transient unlink failure cannot orphan a file for good.
+    trash: Vec<PathBuf>,
+    #[cfg(test)]
+    fail_next_append: bool,
+    #[cfg(test)]
+    fail_next_delete: bool,
 }
 
 impl FileStore {
@@ -313,6 +640,14 @@ impl FileStore {
             runs: HashMap::new(),
             next: 0,
             own_dir: false,
+            pool: None,
+            coalesce_pages: 0,
+            write_stall: 0.0,
+            trash: Vec::new(),
+            #[cfg(test)]
+            fail_next_append: false,
+            #[cfg(test)]
+            fail_next_delete: false,
         })
     }
 
@@ -339,8 +674,123 @@ impl FileStore {
         &self.dir
     }
 
+    /// Seconds this store has spent blocked waiting on write-behind blocks
+    /// (0 when no I/O pool is attached — synchronous writes are not stalls).
+    pub fn write_stall_seconds(&self) -> f64 {
+        self.write_stall
+    }
+
+    /// True when a background I/O pool is attached (write-behind active).
+    pub fn has_io_pool(&self) -> bool {
+        self.pool.is_some()
+    }
+
     fn run_mut(&mut self, run: RunId) -> SortResult<&mut FileRun> {
         self.runs.get_mut(&run).ok_or(SortError::UnknownRun(run))
+    }
+
+    /// Retry deleting any run files whose earlier removal failed.
+    fn sweep_trash(&mut self) {
+        self.trash.retain(|path| match std::fs::remove_file(path) {
+            Ok(()) => false,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => false,
+            Err(_) => true,
+        });
+    }
+
+    /// Common append path: reserve index entries for `pages`, then either
+    /// hand the encode+write to the I/O pool (write-behind) or encode and
+    /// write synchronously as one contiguous block.
+    fn append_pages(&mut self, run: RunId, pages: Vec<Page>) -> SortResult<()> {
+        #[cfg(test)]
+        let injected_failure = std::mem::take(&mut self.fail_next_append);
+        #[cfg(not(test))]
+        let injected_failure = false;
+        let pool = self.pool.clone();
+        // A pool implies block coalescing even if the caller never set an
+        // explicit block size; without a pool, coalescing is opt-in.
+        let coalesce = if pool.is_some() {
+            self.coalesce_pages.max(WRITE_COALESCE_PAGES)
+        } else {
+            self.coalesce_pages
+        };
+        let Self {
+            runs, write_stall, ..
+        } = self;
+        let r = runs.get_mut(&run).ok_or(SortError::UnknownRun(run))?;
+        let start_offset = r.write_pos;
+        let index_from = r.index.len();
+        let tuples_before = r.tuples;
+        let mut total = 0usize;
+        let mut tuple_count = 0usize;
+        for p in &pages {
+            let len = encoded_page_len(p);
+            r.index.push((start_offset + total as u64, len as u32));
+            total += len;
+            tuple_count += p.len();
+        }
+
+        if coalesce > 0 {
+            // Accept the pages into the coalescing queue; a block is flushed
+            // (to the pool, or synchronously) once enough pages accumulate
+            // or a read/flush drains the run. Bookkeeping is updated
+            // optimistically — the rollback origin travels with the block.
+            if r.queued.is_empty() {
+                r.queued_from = Some((start_offset, index_from, tuples_before));
+            }
+            #[cfg(test)]
+            {
+                r.poison_next_block |= injected_failure;
+            }
+            r.queued.extend(pages);
+            r.write_pos += total as u64;
+            r.tuples += tuple_count;
+            if r.queued.len() >= coalesce {
+                flush_queued(r, pool.as_ref(), write_stall)?;
+            }
+            return Ok(());
+        }
+
+        // Classic write-through path: one encode, one seek, one contiguous
+        // write per append call.
+        let result = (|| -> std::io::Result<()> {
+            if injected_failure {
+                return Err(std::io::Error::other("injected write failure"));
+            }
+            let buf = encode_pages(&pages);
+            r.file.seek(SeekFrom::Start(start_offset))?;
+            r.file.write_all(&buf)
+        })();
+        match result {
+            Ok(()) => {
+                r.write_pos += total as u64;
+                r.tuples += tuple_count;
+                Ok(())
+            }
+            Err(e) => {
+                // Truncate-on-error: no partially written page survives.
+                rollback_run(r, start_offset, index_from, tuples_before);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Ship `run`'s queued pages and wait for its in-flight write-behind
+    /// blocks (no-op when the run has no backlog).
+    fn drain_run(&mut self, run: RunId) -> SortResult<()> {
+        let Self {
+            runs,
+            write_stall,
+            pool,
+            ..
+        } = self;
+        match runs.get_mut(&run) {
+            Some(r) => {
+                flush_queued(r, pool.as_ref(), write_stall)?;
+                drain_pending(r, write_stall)
+            }
+            None => Ok(()),
+        }
     }
 }
 
@@ -350,6 +800,7 @@ impl Drop for FileStore {
         for id in ids {
             let _ = self.delete_run(id);
         }
+        self.sweep_trash();
         if self.own_dir {
             let _ = std::fs::remove_dir(&self.dir);
         }
@@ -358,6 +809,7 @@ impl Drop for FileStore {
 
 impl RunStore for FileStore {
     fn create_run(&mut self) -> SortResult<RunId> {
+        self.sweep_trash();
         let id = self.next;
         let path = self.dir.join(format!("run-{id}.bin"));
         let file = OpenOptions::new()
@@ -375,24 +827,29 @@ impl RunStore for FileStore {
                 tuples: 0,
                 write_pos: 0,
                 path,
+                queued: Vec::new(),
+                queued_from: None,
+                pending: VecDeque::new(),
+                #[cfg(test)]
+                poison_next_block: false,
             },
         );
         Ok(id)
     }
 
     fn append_page(&mut self, run: RunId, page: Page) -> SortResult<()> {
-        let r = self.run_mut(run)?;
-        let mut buf = Vec::with_capacity(4 + page.len() * 16);
-        encode_page(&page, &mut buf);
-        r.file.seek(SeekFrom::Start(r.write_pos))?;
-        r.file.write_all(&buf)?;
-        r.index.push((r.write_pos, buf.len() as u32));
-        r.write_pos += buf.len() as u64;
-        r.tuples += page.len();
-        Ok(())
+        self.append_pages(run, vec![page])
+    }
+
+    fn append_block(&mut self, run: RunId, pages: Vec<Page>) -> SortResult<()> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        self.append_pages(run, pages)
     }
 
     fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page> {
+        self.drain_run(run)?;
         let r = self.run_mut(run)?;
         let &(off, len) = r
             .index
@@ -413,6 +870,106 @@ impl RunStore for FileStore {
         decode_page(&buf).map_err(|detail| SortError::corrupt(run, format!("page {idx}: {detail}")))
     }
 
+    fn read_block(&mut self, run: RunId, start: usize, len: usize) -> SortResult<Vec<Page>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        self.drain_run(run)?;
+        let r = self.run_mut(run)?;
+        let entries = r.index.get(start..start + len).ok_or_else(|| {
+            SortError::corrupt(
+                run,
+                format!(
+                    "block [{start}, {}) out of range ({} page(s))",
+                    start + len,
+                    r.index.len()
+                ),
+            )
+        })?;
+        let first_off = entries[0].0;
+        let total: usize = entries.iter().map(|&(_, l)| l as usize).sum();
+        let entries = entries.to_vec();
+        let mut buf = vec![0u8; total];
+        r.file.seek(SeekFrom::Start(first_off))?;
+        r.file.read_exact(&mut buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                SortError::corrupt(
+                    run,
+                    format!("block at page {start} truncated: expected {total} byte(s)"),
+                )
+            } else {
+                SortError::Io(e)
+            }
+        })?;
+        decode_block(run, start, first_off, &entries, &buf)
+    }
+
+    #[cfg(unix)]
+    fn block_read_job(&mut self, run: RunId, start: usize, len: usize) -> Option<BlockReadJob> {
+        if len == 0 {
+            return None;
+        }
+        // In-flight writes must land before an independent handle reads the
+        // range; a drain failure is delivered through the job itself.
+        if let Err(e) = self.drain_run(run) {
+            return Some(Box::new(move || Err(e)));
+        }
+        let r = self.runs.get_mut(&run)?;
+        let entries = r.index.get(start..start + len)?.to_vec();
+        let file = r.file.try_clone().ok()?;
+        let first_off = entries[0].0;
+        let total: usize = entries.iter().map(|&(_, l)| l as usize).sum();
+        Some(Box::new(move || {
+            use std::os::unix::fs::FileExt;
+            let mut buf = vec![0u8; total];
+            file.read_exact_at(&mut buf, first_off).map_err(|e| {
+                if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                    SortError::corrupt(
+                        run,
+                        format!("block at page {start} truncated: expected {total} byte(s)"),
+                    )
+                } else {
+                    SortError::Io(e)
+                }
+            })?;
+            decode_block(run, start, first_off, &entries, &buf)
+        }))
+    }
+
+    fn attach_io_pool(&mut self, pool: IoPool) {
+        self.pool = Some(pool);
+    }
+
+    fn io_pool(&self) -> Option<IoPool> {
+        self.pool.clone()
+    }
+
+    fn set_write_coalescing(&mut self, pages: usize) {
+        self.coalesce_pages = pages;
+    }
+
+    fn flush(&mut self) -> SortResult<()> {
+        let Self {
+            runs,
+            write_stall,
+            pool,
+            ..
+        } = self;
+        let mut first_err = None;
+        for r in runs.values_mut() {
+            if let Err(e) = flush_queued(r, pool.as_ref(), write_stall) {
+                first_err.get_or_insert(e);
+            }
+            if let Err(e) = drain_pending(r, write_stall) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
     fn run_pages(&self, run: RunId) -> usize {
         self.runs.get(&run).map_or(0, |r| r.index.len())
     }
@@ -422,17 +979,52 @@ impl RunStore for FileStore {
     }
 
     fn delete_run(&mut self, run: RunId) -> SortResult<()> {
+        self.sweep_trash();
         if let Some(r) = self.runs.remove(&run) {
+            // In-flight writes keep their own cloned handle to the (soon
+            // unlinked) inode, so they finish harmlessly; no need to wait.
             drop(r.file);
-            match std::fs::remove_file(&r.path) {
+            #[cfg(test)]
+            let result = if std::mem::take(&mut self.fail_next_delete) {
+                Err(std::io::Error::other("injected delete failure"))
+            } else {
+                std::fs::remove_file(&r.path)
+            };
+            #[cfg(not(test))]
+            let result = std::fs::remove_file(&r.path);
+            match result {
                 // Deletes must stay idempotent: a file already removed behind
                 // our back must not abort an otherwise-successful sort.
-                Err(e) if e.kind() != std::io::ErrorKind::NotFound => return Err(e.into()),
+                Err(e) if e.kind() != std::io::ErrorKind::NotFound => {
+                    // Remember the file so a later operation (or drop) can
+                    // retry instead of orphaning it.
+                    self.trash.push(r.path);
+                    return Err(e.into());
+                }
                 _ => {}
             }
         }
         Ok(())
     }
+}
+
+/// Decode the pages of one contiguous block given its index `entries` and the
+/// raw `buf` that starts at file offset `first_off`.
+fn decode_block(
+    run: RunId,
+    start: usize,
+    first_off: u64,
+    entries: &[(u64, u32)],
+    buf: &[u8],
+) -> SortResult<Vec<Page>> {
+    let mut out = Vec::with_capacity(entries.len());
+    for (i, &(off, len)) in entries.iter().enumerate() {
+        let s = (off - first_off) as usize;
+        let page = decode_page(&buf[s..s + len as usize])
+            .map_err(|detail| SortError::corrupt(run, format!("page {}: {detail}", start + i)))?;
+        out.push(page);
+    }
+    Ok(out)
 }
 
 /// Test-only helpers shared by error-path tests across modules.
@@ -647,6 +1239,197 @@ mod tests {
         let mut buf = 0u32.to_le_bytes().to_vec();
         buf.push(1);
         assert!(decode_page(&buf).unwrap_err().contains("trailing"));
+    }
+
+    #[test]
+    fn memstore_read_block_matches_page_reads() {
+        let mut s = MemStore::new();
+        let r = s.create_run().unwrap();
+        for p in sample_pages() {
+            s.append_page(r, p).unwrap();
+        }
+        let block = s.read_block(r, 0, 3).unwrap();
+        assert_eq!(block.len(), 3);
+        for (i, page) in block.iter().enumerate() {
+            assert_eq!(*page, s.read_page(r, i).unwrap());
+        }
+        assert!(matches!(
+            s.read_block(r, 2, 2),
+            Err(SortError::CorruptRun { .. })
+        ));
+    }
+
+    #[test]
+    fn filestore_read_block_matches_page_reads() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let r = s.create_run().unwrap();
+        let mut pages = sample_pages();
+        pages.push(Page::from_tuples(vec![Tuple::new(77, vec![9u8; 21])]));
+        for p in &pages {
+            s.append_page(r, p.clone()).unwrap();
+        }
+        let block = s.read_block(r, 1, 3).unwrap();
+        assert_eq!(block.len(), 3);
+        for (i, page) in block.iter().enumerate() {
+            assert_eq!(*page, s.read_page(r, 1 + i).unwrap());
+        }
+        assert!(s.read_block(r, 0, pages.len() + 1).is_err());
+        assert!(s.read_block(r, 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn filestore_block_read_job_runs_off_thread() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let r = s.create_run().unwrap();
+        for p in sample_pages() {
+            s.append_page(r, p).unwrap();
+        }
+        let job = s.block_read_job(r, 0, 3).expect("FileStore supports jobs");
+        // The job is self-contained: mutate nothing and run it on a pool.
+        let pool = IoPool::new(1);
+        let pages = pool.submit(job).wait().unwrap().unwrap();
+        assert_eq!(pages.len(), 3);
+        assert_eq!(pages[1], s.read_page(r, 1).unwrap());
+    }
+
+    #[test]
+    fn filestore_write_behind_round_trips() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        s.attach_io_pool(IoPool::new(2));
+        let r = s.create_run().unwrap();
+        let all = sample_pages();
+        s.append_block(r, all.clone()).unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::new(5, vec![1, 2, 3])]))
+            .unwrap();
+        // Metadata reflects in-flight blocks immediately.
+        assert_eq!(s.run_pages(r), all.len() + 1);
+        // Reads drain the backlog first, so they see the written data.
+        assert_eq!(s.read_page(r, 0).unwrap(), all[0]);
+        let block = s.read_block(r, 0, all.len() + 1).unwrap();
+        assert_eq!(block[all.len()].tuples[0].key, 5);
+        s.flush().unwrap();
+        assert_eq!(s.run_tuples(r), 11);
+    }
+
+    #[test]
+    fn failed_sync_append_rolls_back_cleanly() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let r = s.create_run().unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(1, 16)]))
+            .unwrap();
+        let len_before = std::fs::metadata(s.dir().join(format!("run-{r}.bin")))
+            .unwrap()
+            .len();
+
+        s.fail_next_append = true;
+        let err = s.append_block(r, sample_pages()).unwrap_err();
+        assert!(matches!(err, SortError::Io(_)), "{err:?}");
+
+        // No half-written page: index, tuple count and file length unchanged.
+        assert_eq!(s.run_pages(r), 1);
+        assert_eq!(s.run_tuples(r), 1);
+        let len_after = std::fs::metadata(s.dir().join(format!("run-{r}.bin")))
+            .unwrap()
+            .len();
+        assert_eq!(len_before, len_after);
+        // The run stays usable: the next append lands and reads back fine.
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(2, 16)]))
+            .unwrap();
+        assert_eq!(s.read_page(r, 1).unwrap().tuples[0].key, 2);
+        assert_eq!(s.read_page(r, 0).unwrap().tuples[0].key, 1);
+    }
+
+    #[test]
+    fn failed_write_behind_append_rolls_back_on_next_access() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        s.attach_io_pool(IoPool::new(1));
+        let r = s.create_run().unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(1, 16)]))
+            .unwrap();
+        s.flush().unwrap();
+
+        s.fail_next_append = true;
+        // The failure is asynchronous: the append itself succeeds...
+        s.append_block(r, sample_pages()).unwrap();
+        // ...and a follow-up block queued behind it must be discarded too
+        // (it would sit beyond the hole left by the failed block).
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(9, 16)]))
+            .unwrap();
+        // ...and surfaces at the next access, after which the run has been
+        // rolled back to its last durable prefix.
+        let err = s.read_page(r, 2).unwrap_err();
+        assert!(matches!(err, SortError::Io(_)), "{err:?}");
+        assert_eq!(s.run_pages(r), 1);
+        assert_eq!(s.run_tuples(r), 1);
+        assert_eq!(s.read_page(r, 0).unwrap().tuples[0].key, 1);
+        let disk_len = std::fs::metadata(s.dir().join(format!("run-{r}.bin")))
+            .unwrap()
+            .len();
+        let (off, len) = (0u64, {
+            let p = Page::from_tuples(vec![Tuple::synthetic(1, 16)]);
+            encoded_page_len(&p) as u64
+        });
+        assert_eq!(disk_len, off + len, "file truncated to the durable prefix");
+    }
+
+    #[test]
+    fn failed_delete_is_retried_not_orphaned() {
+        let mut s = FileStore::in_temp_dir().unwrap();
+        let r = s.create_run().unwrap();
+        s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(3, 16)]))
+            .unwrap();
+        let path = s.dir().join(format!("run-{r}.bin"));
+
+        s.fail_next_delete = true;
+        assert!(s.delete_run(r).is_err());
+        // The run is gone from the store but its file survived the failed
+        // unlink; the store remembers it...
+        assert_eq!(s.run_pages(r), 0);
+        assert!(path.exists());
+        // ...and the next store operation retries the removal.
+        let _ = s.create_run().unwrap();
+        assert!(!path.exists(), "trash sweep must reclaim the orphan");
+    }
+
+    #[test]
+    fn drop_reclaims_trashed_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "masort-trash-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(1)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path;
+        {
+            let mut s = FileStore::new(&dir).unwrap();
+            let r = s.create_run().unwrap();
+            s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(3, 16)]))
+                .unwrap();
+            path = s.dir().join(format!("run-{r}.bin"));
+            s.fail_next_delete = true;
+            assert!(s.delete_run(r).is_err());
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "drop must sweep the trash");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn encoded_page_len_matches_encoder() {
+        let mut page = Page::new();
+        page.push(Tuple::synthetic(11, 64));
+        page.push(Tuple::new(7, vec![1, 2, 3, 4, 5]));
+        page.push(Tuple::new(8, Vec::new()));
+        let mut buf = Vec::new();
+        encode_page(&page, &mut buf);
+        assert_eq!(encoded_page_len(&page), buf.len());
+        let empty = Page::new();
+        let mut buf2 = Vec::new();
+        encode_page(&empty, &mut buf2);
+        assert_eq!(encoded_page_len(&empty), buf2.len());
     }
 
     #[test]

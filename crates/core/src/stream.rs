@@ -16,28 +16,39 @@ use crate::tuple::Tuple;
 /// files surface mid-stream instead of panicking; after the first error the
 /// stream fuses (returns `None` forever).
 ///
+/// Dropping a stream — fully drained or not — reclaims the output run, so a
+/// consumer that stops early (e.g. a `LIMIT` downstream) cannot leak run
+/// pages or orphan a [`crate::FileStore`] run file. Use
+/// [`into_store`](Self::into_store) to keep the run instead.
+///
 /// Obtain one from [`SortOutcome::into_stream`](crate::SortOutcome::into_stream)
 /// or [`SortCompletion::into_stream`](crate::job::SortCompletion::into_stream).
 #[derive(Debug)]
 pub struct SortedStream<S: RunStore> {
-    store: S,
+    /// `None` only after `into_store` moved the store out (which also
+    /// disarms the `Drop` cleanup).
+    store: Option<S>,
     run: RunId,
     next_page: usize,
     buf: std::vec::IntoIter<Tuple>,
     yielded: usize,
     done: bool,
+    /// True once the run has been deleted from the store (fully drained).
+    /// Error-fused streams leave this false so `Drop` still reclaims.
+    reclaimed: bool,
 }
 
 impl<S: RunStore> SortedStream<S> {
     /// Stream the contents of `run` out of `store`.
     pub fn new(store: S, run: RunId) -> Self {
         SortedStream {
-            store,
+            store: Some(store),
             run,
             next_page: 0,
             buf: Vec::new().into_iter(),
             yielded: 0,
             done: false,
+            reclaimed: false,
         }
     }
 
@@ -58,9 +69,24 @@ impl<S: RunStore> SortedStream<S> {
     }
 
     /// Give the store back without consuming the remaining tuples. The output
-    /// run is left in place.
-    pub fn into_store(self) -> S {
-        self.store
+    /// run is left in place (this is the one way to keep a partially
+    /// consumed run: plain drops delete it).
+    pub fn into_store(mut self) -> S {
+        self.store.take().expect("store already moved out")
+    }
+}
+
+impl<S: RunStore> Drop for SortedStream<S> {
+    fn drop(&mut self) {
+        // A partially consumed (or error-fused) stream still owns its output
+        // run; reclaim it so early drops cannot leak pages (or orphan a run
+        // file). Fully drained streams deleted the run already, and
+        // `into_store` takes the store out, disarming this.
+        if !self.reclaimed {
+            if let Some(store) = self.store.as_mut() {
+                let _ = store.delete_run(self.run);
+            }
+        }
     }
 }
 
@@ -76,13 +102,15 @@ impl<S: RunStore> Iterator for SortedStream<S> {
             if self.done {
                 return None;
             }
-            if self.next_page >= self.store.run_pages(self.run) {
+            let store = self.store.as_mut().expect("store already moved out");
+            if self.next_page >= store.run_pages(self.run) {
                 // Fully drained: reclaim the run's storage.
                 self.done = true;
-                let _ = self.store.delete_run(self.run);
+                self.reclaimed = true;
+                let _ = store.delete_run(self.run);
                 return None;
             }
-            match self.store.read_page(self.run, self.next_page) {
+            match store.read_page(self.run, self.next_page) {
                 Ok(page) => {
                     self.next_page += 1;
                     self.buf = page.tuples.into_iter();
@@ -97,11 +125,13 @@ impl<S: RunStore> Iterator for SortedStream<S> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
+        let Some(store) = self.store.as_ref() else {
+            return (self.buf.len(), Some(self.buf.len()));
+        };
         if self.done {
             (self.buf.len(), Some(self.buf.len()))
         } else {
-            let upper = self
-                .store
+            let upper = store
                 .run_tuples(self.run)
                 .saturating_sub(self.yielded.saturating_sub(self.buf.len()));
             (self.buf.len(), Some(upper.max(self.buf.len())))
@@ -176,7 +206,7 @@ mod tests {
         assert_eq!(stream.next().unwrap().unwrap().key, 1);
         // Sabotage: a read of a deleted run yields UnknownRun.
         // (Simulates the backing file disappearing mid-stream.)
-        stream.store.delete_run(run).unwrap();
+        stream.store.as_mut().unwrap().delete_run(run).unwrap();
         // The buffered page (1 tuple per page) is exhausted, so the next call
         // hits the store. run_pages is now 0, so the stream ends cleanly —
         // recreate a run with a broken page index to force a real error.
@@ -193,6 +223,139 @@ mod tests {
             Some(Err(SortError::CorruptRun { .. }))
         ));
         assert!(stream.next().is_none(), "stream must fuse after an error");
+    }
+
+    #[test]
+    fn early_drop_deletes_the_run_from_a_file_store() {
+        // A partially consumed stream must reclaim its run file on drop —
+        // otherwise every `LIMIT`-style consumer leaks an orphaned file.
+        let mut store = crate::store::FileStore::in_temp_dir().unwrap();
+        let dir = store.dir().to_path_buf();
+        let r = store.create_run().unwrap();
+        let tuples: Vec<Tuple> = (0..8).map(|k| Tuple::synthetic(k, 16)).collect();
+        for p in paginate(tuples, 2) {
+            store.append_page(r, p).unwrap();
+        }
+        let path = dir.join(format!("run-{r}.bin"));
+        assert!(path.exists());
+        let mut stream = SortedStream::new(store, r);
+        assert_eq!(stream.next().unwrap().unwrap().key, 0);
+        drop(stream); // partially consumed
+        assert!(!path.exists(), "early drop must delete the run file");
+    }
+
+    #[test]
+    fn early_drop_empties_a_mem_store() {
+        // Observe the deletion through a shared counter: the store is dropped
+        // with the stream, so it cannot be inspected afterwards directly.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct CountingDeletes {
+            inner: MemStore,
+            deletes: Arc<AtomicUsize>,
+        }
+        impl RunStore for CountingDeletes {
+            fn create_run(&mut self) -> crate::error::SortResult<RunId> {
+                self.inner.create_run()
+            }
+            fn append_page(&mut self, run: RunId, page: Page) -> crate::error::SortResult<()> {
+                self.inner.append_page(run, page)
+            }
+            fn read_page(&mut self, run: RunId, idx: usize) -> crate::error::SortResult<Page> {
+                self.inner.read_page(run, idx)
+            }
+            fn run_pages(&self, run: RunId) -> usize {
+                self.inner.run_pages(run)
+            }
+            fn run_tuples(&self, run: RunId) -> usize {
+                self.inner.run_tuples(run)
+            }
+            fn delete_run(&mut self, run: RunId) -> crate::error::SortResult<()> {
+                self.deletes.fetch_add(1, Ordering::SeqCst);
+                self.inner.delete_run(run)
+            }
+        }
+        let deletes = Arc::new(AtomicUsize::new(0));
+        let (inner, run) = store_with_run(&[1, 2, 3, 4, 5], 2);
+        let store = CountingDeletes {
+            inner,
+            deletes: Arc::clone(&deletes),
+        };
+        let mut stream = SortedStream::new(store, run);
+        assert_eq!(stream.next().unwrap().unwrap().key, 1);
+        drop(stream);
+        assert_eq!(deletes.load(Ordering::SeqCst), 1);
+
+        // into_store still opts out of the cleanup.
+        let (inner, run) = store_with_run(&[7, 8], 1);
+        let store = CountingDeletes {
+            inner,
+            deletes: Arc::clone(&deletes),
+        };
+        let mut stream = SortedStream::new(store, run);
+        assert_eq!(stream.next().unwrap().unwrap().key, 7);
+        let store = stream.into_store();
+        assert_eq!(store.inner.live_runs(), 1);
+        assert_eq!(
+            deletes.load(Ordering::SeqCst),
+            1,
+            "into_store must not delete"
+        );
+    }
+
+    #[test]
+    fn error_fused_stream_drop_deletes_run() {
+        // A stream that fused on a read error has not deleted its run; the
+        // Drop cleanup must still reclaim it (deferred write-behind errors
+        // surface exactly here, on the first read).
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct FailingCountingStore {
+            inner: MemStore,
+            deletes: Arc<AtomicUsize>,
+        }
+        impl RunStore for FailingCountingStore {
+            fn create_run(&mut self) -> crate::error::SortResult<RunId> {
+                self.inner.create_run()
+            }
+            fn append_page(&mut self, run: RunId, page: Page) -> crate::error::SortResult<()> {
+                self.inner.append_page(run, page)
+            }
+            fn read_page(&mut self, run: RunId, _idx: usize) -> crate::error::SortResult<Page> {
+                Err(SortError::corrupt(run, "simulated read failure"))
+            }
+            fn run_pages(&self, run: RunId) -> usize {
+                self.inner.run_pages(run)
+            }
+            fn run_tuples(&self, run: RunId) -> usize {
+                self.inner.run_tuples(run)
+            }
+            fn delete_run(&mut self, run: RunId) -> crate::error::SortResult<()> {
+                self.deletes.fetch_add(1, Ordering::SeqCst);
+                self.inner.delete_run(run)
+            }
+        }
+        let deletes = Arc::new(AtomicUsize::new(0));
+        let mut inner = MemStore::new();
+        let r = inner.create_run().unwrap();
+        inner
+            .append_page(r, Page::from_tuples(vec![Tuple::synthetic(1, 16)]))
+            .unwrap();
+        let store = FailingCountingStore {
+            inner,
+            deletes: Arc::clone(&deletes),
+        };
+        let mut stream = SortedStream::new(store, r);
+        assert!(matches!(
+            stream.next(),
+            Some(Err(SortError::CorruptRun { .. }))
+        ));
+        drop(stream);
+        assert_eq!(
+            deletes.load(Ordering::SeqCst),
+            1,
+            "error-fused stream must reclaim its run on drop"
+        );
     }
 
     #[test]

@@ -300,15 +300,15 @@ fn merge_planning_invariants() {
         let n = rng.gen_range(0usize..400);
         let m = rng.gen_range(3usize..64);
         let runs: Vec<usize> = (0..n).map(|i| 1 + (i * 31 % 17)).collect();
-        let naive = StaticPlanSummary::plan(&runs, m, MergePolicy::Naive);
-        let opt = StaticPlanSummary::plan(&runs, m, MergePolicy::Optimized);
+        let naive = StaticPlanSummary::plan(&runs, m, MergePolicy::Naive).unwrap();
+        let opt = StaticPlanSummary::plan(&runs, m, MergePolicy::Optimized).unwrap();
         assert_eq!(naive.step_count(), opt.step_count(), "n={n} m={m}");
         assert!(
             opt.preliminary_pages() <= naive.preliminary_pages(),
             "n={n} m={m}"
         );
         for policy in [MergePolicy::Naive, MergePolicy::Optimized] {
-            if let Some(f) = preliminary_fan_in(n, m, policy) {
+            if let Some(f) = preliminary_fan_in(n, m, policy).unwrap() {
                 assert!(f >= 2, "n={n} m={m}");
                 assert!(f < m, "n={n} m={m}");
                 assert!(f <= n, "n={n} m={m}");
