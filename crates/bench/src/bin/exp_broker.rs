@@ -12,6 +12,7 @@
 //! `MASORT_BROKER_POOL` (pages, default 48),
 //! `MASORT_BROKER_WORKERS` (default 4).
 
+use masort_bench::env_usize;
 use masort_broker::prelude::*;
 use masort_core::{SortConfig, Tuple};
 use masort_simkit::Tally;
@@ -20,13 +21,6 @@ use rand::{Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 struct PolicyResult {
     policy: &'static str,

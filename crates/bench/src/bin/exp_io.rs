@@ -13,7 +13,7 @@
 //! `MASORT_IO_BUDGETS` (comma-separated, default `32,64,128`),
 //! `MASORT_IO_REPS` (default 3, fastest repetition is reported).
 
-use masort_bench::{f, print_table};
+use masort_bench::{env_usize, env_usize_list, f, print_table};
 use masort_core::merge::exec::{execute_merge, ExecParams};
 use masort_core::tuple::paginate;
 use masort_core::{
@@ -23,19 +23,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
-fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn env_budgets() -> Vec<usize> {
-    std::env::var("MASORT_IO_BUDGETS")
-        .ok()
-        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
-        .filter(|v: &Vec<usize>| !v.is_empty())
-        .unwrap_or_else(|| vec![32, 64, 128])
+    env_usize_list("MASORT_IO_BUDGETS", &[32, 64, 128])
 }
 
 /// Write `n_runs` identical-seed sorted runs into a fresh temp-dir store.

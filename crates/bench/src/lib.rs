@@ -45,6 +45,25 @@ pub fn f(v: f64, decimals: usize) -> String {
     format!("{v:.decimals$}")
 }
 
+/// Read a `usize` experiment knob from the environment, falling back to
+/// `default` when unset or unparsable.
+pub fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Read a comma-separated `usize` list knob from the environment, falling
+/// back to `default` when unset or when no element parses.
+pub fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {
+    std::env::var(key)
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -172,6 +172,17 @@ impl SortRequest {
         self
     }
 
+    /// Ask for up to `n` compute workers for this sort's split phase
+    /// (shorthand for setting `cfg.cpu_threads`; default 1 =
+    /// single-threaded). The service grants at most what its shared
+    /// [`cpu_threads`](SortServiceBuilder::cpu_threads) allowance has free at
+    /// admission — compute threads are capped across live sorts the same way
+    /// the page pool is shared.
+    pub fn cpu_threads(mut self, n: usize) -> Self {
+        self.cfg.cpu_threads = n.max(1);
+        self
+    }
+
     /// Store this job's runs in `storage` (default [`RunStorage::InMemory`]).
     pub fn storage(mut self, storage: RunStorage) -> Self {
         self.storage = storage;
@@ -192,6 +203,7 @@ pub struct SortServiceBuilder {
     suspension_wait: Duration,
     io_threads: usize,
     io_pipeline_depth: usize,
+    cpu_threads: usize,
 }
 
 impl std::fmt::Debug for SortServiceBuilder {
@@ -218,6 +230,7 @@ impl Default for SortServiceBuilder {
             suspension_wait: Duration::from_secs(5),
             io_threads: 0,
             io_pipeline_depth: 0,
+            cpu_threads: 0,
         }
     }
 }
@@ -270,6 +283,23 @@ impl SortServiceBuilder {
         self
     }
 
+    /// Size of the shared *extra* compute-thread allowance for
+    /// partition-parallel split phases (default 0 = every sort runs
+    /// single-threaded, today's behaviour).
+    ///
+    /// Every live job always has its own worker thread; a job whose request
+    /// asks for `cpu_threads = k` additionally borrows up to `k − 1` threads
+    /// from this allowance at admission and returns them on completion — so
+    /// the *sorting* threads across live sorts stay capped the same way the
+    /// page pool is shared, rather than each job spawning freely. (During a
+    /// parallel split the job's own worker thread is not idle: it becomes the
+    /// store-writer lane, draining the workers' finished run pages into the
+    /// job's run store — work it would otherwise have done inline.)
+    pub fn cpu_threads(mut self, total_extra: usize) -> Self {
+        self.cpu_threads = total_extra;
+        self
+    }
+
     /// Start the service: spawn the worker threads and return the handle.
     pub fn build(self) -> SortService {
         let shared = Arc::new(Shared {
@@ -282,6 +312,7 @@ impl SortServiceBuilder {
                 queue: AdmissionQueue::default(),
                 stats: ServiceStats::default(),
                 next_job: 0,
+                cpu_free: self.cpu_threads,
                 shutdown: false,
             }),
             work: Condvar::new(),
@@ -304,6 +335,10 @@ struct State {
     queue: AdmissionQueue,
     stats: ServiceStats,
     next_job: JobId,
+    /// Unclaimed extra compute threads (see
+    /// [`SortServiceBuilder::cpu_threads`]); borrowed at admission, returned
+    /// at completion.
+    cpu_free: usize,
     shutdown: bool,
 }
 
@@ -493,6 +528,9 @@ struct Admitted {
     start_version: u64,
     queued_for: f64,
     admitted_at: f64,
+    /// Total compute workers granted (1 + threads borrowed from the shared
+    /// allowance; the borrowed count goes back at release).
+    cpu_workers: usize,
 }
 
 fn worker_loop(shared: Arc<Shared>) {
@@ -514,6 +552,12 @@ fn worker_loop(shared: Arc<Shared>) {
                         budget.clone(),
                         now,
                     );
+                    // Borrow extra compute workers from the shared allowance:
+                    // grant what is free now rather than queueing for threads
+                    // (memory is the scarce, brokered resource; compute
+                    // degrades gracefully to fewer workers).
+                    let extra = req.cfg.cpu_threads.saturating_sub(1).min(state.cpu_free);
+                    state.cpu_free -= extra;
                     let queued_for = (now - req.submitted_at).max(0.0);
                     state.stats.peak_live = state.stats.peak_live.max(state.broker.live_count());
                     state.stats.total_queue_wait += queued_for;
@@ -525,6 +569,7 @@ fn worker_loop(shared: Arc<Shared>) {
                         budget,
                         queued_for,
                         admitted_at: now,
+                        cpu_workers: 1 + extra,
                     };
                 }
                 if st.shutdown && st.queue.is_empty() {
@@ -547,6 +592,7 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
         start_version,
         queued_for,
         admitted_at,
+        cpu_workers,
     } = admitted;
     let QueuedRequest {
         job,
@@ -572,6 +618,8 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
     if cfg.io.pipeline_depth == 0 {
         cfg.io.pipeline_depth = shared.default_io_depth;
     }
+    // Cap the job's compute workers at what the shared allowance granted.
+    cfg.cpu_threads = cpu_workers;
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         build_store(storage).and_then(|store| {
             let mut env = RealEnv::starting_at(shared.start);
@@ -595,6 +643,7 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
     let finished_at = shared.now();
     let mut st = shared.lock();
     st.broker.release(job, finished_at);
+    st.cpu_free += cpu_workers - 1;
     let outcome = match result {
         Ok(completion) => {
             let delays = &completion.outcome.delays;
@@ -606,6 +655,7 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
                 queued_for,
                 ran_for: (finished_at - admitted_at).max(0.0),
                 initial_grant,
+                cpu_workers,
                 reallocations,
                 delay_samples: delays.len(),
                 total_delay: delays.iter().map(DelaySample::delay).sum(),
@@ -842,6 +892,83 @@ mod tests {
         let stats = svc.shutdown();
         assert_eq!(stats.completed, 4);
         assert_eq!(stats.failed, 0);
+    }
+
+    #[test]
+    fn compute_threads_are_capped_by_the_shared_allowance() {
+        // 2 extra threads shared service-wide: the first admitted parallel
+        // job can borrow at most 2 (3 workers total), and with the default
+        // allowance of 0 every job runs single-threaded no matter what the
+        // request asks for.
+        let svc = SortService::builder()
+            .pool_pages(32)
+            .workers(1)
+            .cpu_threads(2)
+            .build();
+        let input = random_tuples(4_000, 77);
+        let report = svc
+            .submit(SortRequest::tuples(small_cfg(8), input.clone()).cpu_threads(8))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(report.stats.cpu_workers, 3, "1 own + 2 borrowed");
+        let sorted = report.into_sorted_vec().unwrap();
+        assert_sorted_permutation(&input, &sorted);
+        // The borrowed threads came back: a second job gets them again.
+        let report = svc
+            .submit(SortRequest::tuples(small_cfg(8), random_tuples(800, 78)).cpu_threads(2))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(report.stats.cpu_workers, 2);
+        svc.shutdown();
+
+        let svc = SortService::builder().pool_pages(16).workers(1).build();
+        let report = svc
+            .submit(SortRequest::tuples(small_cfg(8), random_tuples(500, 79)).cpu_threads(4))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            report.stats.cpu_workers, 1,
+            "no allowance, no extra threads"
+        );
+        svc.shutdown();
+    }
+
+    #[test]
+    fn parallel_jobs_share_the_allowance_and_still_sort_correctly() {
+        let svc = SortService::builder()
+            .pool_pages(48)
+            .workers(3)
+            .cpu_threads(4)
+            .build();
+        let inputs: Vec<Vec<Tuple>> = (0..6).map(|i| random_tuples(3_000, 200 + i)).collect();
+        let tickets: Vec<SortTicket> = inputs
+            .iter()
+            .map(|input| {
+                svc.submit(SortRequest::tuples(small_cfg(8), input.clone()).cpu_threads(3))
+                    .unwrap()
+            })
+            .collect();
+        let mut granted_extra_total = 0usize;
+        for (ticket, input) in tickets.into_iter().zip(&inputs) {
+            let report = ticket.wait().unwrap();
+            assert!(
+                (1..=3).contains(&report.stats.cpu_workers),
+                "granted {} workers",
+                report.stats.cpu_workers
+            );
+            granted_extra_total += report.stats.cpu_workers - 1;
+            let sorted = report.into_sorted_vec().unwrap();
+            assert_sorted_permutation(input, &sorted);
+        }
+        assert!(
+            granted_extra_total > 0,
+            "some job should have gone parallel"
+        );
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 6);
     }
 
     #[test]

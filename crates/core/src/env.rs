@@ -63,6 +63,48 @@ pub trait SortEnv {
     fn io_pool(&self) -> Option<crate::io::IoPool> {
         None
     }
+
+    /// Fork an independent environment for one compute worker of a
+    /// partition-parallel split phase. `None` (the default) declares that
+    /// this environment cannot host parallel workers — deterministic
+    /// simulation environments stay `None`, so a simulated sort always runs
+    /// single-threaded regardless of `cpu_threads` — and the sort falls back
+    /// to one compute thread. Forked environments should share this
+    /// environment's clock origin so the phase timestamps of all workers
+    /// agree.
+    fn fork_worker(&self) -> Option<Box<dyn SortEnv + Send>> {
+        None
+    }
+}
+
+impl<E: SortEnv + ?Sized> SortEnv for Box<E> {
+    fn now(&self) -> f64 {
+        (**self).now()
+    }
+
+    fn charge_cpu(&mut self, op: CpuOp, count: u64) {
+        (**self).charge_cpu(op, count)
+    }
+
+    fn poll(&mut self, budget: &MemoryBudget) {
+        (**self).poll(budget)
+    }
+
+    fn wait_for_pages(&mut self, budget: &MemoryBudget, pages: usize) -> bool {
+        (**self).wait_for_pages(budget, pages)
+    }
+
+    fn charge_extra_read(&mut self, pages: usize) {
+        (**self).charge_extra_read(pages)
+    }
+
+    fn io_pool(&self) -> Option<crate::io::IoPool> {
+        (**self).io_pool()
+    }
+
+    fn fork_worker(&self) -> Option<Box<dyn SortEnv + Send>> {
+        (**self).fork_worker()
+    }
 }
 
 /// A production environment: wall-clock time, no CPU accounting, and
@@ -145,6 +187,17 @@ impl SortEnv for RealEnv {
 
     fn io_pool(&self) -> Option<crate::io::IoPool> {
         self.io_pool.clone()
+    }
+
+    fn fork_worker(&self) -> Option<Box<dyn SortEnv + Send>> {
+        // Same clock origin, waiting behaviour and I/O pool; wall-clock time
+        // needs no synchronisation between threads.
+        Some(Box::new(RealEnv {
+            start: self.start,
+            max_wait: self.max_wait,
+            poll_interval: self.poll_interval,
+            io_pool: self.io_pool.clone(),
+        }))
     }
 }
 

@@ -115,7 +115,10 @@ pub use budget::{BudgetSnapshot, DelaySample, MemoryBudget, SortPhase};
 pub use config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig};
 pub use env::{CpuOp, RealEnv, SortEnv};
 pub use error::{SortError, SortResult};
-pub use input::{GenSource, InputSource, IterSource, VecSource};
+pub use input::{
+    GenSource, InputSource, IterSource, NeverSource, PartitionableSource, SharedSource, Unsplit,
+    VecSource,
+};
 pub use io::{IoConfig, IoHandle, IoPool};
 pub use job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};
 pub use join::{JoinOutcome, SortMergeJoin};
@@ -135,7 +138,10 @@ pub mod prelude {
     };
     pub use crate::env::{CpuOp, RealEnv, SortEnv};
     pub use crate::error::{SortError, SortResult};
-    pub use crate::input::{GenSource, InputSource, IterSource, VecSource};
+    pub use crate::input::{
+        GenSource, InputSource, IterSource, NeverSource, PartitionableSource, SharedSource,
+        Unsplit, VecSource,
+    };
     pub use crate::io::{IoConfig, IoPool};
     pub use crate::job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};
     pub use crate::join::{JoinOutcome, SortMergeJoin};

@@ -13,6 +13,7 @@
 //! selection only needs to emit enough pages (or hand over already-free
 //! buffers) to satisfy the request.
 
+pub(crate) mod parallel;
 pub mod quicksort;
 pub mod replacement;
 

@@ -9,12 +9,11 @@ use crate::budget::{DelaySample, MemoryBudget, SortPhase};
 use crate::config::SortConfig;
 use crate::env::SortEnv;
 use crate::error::SortResult;
-use crate::input::InputSource;
+use crate::input::{InputSource, PartitionableSource};
 use crate::merge::exec::{execute_merge, ExecParams, MergeStats};
-use crate::run_formation::{form_runs, SplitStats};
+use crate::run_formation::{form_runs, parallel::form_runs_parallel, SplitStats};
 use crate::store::{RunId, RunStore};
 use crate::stream::SortedStream;
-use crate::tuple::Tuple;
 
 /// The result of a complete external sort.
 #[derive(Clone, Debug)]
@@ -127,13 +126,77 @@ impl ExternalSorter {
     {
         self.cfg.validate()?;
         let started = env.now();
+        self.attach_io(store, env);
+        budget.set_phase(SortPhase::Split);
+        let split = form_runs(&self.cfg, budget, input, store, env);
+        self.merge_and_finish(split, store, env, budget, started)
+    }
 
-        // Resolve the background I/O pool for pipelined configurations:
-        // prefer the environment's shared pool (a service hands one pool to
-        // all of its sorts); otherwise spin up a private one when the
-        // configuration asks for worker threads. Attaching it to the store
-        // enables write-behind during run formation and merging; merge
-        // cursors pick the same pool up for read-ahead.
+    /// Like [`sort`](Self::sort), but taking the input by value so that, with
+    /// `cpu_threads ≥ 2` in the configuration, the split phase can partition
+    /// it across that many compute workers — each running the configured
+    /// in-memory sorting method against a
+    /// [`MemoryBudget::child`] share of `budget` and appending runs to
+    /// `store` through the orchestrating thread. `SortJob::run` goes through
+    /// this entry point.
+    ///
+    /// Falls back to the exact single-threaded path when `cpu_threads` is 1,
+    /// when the input declines to partition, or when the environment cannot
+    /// fork workers ([`SortEnv::fork_worker`]); the merge phase always runs
+    /// on the calling thread against the root budget.
+    pub fn sort_partitioned<S, I, E>(
+        &self,
+        input: I,
+        store: &mut S,
+        env: &mut E,
+        budget: &MemoryBudget,
+    ) -> SortResult<SortOutcome>
+    where
+        S: RunStore,
+        I: PartitionableSource,
+        E: SortEnv,
+    {
+        self.cfg.validate()?;
+        let started = env.now();
+        self.attach_io(store, env);
+        budget.set_phase(SortPhase::Split);
+        let threads = self.cfg.cpu_threads;
+        let split = if threads >= 2 {
+            let forked: Option<Vec<_>> = (0..threads).map(|_| env.fork_worker()).collect();
+            match forked {
+                Some(envs) => match input.partition(threads) {
+                    Ok(parts) if parts.len() >= 2 => {
+                        form_runs_parallel(&self.cfg, budget, parts, envs, store, env)
+                    }
+                    Ok(parts) => match parts.into_iter().next() {
+                        Some(mut part) => form_runs(&self.cfg, budget, &mut part, store, env),
+                        None => Ok(SplitStats {
+                            started_at: env.now(),
+                            finished_at: env.now(),
+                            ..SplitStats::default()
+                        }),
+                    },
+                    Err(mut input) => form_runs(&self.cfg, budget, &mut input, store, env),
+                },
+                None => {
+                    let mut input = input;
+                    form_runs(&self.cfg, budget, &mut input, store, env)
+                }
+            }
+        } else {
+            let mut input = input;
+            form_runs(&self.cfg, budget, &mut input, store, env)
+        };
+        self.merge_and_finish(split, store, env, budget, started)
+    }
+
+    /// Resolve the background I/O pool for pipelined configurations: prefer
+    /// the environment's shared pool (a service hands one pool to all of its
+    /// sorts); otherwise spin up a private one when the configuration asks
+    /// for worker threads. Attaching it to the store enables write-behind
+    /// during run formation and merging; merge cursors pick the same pool up
+    /// for read-ahead.
+    fn attach_io<S: RunStore, E: SortEnv>(&self, store: &mut S, env: &E) {
         if self.cfg.io.enabled() {
             let pool = env.io_pool().or_else(|| {
                 (self.cfg.io.io_threads > 0).then(|| crate::io::IoPool::new(self.cfg.io.io_threads))
@@ -145,21 +208,32 @@ impl ExternalSorter {
             // writes: appends coalesce into ~read-block-sized block writes.
             store.set_write_coalescing(self.cfg.io.pipeline_depth.clamp(8, 64));
         }
+    }
 
-        budget.set_phase(SortPhase::Split);
-        let split = form_runs(&self.cfg, budget, input, store, env)?;
-
-        budget.set_phase(SortPhase::Merge);
-        let params = ExecParams::from_algorithm(&self.cfg.algorithm)
-            .with_io_depth(self.cfg.io.pipeline_depth);
-        let (output_run, merge) =
-            execute_merge(&self.cfg, budget, &split.runs, store, env, params)?;
-
-        // Write-behind stores may still have the tail of the output run in
-        // flight; wait for it so a deferred write error fails the sort here
-        // rather than surfacing as a corrupt run later.
-        store.flush()?;
-
+    /// Shared back half of a sort: merge the split phase's runs, then flush
+    /// the store **on success and error paths alike** — write-behind stores
+    /// may still have blocks in flight, and a deferred write failure must
+    /// surface as the sort's error instead of being dropped with the store.
+    /// A phase error takes precedence over a flush error.
+    fn merge_and_finish<S: RunStore, E: SortEnv>(
+        &self,
+        split: SortResult<SplitStats>,
+        store: &mut S,
+        env: &mut E,
+        budget: &MemoryBudget,
+        started: f64,
+    ) -> SortResult<SortOutcome> {
+        let phases = split.and_then(|split| {
+            budget.set_phase(SortPhase::Merge);
+            let params = ExecParams::from_algorithm(&self.cfg.algorithm)
+                .with_io_depth(self.cfg.io.pipeline_depth);
+            let (output_run, merge) =
+                execute_merge(&self.cfg, budget, &split.runs, store, env, params)?;
+            Ok((split, output_run, merge))
+        });
+        let flushed = store.flush();
+        let (split, output_run, merge) = phases?;
+        flushed?;
         let response_time = env.now() - started;
         Ok(SortOutcome {
             output_run,
@@ -168,37 +242,6 @@ impl ExternalSorter {
             response_time,
             delays: budget.take_delays(),
         })
-    }
-
-    /// Convenience wrapper: sort an in-memory vector of tuples and return the
-    /// sorted vector.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SortJob::builder().config(..).tuples(..).build()?.run()?` instead"
-    )]
-    pub fn sort_vec(&self, tuples: Vec<Tuple>) -> SortResult<Vec<Tuple>> {
-        crate::job::SortJob::builder()
-            .config(self.cfg.clone())
-            .tuples(tuples)
-            .build()?
-            .run()?
-            .into_sorted_vec()
-    }
-
-    /// Like [`sort_vec`](Self::sort_vec) but also returns the full
-    /// [`SortOutcome`] (statistics) alongside the sorted data.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `SortJob::builder()` and keep the `SortCompletion` instead"
-    )]
-    pub fn sort_vec_with_stats(&self, tuples: Vec<Tuple>) -> SortResult<(Vec<Tuple>, SortOutcome)> {
-        let completion = crate::job::SortJob::builder()
-            .config(self.cfg.clone())
-            .tuples(tuples)
-            .build()?
-            .run()?;
-        let outcome = completion.outcome.clone();
-        Ok((completion.into_sorted_vec()?, outcome))
     }
 }
 
@@ -217,6 +260,7 @@ mod tests {
     use crate::input::VecSource;
     use crate::job::SortJob;
     use crate::store::{FileStore, MemStore};
+    use crate::tuple::Tuple;
     use crate::verify::{assert_sorted_permutation, collect_run};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -381,14 +425,59 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_vec_wrappers_still_work() {
-        let input = random_tuples(1500, 3);
-        let sorter = ExternalSorter::new(small_cfg(5, AlgorithmSpec::recommended()));
-        let sorted = sorter.sort_vec(input.clone()).unwrap();
-        assert_sorted_permutation(&input, &sorted);
-        let (sorted2, outcome) = sorter.sort_vec_with_stats(input.clone()).unwrap();
-        assert_sorted_permutation(&input, &sorted2);
-        assert!(outcome.runs_formed() >= 1);
+    fn error_paths_still_flush_the_store() {
+        // A store whose reads always fail makes the merge phase error out
+        // while queued write-behind work may still be buffered; the sorter
+        // must flush it before propagating so deferred write failures cannot
+        // be dropped silently with the store.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        struct FlushCountingStore {
+            inner: MemStore,
+            flushes: Arc<AtomicUsize>,
+        }
+        impl RunStore for FlushCountingStore {
+            fn create_run(&mut self) -> SortResult<RunId> {
+                self.inner.create_run()
+            }
+            fn append_page(&mut self, run: RunId, page: crate::tuple::Page) -> SortResult<()> {
+                self.inner.append_page(run, page)
+            }
+            fn read_page(&mut self, run: RunId, _idx: usize) -> SortResult<crate::tuple::Page> {
+                Err(SortError::corrupt(run, "simulated read failure"))
+            }
+            fn flush(&mut self) -> SortResult<()> {
+                self.flushes.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+            fn run_pages(&self, run: RunId) -> usize {
+                self.inner.run_pages(run)
+            }
+            fn run_tuples(&self, run: RunId) -> usize {
+                self.inner.run_tuples(run)
+            }
+            fn delete_run(&mut self, run: RunId) -> SortResult<()> {
+                self.inner.delete_run(run)
+            }
+        }
+        let flushes = Arc::new(AtomicUsize::new(0));
+        let mut store = FlushCountingStore {
+            inner: MemStore::new(),
+            flushes: Arc::clone(&flushes),
+        };
+        let cfg = small_cfg(4, AlgorithmSpec::recommended());
+        let sorter = ExternalSorter::new(cfg.clone());
+        let budget = MemoryBudget::new(cfg.memory_pages);
+        let mut source = VecSource::from_tuples(random_tuples(2_000, 31), cfg.tuples_per_page());
+        let mut env = CountingEnv::new();
+        let err = sorter
+            .sort(&mut source, &mut store, &mut env, &budget)
+            .unwrap_err();
+        assert!(matches!(err, SortError::CorruptRun { .. }), "{err:?}");
+        assert_eq!(
+            flushes.load(Ordering::SeqCst),
+            1,
+            "the error path must flush the store before propagating"
+        );
     }
 }

@@ -115,6 +115,8 @@ impl SimConfig {
             // The simulation charges per-page costs itself; pipelining stays
             // off so the disk model matches the paper.
             io: masort_core::IoConfig::default(),
+            // The simulator is deterministic and single-threaded by design.
+            cpu_threads: 1,
         }
     }
 }
