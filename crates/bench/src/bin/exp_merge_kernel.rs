@@ -1,0 +1,254 @@
+//! Merge-kernel experiment: per-tuple selection vs the batched kernel
+//! (loser tree + cached ranks + gallop page moves).
+//!
+//! For each workload × fan-in the same set of sorted in-memory runs is
+//! merged twice — once with `merge_batch` off (the per-tuple reference path)
+//! and once with it on — and the merge-phase throughput in tuples/sec is
+//! reported. The two outputs are asserted identical key for key, so the
+//! speedup is free of semantic drift. Runs live in a `MemStore` so the
+//! numbers isolate the CPU side of the merge (the I/O side is `exp_io`'s
+//! job).
+//!
+//! Three workloads span the kernel's envelope:
+//!
+//! * `uniform` — full-width random keys: every selection flips to another
+//!   run, so gallop batches degenerate to length one. This is the batched
+//!   kernel's worst case and must stay at parity with the per-tuple path.
+//! * `dups` — a low-cardinality key domain (`MASORT_MK_DUP_KEYS`, default
+//!   512), as in sorting by category, status or date: each run holds streaks
+//!   of equal keys that move as one gallop slice.
+//! * `clustered` — runs covering mostly-disjoint key ranges with a little
+//!   cross-boundary jitter, exactly what Quicksort run formation produces
+//!   from a nearly-sorted relation: the merge is close to a concatenation
+//!   and batches stretch across whole pages.
+//!
+//! A machine-readable summary is written to `BENCH_merge.json` (override
+//! with `MASORT_MK_JSON`) so CI can track the kernel's perf trajectory.
+//!
+//! Environment knobs:
+//! `MASORT_MK_FANS` (comma-separated fan-ins, default `4,16,64`),
+//! `MASORT_MK_PAGES_PER_RUN` (default 192),
+//! `MASORT_MK_DUP_KEYS` (key-domain size of the `dups` workload, default 512),
+//! `MASORT_MK_REPS` (default 3, fastest repetition is reported),
+//! `MASORT_MK_JSON` (output path, default `BENCH_merge.json`).
+
+use masort_bench::{env_usize, env_usize_list, f, print_table};
+use masort_core::merge::exec::{execute_merge, ExecParams};
+use masort_core::tuple::paginate;
+use masort_core::verify::collect_run;
+use masort_core::{MemStore, MemoryBudget, RealEnv, RunMeta, RunStore, SortConfig, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Workload {
+    Uniform,
+    Dups,
+    Clustered,
+}
+
+impl Workload {
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Uniform => "uniform",
+            Workload::Dups => "dups",
+            Workload::Clustered => "clustered",
+        }
+    }
+}
+
+fn build_runs(
+    workload: Workload,
+    fan: usize,
+    pages_each: usize,
+    tpp: usize,
+    seed: u64,
+) -> (MemStore, Vec<RunMeta>) {
+    let per_run = pages_each * tpp;
+    let dup_domain = env_usize("MASORT_MK_DUP_KEYS", 512) as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut store = MemStore::new();
+    let mut metas = Vec::new();
+    for r in 0..fan {
+        let mut tuples: Vec<Tuple> = (0..per_run)
+            .map(|i| {
+                let key = match workload {
+                    Workload::Uniform => rng.gen::<u64>() >> 8,
+                    Workload::Dups => rng.gen_range(0..dup_domain),
+                    Workload::Clustered => {
+                        // Run r covers [r * per_run, (r + 1) * per_run) with
+                        // ~2% of tuples displaced into a neighbouring range.
+                        let base = (r * per_run + i) as u64;
+                        if rng.gen_range(0..50u32) == 0 {
+                            base.wrapping_add(rng.gen_range(0..2 * per_run as u64))
+                        } else {
+                            base
+                        }
+                    }
+                };
+                Tuple::synthetic(key, 256)
+            })
+            .collect();
+        tuples.sort_unstable_by_key(|t| t.key);
+        let run = store.create_run().expect("create run");
+        for p in paginate(tuples, tpp) {
+            store.append_page(run, p).expect("append page");
+        }
+        metas.push(store.meta(run));
+    }
+    (store, metas)
+}
+
+struct Outcome {
+    secs: f64,
+    tuples: u64,
+    keys: Vec<u64>,
+}
+
+fn run_merge(
+    workload: Workload,
+    fan: usize,
+    pages_each: usize,
+    batch: bool,
+    cfg: &SortConfig,
+) -> Outcome {
+    let (mut store, metas) = build_runs(
+        workload,
+        fan,
+        pages_each,
+        cfg.tuples_per_page(),
+        0xFEED ^ fan as u64,
+    );
+    // Enough budget for a single merge step over all runs: the experiment
+    // measures the kernel, not dynamic splitting.
+    let budget = MemoryBudget::new(fan + 3);
+    let mut env = RealEnv::new();
+    let params = ExecParams::default().with_merge_batch(batch);
+    let t0 = Instant::now();
+    let (out, stats) =
+        execute_merge(cfg, &budget, &metas, &mut store, &mut env, params).expect("merge");
+    let secs = t0.elapsed().as_secs_f64();
+    let keys = collect_run(&mut store, out)
+        .expect("collect output")
+        .into_iter()
+        .map(|t| t.key)
+        .collect();
+    Outcome {
+        secs,
+        tuples: stats.tuples_output,
+        keys,
+    }
+}
+
+/// Best of `reps` repetitions (allocator warm-up and CI noise make single
+/// runs unreliable); the output keys of every repetition are checked against
+/// the first.
+fn best_of(
+    reps: usize,
+    workload: Workload,
+    fan: usize,
+    pages_each: usize,
+    batch: bool,
+    cfg: &SortConfig,
+) -> Outcome {
+    let mut best: Option<Outcome> = None;
+    for _ in 0..reps.max(1) {
+        let o = run_merge(workload, fan, pages_each, batch, cfg);
+        if let Some(b) = &best {
+            assert_eq!(b.keys, o.keys, "merge output varies across repetitions");
+        }
+        if best.as_ref().is_none_or(|b| o.secs < b.secs) {
+            best = Some(o);
+        }
+    }
+    best.expect("at least one repetition")
+}
+
+fn main() {
+    let fans = env_usize_list("MASORT_MK_FANS", &[4, 16, 64]);
+    let pages_each = env_usize("MASORT_MK_PAGES_PER_RUN", 192);
+    let reps = env_usize("MASORT_MK_REPS", 3);
+    let json_path =
+        std::env::var("MASORT_MK_JSON").unwrap_or_else(|_| "BENCH_merge.json".to_string());
+    let cfg = SortConfig::default();
+
+    eprintln!("Merge kernel experiment — fan-ins {fans:?}, {pages_each} pages/run, best of {reps}");
+
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    let mut summaries = Vec::new();
+    for workload in [Workload::Uniform, Workload::Dups, Workload::Clustered] {
+        for &fan in &fans {
+            let naive = best_of(reps, workload, fan, pages_each, false, &cfg);
+            let batched = best_of(reps, workload, fan, pages_each, true, &cfg);
+            assert_eq!(
+                naive.keys,
+                batched.keys,
+                "batched kernel output diverged from the per-tuple path \
+                 ({} workload, fan-in {fan})",
+                workload.name()
+            );
+            assert_eq!(naive.tuples, batched.tuples);
+            let naive_tps = naive.tuples as f64 / naive.secs.max(1e-9);
+            let batched_tps = batched.tuples as f64 / batched.secs.max(1e-9);
+            let speedup = batched_tps / naive_tps.max(1e-9);
+            rows.push(vec![
+                workload.name().to_string(),
+                fan.to_string(),
+                naive.tuples.to_string(),
+                f(naive.secs * 1e3, 1),
+                f(batched.secs * 1e3, 1),
+                f(naive_tps / 1e6, 2),
+                f(batched_tps / 1e6, 2),
+                f(speedup, 2),
+            ]);
+            json_rows.push(format!(
+                "    {{\"workload\": \"{}\", \"fan\": {fan}, \"tuples\": {}, \
+                 \"naive_tuples_per_sec\": {:.0}, \"batched_tuples_per_sec\": {:.0}, \
+                 \"speedup\": {:.3}}}",
+                workload.name(),
+                naive.tuples,
+                naive_tps,
+                batched_tps,
+                speedup
+            ));
+            summaries.push((workload, fan, speedup));
+        }
+    }
+    print_table(
+        "exp_merge_kernel: per-tuple vs batched merge kernel (MemStore)",
+        &[
+            "workload",
+            "fan-in",
+            "tuples",
+            "naive (ms)",
+            "batched (ms)",
+            "naive Mt/s",
+            "batched Mt/s",
+            "speedup",
+        ],
+        &rows,
+    );
+    for (workload, fan, speedup) in summaries {
+        println!(
+            "speedup at fan-in {fan} ({}): {speedup:.2}x tuples/sec (batched / per-tuple)",
+            workload.name()
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"merge_kernel\",\n  \"pages_per_run\": {pages_each},\n  \
+         \"reps\": {reps},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    // CI consumes this file (cat + artifact upload); failing to produce it
+    // must fail the bench step here, where the cause is visible.
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => eprintln!("wrote {json_path}"),
+        Err(e) => {
+            eprintln!("could not write {json_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

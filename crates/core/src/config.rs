@@ -271,6 +271,13 @@ pub struct SortConfig {
     /// and the environment can fork workers (the deterministic simulator
     /// cannot, so simulated sorts always stay single-threaded).
     pub cpu_threads: usize,
+    /// Gallop batch moves in the merge kernel (default on). The merge always
+    /// selects through a loser tree over cached ranks; with this knob on,
+    /// runs of winning tuples move page-slice-at-a-time instead of one
+    /// selection round trip per tuple. Output, statistics and simulated CPU
+    /// charges are identical either way — turning it off exists for A/B
+    /// measurement (`exp_merge_kernel`) and regression hunting.
+    pub merge_batch: bool,
 }
 
 impl Default for SortConfig {
@@ -285,6 +292,7 @@ impl Default for SortConfig {
             order: SortOrder::ascending(),
             io: crate::io::IoConfig::default(),
             cpu_threads: 1,
+            merge_batch: true,
         }
     }
 }
@@ -344,6 +352,12 @@ impl SortConfig {
     /// Builder-style override of the I/O pipeline configuration.
     pub fn with_io(mut self, io: crate::io::IoConfig) -> Self {
         self.io = io;
+        self
+    }
+
+    /// Builder-style override of the merge kernel's gallop batch moves.
+    pub fn with_merge_batch(mut self, batch: bool) -> Self {
+        self.merge_batch = batch;
         self
     }
 

@@ -419,7 +419,7 @@ mod tests {
         assert_eq!(s.total_tuples(), Some(9));
         let mut keys = Vec::new();
         while let Some(p) = s.next_page().unwrap() {
-            keys.extend(p.tuples.iter().map(|t| t.key));
+            keys.extend(p.tuples().iter().map(|t| t.key));
         }
         assert_eq!(keys, (0..9).collect::<Vec<_>>());
         assert!(s.next_page().unwrap().is_none());
@@ -440,7 +440,7 @@ mod tests {
             let mut s = GenSource::new(3, 8, 256, seed);
             let mut keys = Vec::new();
             while let Some(p) = s.next_page().unwrap() {
-                keys.extend(p.tuples.iter().map(|t| t.key));
+                keys.extend(p.tuples().iter().map(|t| t.key));
             }
             keys
         };
@@ -459,7 +459,7 @@ mod tests {
     fn drain_keys<I: InputSource>(mut s: I) -> Vec<u64> {
         let mut keys = Vec::new();
         while let Some(p) = s.next_page().unwrap() {
-            keys.extend(p.tuples.iter().map(|t| t.key));
+            keys.extend(p.tuples().iter().map(|t| t.key));
         }
         keys
     }

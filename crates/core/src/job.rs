@@ -240,6 +240,15 @@ where
         self
     }
 
+    /// Toggle the merge kernel's gallop batch moves (default on). The sorted
+    /// output, the statistics and the simulated CPU charges are identical
+    /// with the knob on or off; `false` keeps the per-tuple reference path
+    /// for A/B measurement.
+    pub fn merge_batch(mut self, batch: bool) -> Self {
+        self.cfg.merge_batch = batch;
+        self
+    }
+
     /// Sort with `n` compute workers in the split phase (default 1 =
     /// single-threaded, today's exact behaviour).
     ///

@@ -11,6 +11,18 @@
 //! the staged block, the next block is fetched (and decoded) on an I/O worker
 //! thread. Staged pages are handed back instantly via
 //! [`RunCursor::shed_to`] when memory pressure returns.
+//!
+//! # The rank cache
+//!
+//! Whenever a page is promoted into the consumption buffer, the cursor
+//! materialises a parallel column of `u64` *ranks*
+//! ([`crate::SortOrder::rank_column_into`]) in one pass. Every subsequent
+//! [`RunCursor::peek_rank`] is a plain array read — no `SortOrder` dispatch,
+//! no direction mapping — and because a run's pages are rank-sorted by
+//! construction, the column is sorted, which lets the batched merge kernel
+//! binary-search how far this cursor may advance before its head would lose
+//! to a challenger ([`RunCursor::gallop_len`]) and move that whole slice at
+//! once ([`RunCursor::take_batch`]).
 
 use crate::env::{CpuOp, SortEnv};
 use crate::error::{SortError, SortResult};
@@ -40,7 +52,13 @@ pub struct RunCursor {
     /// pages count as read; shedding them rewinds this.
     pub next_page: usize,
     /// Tuples of the currently buffered page that have not been consumed yet.
-    pub buf: VecDeque<Tuple>,
+    buf: VecDeque<Tuple>,
+    /// Rank column of the buffered page, computed once at page promotion;
+    /// `ranks[rank_pos..]` parallels `buf` front to back and is sorted
+    /// (runs are rank-ordered by construction).
+    ranks: Vec<u64>,
+    /// Consumption offset into `ranks`.
+    rank_pos: usize,
     /// Total tuples consumed through this cursor.
     pub consumed: usize,
     /// Pages read through this cursor (including prefetched pages that were
@@ -71,6 +89,8 @@ impl RunCursor {
             run,
             next_page: 0,
             buf: VecDeque::new(),
+            ranks: Vec::new(),
+            rank_pos: 0,
             consumed: 0,
             pages_read: 0,
             io_stall: 0.0,
@@ -162,18 +182,29 @@ impl RunCursor {
         }
     }
 
+    /// Promote `page` into the consumption buffer, materialising its rank
+    /// column in a single [`SortOrder`] pass.
+    fn promote(&mut self, order: &SortOrder, page: Page) {
+        self.ranks.clear();
+        let tuples = page.into_tuples();
+        order.rank_column_into(&tuples, &mut self.ranks);
+        self.rank_pos = 0;
+        self.buf = tuples.into();
+    }
+
     /// Load the next page into the buffer if the buffer is empty and more
     /// pages exist. Returns `Ok(true)` if at least one tuple is buffered
     /// after the call.
     pub fn ensure_loaded<S: RunStore, E: SortEnv>(
         &mut self,
+        order: &SortOrder,
         store: &mut S,
         env: &mut E,
     ) -> SortResult<bool> {
         while self.buf.is_empty() {
             // Promote a staged (prefetched) page first.
             if let Some(page) = self.staged.pop_front() {
-                self.buf = page.tuples.into();
+                self.promote(order, page);
                 self.maybe_prefetch(store);
                 continue; // empty pages are legal (loop again)
             }
@@ -221,7 +252,7 @@ impl RunCursor {
                 self.staged.extend(pages.drain(1..));
             }
             if let Some(first) = pages.pop() {
-                self.buf = first.tuples.into();
+                self.promote(order, first);
             }
             self.maybe_prefetch(store);
             // Empty pages are legal (loop again).
@@ -230,15 +261,17 @@ impl RunCursor {
     }
 
     /// Rank (see [`SortOrder::rank`]) of the next tuple under `order`, loading
-    /// a page if necessary.
+    /// a page if necessary. Once a page is buffered this is a plain read from
+    /// the cached rank column — `order` is only consulted when a new page has
+    /// to be promoted.
     pub fn peek_rank<S: RunStore, E: SortEnv>(
         &mut self,
         order: &SortOrder,
         store: &mut S,
         env: &mut E,
     ) -> SortResult<Option<u64>> {
-        if self.ensure_loaded(store, env)? {
-            Ok(self.buf.front().map(|t| order.rank(t)))
+        if self.ensure_loaded(order, store, env)? {
+            Ok(Some(self.ranks[self.rank_pos]))
         } else {
             Ok(None)
         }
@@ -247,15 +280,44 @@ impl RunCursor {
     /// Remove and return the next tuple, loading a page if necessary.
     pub fn pop<S: RunStore, E: SortEnv>(
         &mut self,
+        order: &SortOrder,
         store: &mut S,
         env: &mut E,
     ) -> SortResult<Option<Tuple>> {
-        if self.ensure_loaded(store, env)? {
+        if self.ensure_loaded(order, store, env)? {
             self.consumed += 1;
+            self.rank_pos += 1;
             Ok(self.buf.pop_front())
         } else {
             Ok(None)
         }
+    }
+
+    /// How many buffered tuples this cursor may yield in one batch before its
+    /// head rank would lose to a challenger of rank `bound` — i.e. the length
+    /// of the leading slice with `rank < bound` (`rank <= bound` when
+    /// `inclusive`, for the case where this cursor wins rank ties), capped at
+    /// `max`. Found by binary search over the sorted cached rank column, so
+    /// the cost is O(log page) per *batch* rather than one comparison per
+    /// tuple. Returns 0 when nothing is buffered; with `bound == None` (no
+    /// challenger — a fan-in of one) the whole buffered page qualifies.
+    pub fn gallop_len(&self, bound: Option<u64>, inclusive: bool, max: usize) -> usize {
+        let col = &self.ranks[self.rank_pos..];
+        let qualifying = match bound {
+            None => col.len(),
+            Some(b) => col.partition_point(|&r| r < b || (inclusive && r == b)),
+        };
+        qualifying.min(max)
+    }
+
+    /// Move the next `n` buffered tuples into `out` in one drain (the batch
+    /// counterpart of [`pop`](Self::pop); the caller sizes `n` with
+    /// [`gallop_len`](Self::gallop_len), so no page load can be needed).
+    pub fn take_batch(&mut self, n: usize, out: &mut Vec<Tuple>) {
+        debug_assert!(n <= self.buf.len(), "take_batch past the buffered page");
+        out.extend(self.buf.drain(..n));
+        self.rank_pos += n;
+        self.consumed += n;
     }
 
     /// True when the buffered/staged pages and the store both have nothing
@@ -296,9 +358,10 @@ mod tests {
     fn cursor_streams_all_tuples_in_order() {
         let (mut store, run) = setup(10, 3);
         let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
         let mut c = RunCursor::new(run);
         let mut got = Vec::new();
-        while let Some(t) = c.pop(&mut store, &mut env).unwrap() {
+        while let Some(t) = c.pop(&asc, &mut store, &mut env).unwrap() {
             got.push(t.key);
         }
         assert_eq!(got, (0..10).collect::<Vec<u64>>());
@@ -315,7 +378,7 @@ mod tests {
         let mut c = RunCursor::new(run);
         assert_eq!(c.peek_rank(&asc, &mut store, &mut env).unwrap(), Some(0));
         assert_eq!(c.peek_rank(&asc, &mut store, &mut env).unwrap(), Some(0));
-        assert_eq!(c.pop(&mut store, &mut env).unwrap().unwrap().key, 0);
+        assert_eq!(c.pop(&asc, &mut store, &mut env).unwrap().unwrap().key, 0);
         assert_eq!(c.peek_rank(&asc, &mut store, &mut env).unwrap(), Some(1));
     }
 
@@ -335,12 +398,13 @@ mod tests {
     fn remaining_pages_counts_buffered_page() {
         let (mut store, run) = setup(9, 3);
         let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
         let mut c = RunCursor::new(run);
         assert_eq!(c.remaining_pages(&store), 3);
-        c.pop(&mut store, &mut env).unwrap();
+        c.pop(&asc, &mut store, &mut env).unwrap();
         assert_eq!(c.remaining_pages(&store), 3); // 2 unread + partial buffer
         for _ in 0..3 {
-            c.pop(&mut store, &mut env).unwrap();
+            c.pop(&asc, &mut store, &mut env).unwrap();
         }
         assert_eq!(c.remaining_pages(&store), 2);
     }
@@ -354,7 +418,7 @@ mod tests {
         let mut c = RunCursor::new(run);
         assert!(c.exhausted(&store));
         assert_eq!(c.peek_rank(&asc, &mut store, &mut env).unwrap(), None);
-        assert_eq!(c.pop(&mut store, &mut env).unwrap(), None);
+        assert_eq!(c.pop(&asc, &mut store, &mut env).unwrap(), None);
     }
 
     #[test]
@@ -364,15 +428,16 @@ mod tests {
         let mut store = MemStore::new();
         let run = store.create_run().unwrap();
         let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
         let mut c = RunCursor::new(run);
-        assert_eq!(c.pop(&mut store, &mut env).unwrap(), None);
+        assert_eq!(c.pop(&asc, &mut store, &mut env).unwrap(), None);
         store
             .append_page(
                 run,
                 crate::tuple::Page::from_tuples(vec![Tuple::synthetic(5, 16)]),
             )
             .unwrap();
-        assert_eq!(c.pop(&mut store, &mut env).unwrap().unwrap().key, 5);
+        assert_eq!(c.pop(&asc, &mut store, &mut env).unwrap().unwrap().key, 5);
     }
 
     #[test]
@@ -383,10 +448,11 @@ mod tests {
             for with_pool in [false, true] {
                 let (mut store, run) = setup(23, 3);
                 let mut env = CountingEnv::new();
+                let asc = SortOrder::ascending();
                 let mut c = RunCursor::new(run);
                 c.set_pipeline(depth, with_pool.then(|| crate::io::IoPool::new(1)));
                 let mut got = Vec::new();
-                while let Some(t) = c.pop(&mut store, &mut env).unwrap() {
+                while let Some(t) = c.pop(&asc, &mut store, &mut env).unwrap() {
                     got.push(t.key);
                 }
                 assert_eq!(got, (0..23).collect::<Vec<u64>>());
@@ -404,10 +470,11 @@ mod tests {
     fn shed_returns_staged_pages_and_rereads_them() {
         let (mut store, run) = setup(12, 2); // 6 pages
         let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
         let mut c = RunCursor::new(run);
         c.set_pipeline(4, None);
         // First load stages pages beyond the one being consumed.
-        assert!(c.ensure_loaded(&mut store, &mut env).unwrap());
+        assert!(c.ensure_loaded(&asc, &mut store, &mut env).unwrap());
         assert!(c.staged_pages() > 0);
         let staged = c.staged_pages();
         let shed = c.shed_to(0);
@@ -417,7 +484,7 @@ mod tests {
         // and in order even though pages were given back mid-flight.
         c.set_pipeline(0, None);
         let mut got = Vec::new();
-        while let Some(t) = c.pop(&mut store, &mut env).unwrap() {
+        while let Some(t) = c.pop(&asc, &mut store, &mut env).unwrap() {
             got.push(t.key);
         }
         assert_eq!(got, (0..12).collect::<Vec<u64>>());
@@ -429,10 +496,11 @@ mod tests {
     fn remaining_pages_counts_staged_pages() {
         let (mut store, run) = setup(12, 2); // 6 pages
         let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
         let mut c = RunCursor::new(run);
         c.set_pipeline(3, None);
         assert_eq!(c.remaining_pages(&store), 6);
-        c.pop(&mut store, &mut env).unwrap(); // loads 1 + 3 pages
+        c.pop(&asc, &mut store, &mut env).unwrap(); // loads 1 + 3 pages
         assert_eq!(
             c.remaining_pages(&store),
             6,
@@ -447,14 +515,15 @@ mod tests {
         let mut store = MemStore::new();
         let run = store.create_run().unwrap();
         let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
         let mut c = RunCursor::new(run);
         c.set_pipeline(2, Some(crate::io::IoPool::new(1)));
-        assert_eq!(c.pop(&mut store, &mut env).unwrap(), None);
+        assert_eq!(c.pop(&asc, &mut store, &mut env).unwrap(), None);
         for p in paginate((0..6u64).map(|k| Tuple::synthetic(k, 16)).collect(), 2) {
             store.append_page(run, p).unwrap();
         }
         let mut got = Vec::new();
-        while let Some(t) = c.pop(&mut store, &mut env).unwrap() {
+        while let Some(t) = c.pop(&asc, &mut store, &mut env).unwrap() {
             got.push(t.key);
         }
         assert_eq!(got, (0..6).collect::<Vec<u64>>());
@@ -477,7 +546,7 @@ mod tests {
         // The run has pages, so the cursor must attempt the read and surface
         // the store's error through ensure_loaded / peek_rank / pop.
         assert!(matches!(
-            c.ensure_loaded(&mut store, &mut env),
+            c.ensure_loaded(&asc, &mut store, &mut env),
             Err(crate::error::SortError::CorruptRun { .. })
         ));
         assert!(matches!(
@@ -485,7 +554,7 @@ mod tests {
             Err(crate::error::SortError::CorruptRun { .. })
         ));
         assert!(matches!(
-            c.pop(&mut store, &mut env),
+            c.pop(&asc, &mut store, &mut env),
             Err(crate::error::SortError::CorruptRun { .. })
         ));
     }

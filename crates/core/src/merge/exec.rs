@@ -16,17 +16,26 @@
 //! * growth switches execution back toward the final step; once a dormant
 //!   child's output run is fully consumed, the child's remaining inputs are
 //!   absorbed back into the consuming step (the paper's *combining*).
+//!
+//! Selection runs on a cache-conscious batched kernel (see
+//! [`super::select`]): a loser tree over the cursors' cached head ranks picks
+//! the winner in O(log fan) with no stale-entry retries, and — with
+//! [`ExecParams::batch`] on — whole slices of the winning cursor's buffered
+//! page move into the out buffer in one drain whenever their ranks all beat
+//! the challenger's. Batches never cross a produce-unit boundary, so the
+//! budget poll / adaptation cadence (and every simulated CPU charge) is
+//! identical to the per-tuple path.
 
 use crate::budget::MemoryBudget;
 use crate::config::{MergeAdaptation, MergePolicy, SortConfig};
 use crate::env::{CpuOp, SortEnv};
 use crate::error::SortResult;
 use crate::merge::plan::preliminary_fan_in;
+use crate::merge::select::LoserTree;
 use crate::merge::step::{Input, Side, StepArena};
 use crate::store::{RunId, RunMeta, RunStore};
 use crate::tuple::{Page, Tuple};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::HashSet;
 
 /// Parameters of one merge-phase execution.
 #[derive(Clone, Copy, Debug)]
@@ -42,6 +51,14 @@ pub struct ExecParams {
     /// the active step's working set and shrinks to zero under pressure, so
     /// pipelining never competes with the paper's adaptation logic for pages.
     pub io_depth: usize,
+    /// Gallop batch moves: when the winning cursor's buffered page holds a
+    /// run of tuples that all beat the challenger, move the whole slice into
+    /// the out buffer in one drain (binary-searching the cutoff in the cached
+    /// rank column) instead of one selection round trip per tuple. The output
+    /// and the simulated CPU charges are identical either way; `false` keeps
+    /// the per-tuple reference path for A/B benchmarking
+    /// ([`crate::SortConfig::merge_batch`]).
+    pub batch: bool,
 }
 
 impl ExecParams {
@@ -52,12 +69,19 @@ impl ExecParams {
             adaptation: spec.adaptation,
             min_pages: 3,
             io_depth: 0,
+            batch: true,
         }
     }
 
     /// Builder-style override of the read-ahead depth ceiling.
     pub fn with_io_depth(mut self, depth: usize) -> Self {
         self.io_depth = depth;
+        self
+    }
+
+    /// Builder-style override of gallop batch moves.
+    pub fn with_merge_batch(mut self, batch: bool) -> Self {
+        self.batch = batch;
         self
     }
 }
@@ -69,12 +93,17 @@ impl Default for ExecParams {
             adaptation: MergeAdaptation::DynamicSplitting,
             min_pages: 3,
             io_depth: 0,
+            batch: true,
         }
     }
 }
 
 /// Statistics describing one completed merge phase.
-#[derive(Clone, Debug, Default)]
+///
+/// Compares with `==` so tests can assert that two merges behaved
+/// identically (the batched kernel is charge- and stat-identical to the
+/// per-tuple path).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct MergeStats {
     /// Merge steps that produced at least one tuple.
     pub steps_executed: usize,
@@ -153,14 +182,23 @@ struct Exec<'a, S: RunStore, E: SortEnv> {
     /// grants were last recomputed; re-granting is skipped while unchanged so
     /// the per-produce-unit adaptation loop stays cheap.
     pipeline_stamp: Option<(usize, usize, u64)>,
-    /// Selection heap over the active step's inputs: `(rank, input index)`,
-    /// smallest first. Replaces an O(fan-in) scan per output tuple with the
-    /// selection tree the CPU cost model already assumes. Entries are
-    /// validated against the live cursor before use and the heap is rebuilt
-    /// whenever inputs renumber (splits, switches, exhausted inputs).
-    sel_heap: BinaryHeap<Reverse<(u64, usize)>>,
-    /// True when `sel_heap` no longer matches the active step's inputs.
+    /// Loser tree over the active step's inputs, keyed by the cursors' cached
+    /// head ranks — the selection tree the CPU cost model already assumes,
+    /// with no stale-entry retries: after the winner advances its path is
+    /// replayed in O(log fan), and the whole tree is rebuilt only when the
+    /// step's membership changes (splits, switches, exhausted/absorbed
+    /// inputs). Slot `i` of the tree is input `i` of the active step.
+    tree: LoserTree<u64>,
+    /// True when `tree` no longer matches the active step's inputs.
     sel_dirty: bool,
+    /// The current winner streak, for gallop batching: `(input, challenger)`
+    /// once the same input has won twice in a row. During a streak only the
+    /// winner's head moves, so the challenger — the best rival head — is
+    /// computed once per streak and stays valid until the streak ends or the
+    /// step's membership changes. `None` while the winner keeps alternating,
+    /// in which case batching is skipped and selection costs exactly one
+    /// path replay per tuple, like the per-tuple reference path.
+    streak: Option<(usize, Option<(usize, u64)>)>,
 }
 
 impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
@@ -197,8 +235,9 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             recency: Vec::new(),
             pool,
             pipeline_stamp: None,
-            sel_heap: BinaryHeap::new(),
+            tree: LoserTree::new(Vec::new()),
             sel_dirty: true,
+            streak: None,
         }
     }
 
@@ -526,7 +565,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         self.note_access(run);
         let t = self.arena.steps[active].inputs[idx]
             .cursor
-            .pop(self.store, self.env)?
+            .pop(&self.cfg.order, self.store, self.env)?
             .expect("input had a peeked tuple");
         self.env.charge_cpu(CpuOp::CopyTuple, 1);
         Ok(t)
@@ -603,11 +642,12 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         })
     }
 
-    /// Rebuild the selection heap from the active step's live inputs,
-    /// removing exhausted inputs (and absorbing their producer steps) along
-    /// the way — the same sweep `min_input` performs.
+    /// Rebuild the loser tree from the active step's live inputs, removing
+    /// exhausted inputs (and absorbing their producer steps) along the way —
+    /// the same sweep `min_input` performs. After this, slot `i` of the tree
+    /// holds input `i`'s cached head rank and every slot is occupied.
     fn rebuild_selection(&mut self) -> SortResult<()> {
-        self.sel_heap.clear();
+        let mut heads: Vec<Option<u64>> = Vec::new();
         let mut i = 0;
         loop {
             let active = self.arena.active;
@@ -621,58 +661,110 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             )?;
             match rank {
                 Some(r) => {
-                    self.sel_heap.push(Reverse((r, i)));
+                    heads.push(Some(r));
                     i += 1;
                 }
                 None => {
                     self.handle_exhausted_input(i)?;
-                    self.sel_heap.clear();
+                    heads.clear();
                     i = 0;
                 }
             }
         }
+        self.tree.rebuild(heads);
         self.sel_dirty = false;
+        self.streak = None;
         Ok(())
     }
 
-    /// Pop the input with the smallest rank from the selection heap,
-    /// validating the entry against the live cursor (memory adaptation can
-    /// invalidate entries between selections). Returns `None` when every
-    /// input is exhausted. The caller must consume one tuple from the
-    /// returned input and then re-insert its next rank.
-    fn select_min(&mut self) -> SortResult<Option<usize>> {
-        loop {
-            if self.sel_dirty {
-                self.rebuild_selection()?;
-            }
-            let Some(Reverse((rank, idx))) = self.sel_heap.pop() else {
-                return Ok(None);
-            };
-            let active = self.arena.active;
-            if idx >= self.arena.steps[active].inputs.len() {
-                self.sel_dirty = true;
-                continue;
-            }
-            let live = self.arena.steps[active].inputs[idx].cursor.peek_rank(
-                &self.cfg.order,
-                self.store,
-                self.env,
-            )?;
-            match live {
-                Some(r) if r == rank => {
-                    // Selection-tree cost, as in paper Table 4.
-                    let fan = self.arena.steps[active].inputs.len().max(1) as u64;
-                    self.env
-                        .charge_cpu(CpuOp::Compare, (64 - fan.leading_zeros() as u64).max(1));
-                    return Ok(Some(idx));
-                }
-                // Stale entry: re-insert the corrected rank and retry.
-                Some(r) => self.sel_heap.push(Reverse((r, idx))),
-                None => {
-                    self.handle_exhausted_input(idx)?;
-                }
-            }
+    /// Selection-tree cost for `tuples` selections at the current fan-in, as
+    /// in paper Table 4. Charged identically by the per-tuple and the batched
+    /// kernel, so dbsim figures do not depend on `ExecParams::batch`.
+    fn charge_selection(&mut self, tuples: u64) {
+        let active = self.arena.active;
+        let fan = self.arena.steps[active].inputs.len().max(1) as u64;
+        self.env.charge_cpu(
+            CpuOp::Compare,
+            (64 - fan.leading_zeros() as u64).max(1) * tuples,
+        );
+    }
+
+    /// Re-key the just-advanced input `idx` (the tree's current winner) with
+    /// its next head rank and replay its path. The rank comes straight from
+    /// the cursor's cached column — no `SortOrder` round trip; a store read
+    /// only happens when the buffered page ran out. An exhausted input is
+    /// removed (possibly absorbing its producer step), which marks the tree
+    /// for rebuild.
+    fn rearm_winner(&mut self, idx: usize) -> SortResult<()> {
+        let active = self.arena.active;
+        let rank = self.arena.steps[active].inputs[idx].cursor.peek_rank(
+            &self.cfg.order,
+            self.store,
+            self.env,
+        )?;
+        match rank {
+            Some(r) => self.tree.replay_winner(Some(r)),
+            None => self.handle_exhausted_input(idx)?,
         }
+        Ok(())
+    }
+
+    /// Move one tuple from the winning input `idx` into the out buffer (one
+    /// selection, one copy, one path replay — the per-tuple kernel step).
+    fn produce_one(&mut self, idx: usize) -> SortResult<()> {
+        self.charge_selection(1);
+        let t = self.pop_input(idx)?;
+        let active = self.arena.active;
+        self.arena.steps[active].out_buf.push(t);
+        self.arena.steps[active].produced_anything = true;
+        self.stats.tuples_output += 1;
+        self.rearm_winner(idx)?;
+        Ok(())
+    }
+
+    /// Move one gallop batch from the winning input `idx` into the out
+    /// buffer: the leading run of buffered tuples that all still beat
+    /// `challenger`, capped at `max` (the remainder of the current produce
+    /// unit, so adaptation checkpoints keep their page cadence). Returns the
+    /// number of tuples moved (at least one — the winner's own head beats
+    /// the challenger by definition).
+    ///
+    /// The CPU cost is charged per tuple exactly as the per-tuple path does
+    /// (selection + copy per tuple, MRU access once per same-run streak,
+    /// which is what the per-tuple path's repeated `note_access` calls
+    /// amount to), so simulated figures are bit-identical.
+    fn produce_batch(
+        &mut self,
+        idx: usize,
+        challenger: Option<(usize, u64)>,
+        max: usize,
+    ) -> SortResult<usize> {
+        // The winner keeps winning while its (rank, index) pair stays below
+        // the challenger's: strictly smaller rank, or a rank tie broken
+        // toward the smaller input index.
+        let (bound, inclusive) = match challenger {
+            Some((c_idx, c_rank)) => (Some(c_rank), idx < c_idx),
+            None => (None, false),
+        };
+        let active = self.arena.active;
+        let n = self.arena.steps[active].inputs[idx]
+            .cursor
+            .gallop_len(bound, inclusive, max)
+            .max(1);
+        self.charge_selection(1);
+        let run = self.arena.steps[active].inputs[idx].cursor.run;
+        self.note_access(run);
+        if n > 1 {
+            self.charge_selection(n as u64 - 1);
+        }
+        self.env.charge_cpu(CpuOp::CopyTuple, n as u64);
+        let step = &mut self.arena.steps[active];
+        let (inputs, out_buf) = (&mut step.inputs, &mut step.out_buf);
+        inputs[idx].cursor.take_batch(n, out_buf);
+        step.produced_anything = true;
+        self.stats.tuples_output += n as u64;
+        self.rearm_winner(idx)?;
+        Ok(n)
     }
 
     /// Produce roughly one output page of merged tuples on the active step.
@@ -680,26 +772,43 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         let tpp = self.cfg.tuples_per_page();
         let mut produced = 0usize;
         while produced < tpp {
-            match self.select_min()? {
-                None => return self.complete_active(),
-                Some(idx) => {
-                    let t = self.pop_input(idx)?;
-                    let active = self.arena.active;
-                    self.arena.steps[active].out_buf.push(t);
-                    self.arena.steps[active].produced_anything = true;
-                    self.stats.tuples_output += 1;
-                    produced += 1;
-                    // Re-arm this input's heap entry with its next rank.
-                    let rank = self.arena.steps[active].inputs[idx].cursor.peek_rank(
-                        &self.cfg.order,
-                        self.store,
-                        self.env,
-                    )?;
-                    match rank {
-                        Some(r) => self.sel_heap.push(Reverse((r, idx))),
-                        None => self.handle_exhausted_input(idx)?,
-                    }
+            if self.sel_dirty {
+                self.rebuild_selection()?;
+            }
+            let Some((idx, _rank)) = self.tree.winner() else {
+                return self.complete_active();
+            };
+            if !self.params.batch {
+                // Per-tuple reference path (`merge_batch` off).
+                self.produce_one(idx)?;
+                produced += 1;
+                continue;
+            }
+            match self.streak {
+                // Established streak: gallop against the cached challenger.
+                Some((winner, challenger)) if winner == idx => {
+                    produced += self.produce_batch(idx, challenger, tpp - produced)?;
                 }
+                // First win (or a new winner): take one tuple the cheap way —
+                // the replay it does anyway tells us whether a streak starts.
+                // Only then pay one challenger walk for the whole streak.
+                // This keeps adversarial inputs (winner alternating every
+                // tuple) at exactly the per-tuple path's cost.
+                _ => {
+                    self.produce_one(idx)?;
+                    produced += 1;
+                    self.streak =
+                        if !self.sel_dirty && self.tree.winner().map(|(w, _)| w) == Some(idx) {
+                            Some((idx, self.tree.challenger()))
+                        } else {
+                            None
+                        };
+                }
+            }
+            // A streak (and its cached challenger) only survives while the
+            // same input keeps winning and the membership is unchanged.
+            if self.sel_dirty || self.tree.winner().map(|(w, _)| w) != self.streak.map(|(w, _)| w) {
+                self.streak = None;
             }
         }
         self.flush_active_output(false)?;
@@ -952,6 +1061,7 @@ mod tests {
             adaptation,
             min_pages: 3,
             io_depth: 0,
+            batch: true,
         }
     }
 

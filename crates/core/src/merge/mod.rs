@@ -4,7 +4,10 @@
 //! * [`plan`] — fan-in computation for naive vs optimized merging and a pure
 //!   planning utility ([`StaticPlanSummary`]) that predicts the merge-step
 //!   structure for a fixed memory allocation.
-//! * [`cursor`] — a read cursor over a stored run, one buffer page at a time.
+//! * [`cursor`] — a read cursor over a stored run, one buffer page at a time,
+//!   with a cached rank column per buffered page.
+//! * [`select`] — the loser tree that picks the next input in O(log fan)
+//!   over the cached ranks.
 //! * [`step`] — the merge-step arena used by dynamic splitting: a tree of
 //!   steps where each step's output run feeds its parent.
 //! * [`exec`] — the adaptation-aware executor implementing suspension, MRU
@@ -13,6 +16,7 @@
 pub mod cursor;
 pub mod exec;
 pub mod plan;
+pub mod select;
 pub mod step;
 
 pub use exec::{execute_merge, ExecParams, MergeStats};

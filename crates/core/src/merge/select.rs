@@ -1,0 +1,301 @@
+//! Tournament (loser-tree) selection over the merge inputs.
+//!
+//! A K-way merge selects the input whose head tuple has the smallest rank,
+//! `tuples_output` times in a row. The previous implementation kept a binary
+//! heap of `(rank, input)` pairs that needed a pop → stale-check → re-push
+//! round trip per output tuple; this module replaces it with the classic
+//! *loser tree* (Knuth Vol. 3, §5.4.1): a complete binary tournament whose
+//! internal nodes remember the **loser** of each match and whose root
+//! remembers the overall winner. After the winner's head advances, only the
+//! matches along the winner's own leaf-to-root path can change, so re-keying
+//! the winner and replaying that path restores the tournament in exactly
+//! ⌈log₂ K⌉ comparisons — no stale entries, no retries, and the keys are the
+//! cached `u64` ranks of [`super::cursor::RunCursor`], so no `SortOrder`
+//! dispatch happens per comparison.
+//!
+//! # Why adaptivity is preserved
+//!
+//! The tree is only ever mutated in two sound ways:
+//!
+//! * [`LoserTree::replay_winner`] after the winning input's head rank moved
+//!   (the only slot whose matches the previous tournament already resolved
+//!   against every node on its path), and
+//! * a full [`LoserTree::rebuild`] whenever the *membership* of the active
+//!   merge step changes — a dynamic split, a growth switch, an exhausted
+//!   input, or a child step being absorbed. The executor drives this off the
+//!   same `(active step, input count, budget version)` change signal that
+//!   already gates the I/O pipeline re-grant, so every adaptation checkpoint
+//!   of the paper (suspension, MRU paging, dynamic splitting) sees a freshly
+//!   built tree and none of them ever observes a stale selection. Batched
+//!   (gallop) moves stop at the same checkpoints: a batch never crosses a
+//!   produce-unit boundary, which is where the executor polls the budget.
+//!
+//! Arbitrary slots must **not** be re-keyed in place: a non-winner's path
+//! holds losers of matches the slot never played, so a path replay from such
+//! a slot corrupts the tournament. The executor therefore rebuilds on any
+//! membership change instead of patching individual slots; rebuilds are rare
+//! (they happen at adaptation events, not per tuple).
+
+/// A loser tree over `cap` slots keyed by `Option<K>`.
+///
+/// Empty slots (`None`) lose to every occupied slot; ties between equal keys
+/// are broken toward the smaller slot index, matching the order in which the
+/// old `BinaryHeap<Reverse<(rank, input)>>` selection popped equal ranks —
+/// the kernel's output is byte-identical to the heap's.
+#[derive(Clone, Debug)]
+pub struct LoserTree<K: Ord + Copy> {
+    /// `keys[s]` is the key of slot `s`, or `None` when the slot is empty.
+    keys: Vec<Option<K>>,
+    /// `node[0]` holds the overall winner; `node[1..cap]` hold the loser of
+    /// each internal match. The leaf of slot `s` sits (implicitly) at index
+    /// `cap + s`.
+    node: Vec<usize>,
+    /// Number of occupied (non-`None`) slots.
+    occupied: usize,
+}
+
+impl<K: Ord + Copy> LoserTree<K> {
+    /// Build a tournament over the given slot keys.
+    pub fn new(keys: Vec<Option<K>>) -> Self {
+        let cap = keys.len();
+        let mut tree = LoserTree {
+            occupied: keys.iter().filter(|k| k.is_some()).count(),
+            keys,
+            node: vec![0; cap.max(1)],
+        };
+        tree.run_tournament();
+        tree
+    }
+
+    /// Number of slots (occupied or not).
+    pub fn capacity(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Number of occupied slots.
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True when no slot holds a key.
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Re-key every slot and replay the whole tournament (used whenever the
+    /// merge step's membership changes).
+    pub fn rebuild(&mut self, keys: Vec<Option<K>>) {
+        self.occupied = keys.iter().filter(|k| k.is_some()).count();
+        self.keys = keys;
+        self.node.clear();
+        self.node.resize(self.keys.len().max(1), 0);
+        self.run_tournament();
+    }
+
+    /// `true` when slot `a` beats slot `b`: occupied beats empty, a smaller
+    /// key beats a larger one, and equal keys go to the smaller slot index.
+    fn beats(&self, a: usize, b: usize) -> bool {
+        match (&self.keys[a], &self.keys[b]) {
+            (Some(ka), Some(kb)) => (ka, a) < (kb, b),
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => a < b,
+        }
+    }
+
+    /// Play every match bottom-up, storing losers in the internal nodes and
+    /// the champion in `node[0]`.
+    fn run_tournament(&mut self) {
+        let cap = self.keys.len();
+        if cap == 0 {
+            return;
+        }
+        // `win[i]` is the winner of the subtree rooted at tree index `i`;
+        // leaves occupy indices `cap..2 * cap`.
+        let mut win: Vec<usize> = vec![0; 2 * cap];
+        for s in 0..cap {
+            win[cap + s] = s;
+        }
+        for i in (1..cap).rev() {
+            let (a, b) = (win[2 * i], win[2 * i + 1]);
+            if self.beats(a, b) {
+                win[i] = a;
+                self.node[i] = b;
+            } else {
+                win[i] = b;
+                self.node[i] = a;
+            }
+        }
+        self.node[0] = win[1];
+    }
+
+    /// The winning slot and its key, or `None` when every slot is empty.
+    pub fn winner(&self) -> Option<(usize, K)> {
+        if self.occupied == 0 {
+            return None;
+        }
+        let w = self.node[0];
+        self.keys[w].map(|k| (w, k))
+    }
+
+    /// The *challenger*: the slot that would win if the current winner were
+    /// removed — i.e. the best among the losers on the winner's leaf-to-root
+    /// path. `None` when fewer than two slots are occupied. Costs one path
+    /// walk (⌈log₂ K⌉ key reads); the gallop kernel calls it once per batch,
+    /// not per tuple.
+    pub fn challenger(&self) -> Option<(usize, K)> {
+        if self.occupied < 2 {
+            return None;
+        }
+        let cap = self.keys.len();
+        let winner = self.node[0];
+        let mut best: Option<usize> = None;
+        let mut t = (cap + winner) / 2;
+        while t >= 1 {
+            let s = self.node[t];
+            if self.keys[s].is_some() && best.is_none_or(|b| self.beats(s, b)) {
+                best = Some(s);
+            }
+            t /= 2;
+        }
+        best.and_then(|s| self.keys[s].map(|k| (s, k)))
+    }
+
+    /// Re-key the current winner (`None` empties its slot) and replay its
+    /// leaf-to-root path. This is the only sound in-place update — see the
+    /// module docs — and the only one the merge needs: the winner is the slot
+    /// that just advanced.
+    pub fn replay_winner(&mut self, key: Option<K>) {
+        let cap = self.keys.len();
+        if cap == 0 {
+            return;
+        }
+        let slot = self.node[0];
+        match (&self.keys[slot], &key) {
+            (Some(_), None) => self.occupied -= 1,
+            (None, Some(_)) => self.occupied += 1,
+            _ => {}
+        }
+        self.keys[slot] = key;
+        let mut winner = slot;
+        let mut t = (cap + slot) / 2;
+        while t >= 1 {
+            let stored = self.node[t];
+            if self.beats(stored, winner) {
+                self.node[t] = winner;
+                winner = stored;
+            }
+            t /= 2;
+        }
+        self.node[0] = winner;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[test]
+    fn winner_and_challenger_of_small_tournaments() {
+        for cap in 1..9usize {
+            let keys: Vec<Option<u64>> = (0..cap).map(|i| Some(((i * 7) % 5) as u64)).collect();
+            let tree = LoserTree::new(keys.clone());
+            let expect = (0..cap).min_by_key(|&i| (keys[i].unwrap(), i)).unwrap();
+            assert_eq!(
+                tree.winner(),
+                Some((expect, keys[expect].unwrap())),
+                "cap {cap}"
+            );
+            if cap >= 2 {
+                let second = (0..cap)
+                    .filter(|&i| i != expect)
+                    .min_by_key(|&i| (keys[i].unwrap(), i))
+                    .unwrap();
+                assert_eq!(
+                    tree.challenger(),
+                    Some((second, keys[second].unwrap())),
+                    "cap {cap}"
+                );
+            } else {
+                assert_eq!(tree.challenger(), None);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_all_empty_slots() {
+        let tree: LoserTree<u64> = LoserTree::new(Vec::new());
+        assert_eq!(tree.winner(), None);
+        assert!(tree.is_empty());
+        let tree: LoserTree<u64> = LoserTree::new(vec![None, None, None]);
+        assert_eq!(tree.winner(), None);
+        assert_eq!(tree.challenger(), None);
+        assert_eq!(tree.capacity(), 3);
+    }
+
+    #[test]
+    fn ties_go_to_the_smaller_slot() {
+        let tree = LoserTree::new(vec![Some(5u64), Some(3), Some(3), Some(9)]);
+        assert_eq!(tree.winner(), Some((1, 3)));
+        assert_eq!(tree.challenger(), Some((2, 3)));
+    }
+
+    /// Drain a tree by replaying the winner with successive keys per slot and
+    /// compare against a reference heap — the loser tree must pop the exact
+    /// same (key, slot) sequence the old `BinaryHeap` selection produced.
+    #[test]
+    fn drains_identically_to_a_binary_heap() {
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        for &fan in &[1usize, 2, 3, 5, 8, 17, 64] {
+            // Each slot gets its own sorted key stream (like run cursors).
+            let mut streams: Vec<Vec<u64>> = (0..fan)
+                .map(|_| {
+                    let mut v: Vec<u64> = (0..rng.gen_range(1usize..40))
+                        .map(|_| rng.gen_range(0u64..50))
+                        .collect();
+                    v.sort_unstable();
+                    v
+                })
+                .collect();
+            let mut heap: BinaryHeap<Reverse<(u64, usize)>> = streams
+                .iter()
+                .enumerate()
+                .map(|(i, s)| Reverse((s[0], i)))
+                .collect();
+            let mut heap_pos: Vec<usize> = vec![1; fan];
+            let mut tree = LoserTree::new(streams.iter().map(|s| Some(s[0])).collect::<Vec<_>>());
+            let mut tree_pos: Vec<usize> = vec![1; fan];
+            loop {
+                let from_tree = tree.winner();
+                let from_heap = heap.pop().map(|Reverse((k, i))| (i, k));
+                assert_eq!(from_tree, from_heap, "fan {fan}");
+                let Some((slot, _)) = from_tree else { break };
+                let next = streams[slot].get(tree_pos[slot]).copied();
+                tree_pos[slot] += 1;
+                tree.replay_winner(next);
+                if let Some(k) = streams[slot].get(heap_pos[slot]).copied() {
+                    heap.push(Reverse((k, slot)));
+                }
+                heap_pos[slot] += 1;
+            }
+            assert!(tree.is_empty());
+            drop(streams.drain(..));
+        }
+    }
+
+    #[test]
+    fn rebuild_resets_membership() {
+        let mut tree = LoserTree::new(vec![Some(4u64), Some(2)]);
+        assert_eq!(tree.winner(), Some((1, 2)));
+        tree.rebuild(vec![Some(9), Some(8), Some(1)]);
+        assert_eq!(tree.winner(), Some((2, 1)));
+        assert_eq!(tree.len(), 3);
+        tree.replay_winner(None);
+        assert_eq!(tree.winner(), Some((1, 8)));
+        assert_eq!(tree.challenger(), Some((0, 9)));
+    }
+}

@@ -108,6 +108,23 @@ impl SortOrder {
         }
     }
 
+    /// Materialise the ranks of `tuples` into `out` (appending) in a single
+    /// pass over the slice.
+    ///
+    /// This is the merge kernel's rank cache: the extractor (one dynamic
+    /// dispatch per *tuple*, not per comparison) and the direction mapping run
+    /// exactly once per staged page, and every later selection reads plain
+    /// `u64`s from the resulting column.
+    pub fn rank_column_into(&self, tuples: &[Tuple], out: &mut Vec<u64>) {
+        out.reserve(tuples.len());
+        match (&self.key_fn, self.direction) {
+            (None, SortDirection::Ascending) => out.extend(tuples.iter().map(|t| t.key)),
+            (None, SortDirection::Descending) => out.extend(tuples.iter().map(|t| !t.key)),
+            (Some(f), SortDirection::Ascending) => out.extend(tuples.iter().map(|t| f(t))),
+            (Some(f), SortDirection::Descending) => out.extend(tuples.iter().map(|t| !f(t))),
+        }
+    }
+
     /// True if `tuples` is sorted according to this order.
     pub fn is_sorted(&self, tuples: &[Tuple]) -> bool {
         tuples
@@ -200,6 +217,22 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, SortOrder::by_key(|t| t.key));
         assert_ne!(a, SortOrder::ascending());
+    }
+
+    #[test]
+    fn rank_column_matches_per_tuple_ranks() {
+        let tuples: Vec<Tuple> = [3u64, 9, 1, 1, 0xFF07].iter().map(|&k| t(k)).collect();
+        for order in [
+            SortOrder::ascending(),
+            SortOrder::descending(),
+            SortOrder::by_key(|t| t.key & 0xFF),
+            SortOrder::by_key(|t| t.key & 0xFF).reversed(),
+        ] {
+            let mut col = Vec::new();
+            order.rank_column_into(&tuples, &mut col);
+            let expect: Vec<u64> = tuples.iter().map(|t| order.rank(t)).collect();
+            assert_eq!(col, expect, "{order:?}");
+        }
     }
 
     #[test]

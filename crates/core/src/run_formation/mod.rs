@@ -25,7 +25,10 @@ use crate::input::InputSource;
 use crate::store::{RunMeta, RunStore};
 
 /// Statistics describing one completed split phase.
-#[derive(Clone, Debug, Default)]
+///
+/// Compares with `==` so tests can assert two split phases behaved
+/// identically.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct SplitStats {
     /// The sorted runs produced, in creation order.
     pub runs: Vec<RunMeta>,

@@ -66,7 +66,7 @@ where
                     env.charge_cpu(CpuOp::CopyTuple, page.len() as u64);
                     stats.pages_read += 1;
                     held_pages += 1;
-                    mem.extend(page.tuples);
+                    mem.extend(page.into_tuples());
                     budget.record_held(held_pages, env.now());
                 }
                 None => {
@@ -92,8 +92,24 @@ where
         env.charge_cpu(CpuOp::Compare, n * log_n);
         env.charge_cpu(CpuOp::Swap, n);
         if order.has_custom_key() {
-            // One extractor call per tuple instead of one per comparison.
-            mem.sort_by_cached_key(|t| order.rank(t));
+            // Pre-computed rank-column sort: one extractor pass materialises
+            // `(rank, index)` pairs, the sort permutes those 12-byte pairs
+            // (never a tuple, never a dynamic dispatch), and one gather pass
+            // moves each tuple exactly once. The `(rank, index)` tie-break
+            // makes this stable, matching `sort_by_cached_key`.
+            let mut ranks: Vec<u64> = Vec::with_capacity(mem.len());
+            order.rank_column_into(&mem, &mut ranks);
+            let mut column: Vec<(u64, u32)> = ranks
+                .into_iter()
+                .enumerate()
+                .map(|(i, r)| (r, i as u32))
+                .collect();
+            let mut src: Vec<Option<Tuple>> = mem.into_iter().map(Some).collect();
+            column.sort_unstable();
+            mem = column
+                .iter()
+                .map(|&(_, i)| src[i as usize].take().expect("each index gathered once"))
+                .collect();
         } else {
             mem.sort_unstable_by_key(|t| order.rank(t));
         }

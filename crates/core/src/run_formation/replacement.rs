@@ -10,8 +10,20 @@
 //! reduce disk seeks at the cost of slightly shorter runs, and they leave a
 //! few free buffers lying around most of the time, which is what makes `replN`
 //! so responsive to memory shortages (paper §5.2).
+//!
+//! # The selection structure
+//!
+//! The heap holds compact `(run_no, rank, slot)` entries over an **arena** of
+//! tuples instead of the tuples themselves: ranks are computed once at
+//! insertion (the merge kernel's cached-rank discipline), and every sift
+//! moves a 16-byte packed entry rather than a full [`Tuple`] with its payload
+//! vector. A binary heap — not the merge's loser tree
+//! ([`crate::merge::select`]) — is the right tournament here because run
+//! formation inserts whole input pages *between* pop streaks: a loser tree
+//! only supports replaying its current winner, while this heap takes
+//! unpaired O(log n) inserts in stride.
 
-use std::cmp::Ordering;
+use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::budget::MemoryBudget;
@@ -25,32 +37,46 @@ use crate::tuple::{paginate, Tuple};
 
 use super::SplitStats;
 
-/// Heap entry: ordered by (run number, rank) so that the current run's
-/// smallest-ranked tuple is always on top, and next-run tuples sink below
-/// every current-run one. The *rank* is the configured [`SortOrder`]'s
-/// comparison value, so descending and custom-key sorts use the same heap.
-struct Entry {
-    run_no: u32,
-    key: u64,
-    tuple: Tuple,
+/// Compact heap entry: `(run_no, rank, slot)`, popped smallest-first through
+/// [`Reverse`]. Ordering by (run number, rank) keeps the current run's
+/// smallest-ranked tuple on top while next-run tuples sink below every
+/// current-run one; the slot index breaks rank ties deterministically and
+/// locates the tuple in the arena. The *rank* is the configured
+/// [`SortOrder`]'s comparison value, so descending and custom-key sorts use
+/// the same heap.
+type Entry = (u32, u64, u32);
+
+/// The tuple arena behind the selection heap: slots are allocated on insert,
+/// emptied on pop, and recycled through a free list so the arena's footprint
+/// tracks the heap's population instead of growing without bound.
+#[derive(Default)]
+struct Arena {
+    slots: Vec<Option<Tuple>>,
+    free: Vec<u32>,
+    live: usize,
 }
 
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        self.run_no == other.run_no && self.key == other.key
+impl Arena {
+    fn insert(&mut self, tuple: Tuple) -> u32 {
+        self.live += 1;
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(tuple);
+                slot
+            }
+            None => {
+                self.slots.push(Some(tuple));
+                (self.slots.len() - 1) as u32
+            }
+        }
     }
-}
-impl Eq for Entry {}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed so that BinaryHeap (a max-heap) pops the smallest
-        // (run_no, key) first.
-        (other.run_no, other.key).cmp(&(self.run_no, self.key))
+
+    fn take(&mut self, slot: u32) -> Tuple {
+        self.live -= 1;
+        self.free.push(slot);
+        self.slots[slot as usize]
+            .take()
+            .expect("heap entry pointed at an empty arena slot")
     }
 }
 
@@ -78,7 +104,8 @@ struct State<'a, S: RunStore> {
     tpp: usize,
     block_tuples: usize,
     order: SortOrder,
-    heap: BinaryHeap<Entry>,
+    heap: BinaryHeap<Reverse<Entry>>,
+    arena: Arena,
     out_buf: Vec<Tuple>,
     current_run_no: u32,
     current_run_id: Option<RunId>,
@@ -88,7 +115,7 @@ struct State<'a, S: RunStore> {
 
 impl<'a, S: RunStore> State<'a, S> {
     fn in_memory_tuples(&self) -> usize {
-        self.heap.len() + self.out_buf.len()
+        self.arena.live + self.out_buf.len()
     }
 
     fn in_memory_pages(&self) -> usize {
@@ -156,12 +183,13 @@ impl<'a, S: RunStore> State<'a, S> {
     fn emit_up_to<E: SortEnv>(&mut self, env: &mut E, limit_tuples: usize) -> bool {
         while self.out_buf.len() < limit_tuples {
             match self.heap.peek() {
-                Some(top) if top.run_no == self.current_run_no => {
-                    let e = self.heap.pop().expect("peeked entry");
+                Some(Reverse((run_no, rank, slot))) if *run_no == self.current_run_no => {
+                    let (rank, slot) = (*rank, *slot);
+                    self.heap.pop();
                     env.charge_cpu(CpuOp::HeapRemove, 1);
                     env.charge_cpu(CpuOp::CopyTuple, 1);
-                    self.last_out = Some(e.key);
-                    self.out_buf.push(e.tuple);
+                    self.last_out = Some(rank);
+                    self.out_buf.push(self.arena.take(slot));
                 }
                 Some(_) => return true, // only next-run tuples remain
                 None => return false,
@@ -173,17 +201,16 @@ impl<'a, S: RunStore> State<'a, S> {
     fn insert_page<E: SortEnv>(&mut self, env: &mut E, page: crate::tuple::Page) {
         env.charge_cpu(CpuOp::StartIo, 1);
         env.charge_cpu(CpuOp::HeapInsert, page.len() as u64);
-        for tuple in page.tuples {
+        for tuple in page.into_tuples() {
+            // Rank computed once per tuple (one `SortOrder` dispatch); every
+            // later heap comparison reads the cached value from the entry.
             let rank = self.order.rank(&tuple);
             let run_no = match self.last_out {
                 Some(last) if rank < last => self.current_run_no + 1,
                 _ => self.current_run_no,
             };
-            self.heap.push(Entry {
-                run_no,
-                key: rank,
-                tuple,
-            });
+            let slot = self.arena.insert(tuple);
+            self.heap.push(Reverse((run_no, rank, slot)));
         }
     }
 }
@@ -268,6 +295,7 @@ where
         block_tuples: policy.block_pages(budget.target().max(1)) * tpp,
         order: cfg.order.clone(),
         heap: BinaryHeap::new(),
+        arena: Arena::default(),
         out_buf: Vec::new(),
         current_run_no: 0,
         current_run_id: None,

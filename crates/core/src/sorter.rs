@@ -226,7 +226,8 @@ impl ExternalSorter {
         let phases = split.and_then(|split| {
             budget.set_phase(SortPhase::Merge);
             let params = ExecParams::from_algorithm(&self.cfg.algorithm)
-                .with_io_depth(self.cfg.io.pipeline_depth);
+                .with_io_depth(self.cfg.io.pipeline_depth)
+                .with_merge_batch(self.cfg.merge_batch);
             let (output_run, merge) =
                 execute_merge(&self.cfg, budget, &split.runs, store, env, params)?;
             Ok((split, output_run, merge))

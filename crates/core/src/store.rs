@@ -147,6 +147,8 @@ pub struct MemStore {
     next: RunId,
     pages_written: usize,
     pages_read: usize,
+    bytes_written: usize,
+    bytes_read: usize,
 }
 
 impl MemStore {
@@ -163,6 +165,19 @@ impl MemStore {
     /// Total pages read over the store's lifetime (for tests/metrics).
     pub fn pages_read(&self) -> usize {
         self.pages_read
+    }
+
+    /// Total tuple bytes appended over the store's lifetime. Accounted from
+    /// each page's cached byte total ([`Page::bytes`]), so the bookkeeping is
+    /// O(1) per append instead of a walk over the page.
+    pub fn bytes_written(&self) -> usize {
+        self.bytes_written
+    }
+
+    /// Total tuple bytes read over the store's lifetime (cached-total
+    /// accounting, like [`bytes_written`](Self::bytes_written)).
+    pub fn bytes_read(&self) -> usize {
+        self.bytes_read
     }
 
     /// Number of runs currently stored.
@@ -186,6 +201,7 @@ impl RunStore for MemStore {
             .get_mut(&run)
             .ok_or(SortError::UnknownRun(run))?;
         self.pages_written += 1;
+        self.bytes_written += page.bytes();
         *count += page.len();
         self.runs
             .get_mut(&run)
@@ -200,6 +216,7 @@ impl RunStore for MemStore {
             SortError::corrupt(run, format!("page {idx} out of range ({})", pages.len()))
         })?;
         self.pages_read += 1;
+        self.bytes_read += page.bytes();
         Ok(page.clone())
     }
 
@@ -216,6 +233,7 @@ impl RunStore for MemStore {
             ));
         }
         self.pages_read += len;
+        self.bytes_read += pages[start..end].iter().map(Page::bytes).sum::<usize>();
         Ok(pages[start..end].to_vec())
     }
 
@@ -246,7 +264,7 @@ impl RunStore for MemStore {
 fn encode_page(page: &Page, buf: &mut Vec<u8>) {
     buf.clear();
     buf.extend_from_slice(&(page.len() as u32).to_le_bytes());
-    for t in &page.tuples {
+    for t in page.tuples() {
         buf.extend_from_slice(&t.key.to_le_bytes());
         match &t.payload {
             Payload::Synthetic(n) => {
@@ -347,7 +365,7 @@ fn decode_page(buf: &[u8]) -> Result<Page, String> {
 /// move the actual encoding onto a background thread.
 fn encoded_page_len(page: &Page) -> usize {
     4 + page
-        .tuples
+        .tuples()
         .iter()
         .map(|t| {
             8 + 1
@@ -1079,12 +1097,29 @@ mod tests {
         }
         assert_eq!(s.run_pages(r), 3);
         assert_eq!(s.run_tuples(r), 10);
-        assert_eq!(s.read_page(r, 1).unwrap().tuples[0].key, 4);
+        assert_eq!(s.read_page(r, 1).unwrap().tuples()[0].key, 4);
         let meta = s.meta(r);
         assert_eq!(meta.pages, 3);
         s.delete_run(r).unwrap();
         assert_eq!(s.run_pages(r), 0);
         assert_eq!(s.live_runs(), 0);
+    }
+
+    #[test]
+    fn memstore_accounts_bytes_from_page_cache() {
+        let mut s = MemStore::new();
+        let r = s.create_run().unwrap();
+        let pages = sample_pages();
+        let total: usize = pages.iter().map(Page::bytes).sum();
+        assert_eq!(total, 10 * 32, "ten 32-byte synthetic tuples");
+        for p in pages {
+            s.append_page(r, p).unwrap();
+        }
+        assert_eq!(s.bytes_written(), total);
+        assert_eq!(s.bytes_read(), 0);
+        s.read_page(r, 0).unwrap();
+        s.read_block(r, 1, 2).unwrap();
+        assert_eq!(s.bytes_read(), total);
     }
 
     #[test]
@@ -1141,7 +1176,7 @@ mod tests {
         let back = s.read_page(r, 0).unwrap();
         assert_eq!(back, page);
         let back2 = s.read_page(r, 1).unwrap();
-        assert_eq!(back2.tuples[0].key, 99);
+        assert_eq!(back2.tuples()[0].key, 99);
     }
 
     #[test]
@@ -1172,8 +1207,8 @@ mod tests {
             s.append_page(b, Page::from_tuples(vec![Tuple::synthetic(100 + i, 32)]))
                 .unwrap();
         }
-        assert_eq!(s.read_page(a, 3).unwrap().tuples[0].key, 3);
-        assert_eq!(s.read_page(b, 2).unwrap().tuples[0].key, 102);
+        assert_eq!(s.read_page(a, 3).unwrap().tuples()[0].key, 3);
+        assert_eq!(s.read_page(b, 2).unwrap().tuples()[0].key, 102);
     }
 
     #[test]
@@ -1306,7 +1341,7 @@ mod tests {
         // Reads drain the backlog first, so they see the written data.
         assert_eq!(s.read_page(r, 0).unwrap(), all[0]);
         let block = s.read_block(r, 0, all.len() + 1).unwrap();
-        assert_eq!(block[all.len()].tuples[0].key, 5);
+        assert_eq!(block[all.len()].tuples()[0].key, 5);
         s.flush().unwrap();
         assert_eq!(s.run_tuples(r), 11);
     }
@@ -1335,8 +1370,8 @@ mod tests {
         // The run stays usable: the next append lands and reads back fine.
         s.append_page(r, Page::from_tuples(vec![Tuple::synthetic(2, 16)]))
             .unwrap();
-        assert_eq!(s.read_page(r, 1).unwrap().tuples[0].key, 2);
-        assert_eq!(s.read_page(r, 0).unwrap().tuples[0].key, 1);
+        assert_eq!(s.read_page(r, 1).unwrap().tuples()[0].key, 2);
+        assert_eq!(s.read_page(r, 0).unwrap().tuples()[0].key, 1);
     }
 
     #[test]
@@ -1361,7 +1396,7 @@ mod tests {
         assert!(matches!(err, SortError::Io(_)), "{err:?}");
         assert_eq!(s.run_pages(r), 1);
         assert_eq!(s.run_tuples(r), 1);
-        assert_eq!(s.read_page(r, 0).unwrap().tuples[0].key, 1);
+        assert_eq!(s.read_page(r, 0).unwrap().tuples()[0].key, 1);
         let disk_len = std::fs::metadata(s.dir().join(format!("run-{r}.bin")))
             .unwrap()
             .len();

@@ -113,7 +113,7 @@ impl<S: RunStore> Iterator for SortedStream<S> {
             match store.read_page(self.run, self.next_page) {
                 Ok(page) => {
                     self.next_page += 1;
-                    self.buf = page.tuples.into_iter();
+                    self.buf = page.into_tuples().into_iter();
                     // Empty pages are legal; loop for the next one.
                 }
                 Err(e) => {

@@ -78,28 +78,57 @@ impl Tuple {
 pub const KEY_BYTES: usize = 8;
 
 /// A page: a bounded group of tuples, the unit of I/O.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// The page caches its total byte size, maintained by [`Page::push`] and
+/// [`Page::from_tuples`], so store accounting ([`Page::bytes`]) is O(1)
+/// instead of a full walk over the tuples. The tuple vector is therefore
+/// only reachable through [`Page::tuples`] (read) and [`Page::into_tuples`]
+/// (consume) — in-place mutation that could let the cache go stale is not
+/// expressible.
+#[derive(Clone, Debug, Default)]
 pub struct Page {
     /// Tuples stored in this page.
-    pub tuples: Vec<Tuple>,
+    tuples: Vec<Tuple>,
+    /// Cached total of `tuples.iter().map(Tuple::size)`.
+    bytes: usize,
 }
+
+/// Pages compare by their tuples; the byte cache is derived state.
+impl PartialEq for Page {
+    fn eq(&self, other: &Self) -> bool {
+        self.tuples == other.tuples
+    }
+}
+impl Eq for Page {}
 
 impl Page {
     /// Create an empty page.
     pub fn new() -> Self {
-        Page { tuples: Vec::new() }
+        Page::default()
     }
 
     /// Create an empty page with room reserved for `n` tuples.
     pub fn with_capacity(n: usize) -> Self {
         Page {
             tuples: Vec::with_capacity(n),
+            bytes: 0,
         }
     }
 
     /// Build a page directly from a vector of tuples.
     pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
-        Page { tuples }
+        let bytes = tuples.iter().map(Tuple::size).sum();
+        Page { tuples, bytes }
+    }
+
+    /// The tuples stored in this page.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Consume the page, yielding its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
     }
 
     /// Number of tuples in the page.
@@ -112,13 +141,14 @@ impl Page {
         self.tuples.is_empty()
     }
 
-    /// Total bytes occupied by the tuples in this page.
+    /// Total bytes occupied by the tuples in this page (cached; O(1)).
     pub fn bytes(&self) -> usize {
-        self.tuples.iter().map(Tuple::size).sum()
+        self.bytes
     }
 
     /// Append a tuple to the page.
     pub fn push(&mut self, t: Tuple) {
+        self.bytes += t.size();
         self.tuples.push(t);
     }
 
@@ -182,6 +212,21 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.bytes(), 128);
         assert!(!p.is_sorted());
+    }
+
+    #[test]
+    fn cached_bytes_track_push_and_from_tuples() {
+        let tuples = vec![Tuple::synthetic(1, 64), Tuple::new(2, vec![0u8; 10])];
+        let expect: usize = tuples.iter().map(Tuple::size).sum();
+        let from = Page::from_tuples(tuples.clone());
+        assert_eq!(from.bytes(), expect);
+        let mut pushed = Page::with_capacity(2);
+        for t in tuples {
+            pushed.push(t);
+        }
+        assert_eq!(pushed.bytes(), expect);
+        assert_eq!(pushed, from, "pages compare by tuples");
+        assert_eq!(Page::new().bytes(), 0);
     }
 
     #[test]

@@ -11,7 +11,7 @@ pub fn collect_run<S: RunStore>(store: &mut S, run: RunId) -> SortResult<Vec<Tup
     let pages = store.run_pages(run);
     let mut out = Vec::with_capacity(store.run_tuples(run));
     for i in 0..pages {
-        out.extend(store.read_page(run, i)?.tuples);
+        out.extend(store.read_page(run, i)?.into_tuples());
     }
     Ok(out)
 }

@@ -117,6 +117,9 @@ impl SimConfig {
             io: masort_core::IoConfig::default(),
             // The simulator is deterministic and single-threaded by design.
             cpu_threads: 1,
+            // The batched kernel charges the identical simulated CPU cost per
+            // tuple, so figures do not depend on this; keep the default.
+            merge_batch: true,
         }
     }
 }

@@ -157,7 +157,7 @@ mod tests {
             let mut src = SimRelationSource::new(sys, 3, 8, 256, seed);
             let mut keys = Vec::new();
             while let Some(p) = src.next_page().unwrap() {
-                keys.extend(p.tuples.iter().map(|t| t.key));
+                keys.extend(p.tuples().iter().map(|t| t.key));
             }
             keys
         };

@@ -204,8 +204,8 @@ mod tests {
         let extents = s.runs.get(&r).unwrap().extents.len();
         assert!(extents >= 3);
         // Reads at both ends still work.
-        assert_eq!(s.read_page(r, 0).unwrap().tuples[0].key, 0);
-        assert_eq!(s.read_page(r, 199).unwrap().tuples[0].key, 199);
+        assert_eq!(s.read_page(r, 0).unwrap().tuples()[0].key, 0);
+        assert_eq!(s.read_page(r, 199).unwrap().tuples()[0].key, 199);
     }
 
     #[test]
