@@ -169,8 +169,9 @@ fn main() {
     let fans = env_usize_list("MASORT_MK_FANS", &[4, 16, 64]);
     let pages_each = env_usize("MASORT_MK_PAGES_PER_RUN", 192);
     let reps = env_usize("MASORT_MK_REPS", 3);
-    let json_path =
-        std::env::var("MASORT_MK_JSON").unwrap_or_else(|_| "BENCH_merge.json".to_string());
+    let json_path = std::env::var("MASORT_MK_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| masort_bench::bench_output_path("BENCH_merge.json"));
     let cfg = SortConfig::default();
 
     eprintln!("Merge kernel experiment — fan-ins {fans:?}, {pages_each} pages/run, best of {reps}");
@@ -245,9 +246,9 @@ fn main() {
     // CI consumes this file (cat + artifact upload); failing to produce it
     // must fail the bench step here, where the cause is visible.
     match std::fs::write(&json_path, &json) {
-        Ok(()) => eprintln!("wrote {json_path}"),
+        Ok(()) => eprintln!("wrote {}", json_path.display()),
         Err(e) => {
-            eprintln!("could not write {json_path}: {e}");
+            eprintln!("could not write {}: {e}", json_path.display());
             std::process::exit(1);
         }
     }

@@ -54,6 +54,26 @@ pub fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Resolve where a benchmark writes its machine-readable output file.
+///
+/// Every experiment binary names its artifact `BENCH_<topic>.json` and puts
+/// it through this helper: `MASORT_BENCH_DIR` (when set) selects the output
+/// directory — created on demand — and otherwise the file lands in the
+/// current directory, which for `cargo run` is the workspace root where the
+/// committed baselines live.
+pub fn bench_output_path(file_name: &str) -> std::path::PathBuf {
+    match std::env::var("MASORT_BENCH_DIR") {
+        Ok(dir) if !dir.is_empty() => {
+            let dir = std::path::PathBuf::from(dir);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("could not create {}: {e}", dir.display());
+            }
+            dir.join(file_name)
+        }
+        _ => std::path::PathBuf::from(file_name),
+    }
+}
+
 /// Read a comma-separated `usize` list knob from the environment, falling
 /// back to `default` when unset or when no element parses.
 pub fn env_usize_list(key: &str, default: &[usize]) -> Vec<usize> {

@@ -29,6 +29,7 @@ pub(crate) struct QueuedRequest {
     pub cfg: SortConfig,
     pub input: Box<dyn InputSource + Send>,
     pub storage: RunStorage,
+    pub tenant: Option<String>,
     pub priority: u32,
     pub min_pages: usize,
     pub max_pages: usize,
@@ -92,6 +93,14 @@ impl AdmissionQueue {
         self.queue.remove(idx)
     }
 
+    /// Remove (and return) the queued request with identifier `job`, e.g.
+    /// because its ticket was cancelled before admission. `None` if the job
+    /// is not queued — never submitted, already admitted, or already done.
+    pub fn remove(&mut self, job: JobId) -> Option<QueuedRequest> {
+        let idx = self.queue.iter().position(|r| r.job == job)?;
+        self.queue.remove(idx)
+    }
+
     /// Drain every queued request whose minimum exceeds `pool_pages` (it can
     /// never be admitted any more); the caller fails their tickets with
     /// `BudgetStarved`.
@@ -123,6 +132,7 @@ mod tests {
             cfg: SortConfig::default(),
             input: Box::new(VecSource::from_pages(Vec::new())),
             storage: RunStorage::InMemory,
+            tenant: None,
             priority: 1,
             min_pages: min,
             max_pages: min.max(8),
@@ -178,6 +188,21 @@ mod tests {
         broker.release(0, 1.0);
         assert_eq!(q.pop_admissible(&broker).unwrap().job, 1);
         assert_eq!(q.pop_admissible(&broker).unwrap().job, 999);
+    }
+
+    #[test]
+    fn remove_takes_out_exactly_the_named_job() {
+        let mut q = AdmissionQueue::default();
+        q.push(req(1, 2));
+        q.push(req(2, 3));
+        q.push(req(3, 4));
+        assert_eq!(q.remove(2).unwrap().job, 2);
+        assert!(q.remove(2).is_none(), "already removed");
+        assert!(q.remove(99).is_none(), "never queued");
+        assert_eq!(q.len(), 2);
+        let broker = MemoryBroker::new(10, Arc::new(EqualShare));
+        assert_eq!(q.pop_admissible(&broker).unwrap().job, 1);
+        assert_eq!(q.pop_admissible(&broker).unwrap().job, 3);
     }
 
     #[test]

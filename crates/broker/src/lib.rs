@@ -116,7 +116,7 @@ pub mod ticket;
 pub use broker::MemoryBroker;
 pub use policy::{ArbitrationPolicy, EqualShare, JobDemand, MinGuarantee, PriorityWeighted};
 pub use service::{RunStorage, ServiceStore, SortRequest, SortService, SortServiceBuilder};
-pub use stats::{JobStats, ServiceStats};
+pub use stats::{JobStats, ServiceStats, TenantStats};
 pub use ticket::{JobId, JobReport, SortTicket};
 
 /// Convenient glob import of the service-facing types.
@@ -128,6 +128,6 @@ pub mod prelude {
     pub use crate::service::{
         RunStorage, ServiceStore, SortRequest, SortService, SortServiceBuilder,
     };
-    pub use crate::stats::{JobStats, ServiceStats};
+    pub use crate::stats::{JobStats, ServiceStats, TenantStats};
     pub use crate::ticket::{JobId, JobReport, SortTicket};
 }

@@ -113,6 +113,7 @@ pub struct SortRequest {
     cfg: SortConfig,
     input: Box<dyn InputSource + Send>,
     storage: RunStorage,
+    tenant: Option<String>,
     priority: u32,
     min_pages: Option<usize>,
     max_pages: Option<usize>,
@@ -121,6 +122,7 @@ pub struct SortRequest {
 impl std::fmt::Debug for SortRequest {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SortRequest")
+            .field("tenant", &self.tenant)
             .field("priority", &self.priority)
             .field("min_pages", &self.min_pages)
             .field("max_pages", &self.max_pages)
@@ -136,6 +138,7 @@ impl SortRequest {
             cfg,
             input: Box::new(source),
             storage: RunStorage::InMemory,
+            tenant: None,
             priority: 1,
             min_pages: None,
             max_pages: None,
@@ -146,6 +149,14 @@ impl SortRequest {
     pub fn tuples(cfg: SortConfig, tuples: Vec<Tuple>) -> Self {
         let per_page = cfg.tuples_per_page();
         Self::from_source(cfg, VecSource::from_tuples(tuples, per_page))
+    }
+
+    /// Attribute this job to `tenant` for per-tenant accounting
+    /// ([`ServiceStats::tenants`](crate::ServiceStats)) and in its
+    /// [`JobStats`]. Untagged jobs only count in the service-wide totals.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
     }
 
     /// Scheduling priority (larger = more important; default 1). How
@@ -342,7 +353,7 @@ struct State {
     shutdown: bool,
 }
 
-struct Shared {
+pub(crate) struct Shared {
     start: Instant,
     suspension_wait: Duration,
     /// Background I/O pool shared by every sort this service runs, if any.
@@ -360,6 +371,28 @@ impl Shared {
 
     fn lock(&self) -> MutexGuard<'_, State> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Remove job `job` from the admission queue, if it is still queued, and
+    /// account the cancellation. Returns whether the job was removed — if so
+    /// the caller owns its ticket's resolution; if not the job is running (or
+    /// done) and cancellation travels through its budget instead.
+    pub(crate) fn cancel_queued(&self, job: JobId) -> bool {
+        let mut st = self.lock();
+        match st.queue.remove(job) {
+            Some(req) => {
+                st.stats.cancelled += 1;
+                if let Some(tenant) = &req.tenant {
+                    st.stats.tenant_entry(tenant).cancelled += 1;
+                }
+                drop(st);
+                // The request (and its boxed input source) dies outside the
+                // state lock.
+                drop(req);
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -423,11 +456,15 @@ impl SortService {
         let job = st.next_job;
         st.next_job += 1;
         let ticket_shared = Arc::new(TicketShared::default());
+        if let Some(tenant) = &request.tenant {
+            st.stats.tenant_entry(tenant).submitted += 1;
+        }
         st.queue.push(QueuedRequest {
             job,
             cfg: request.cfg,
             input: request.input,
             storage: request.storage,
+            tenant: request.tenant,
             priority: request.priority,
             min_pages,
             max_pages,
@@ -439,7 +476,11 @@ impl SortService {
         st.stats.peak_queued = st.stats.peak_queued.max(st.queue.len());
         drop(st);
         self.shared.work.notify_all();
-        Ok(SortTicket::new(job, ticket_shared))
+        Ok(SortTicket::new(
+            job,
+            ticket_shared,
+            Arc::downgrade(&self.shared),
+        ))
     }
 
     /// Grow or shrink the global page pool while sorts are running. Every
@@ -552,6 +593,9 @@ fn worker_loop(shared: Arc<Shared>) {
                         budget.clone(),
                         now,
                     );
+                    // Make the budget reachable from the ticket; a cancel
+                    // that raced this admission is applied to it in there.
+                    req.ticket.attach_budget(budget.clone());
                     // Borrow extra compute workers from the shared allowance:
                     // grant what is free now rather than queueing for threads
                     // (memory is the scarce, brokered resource; compute
@@ -599,6 +643,7 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
         cfg,
         input,
         storage,
+        tenant,
         priority,
         min_pages,
         max_pages,
@@ -640,15 +685,24 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
     // Reallocations observed strictly after the initial grant and before this
     // job's own release below (which only re-targets the survivors).
     let reallocations = budget.version().saturating_sub(start_version);
+    // Whatever the sort still records as held after finishing (successfully
+    // or not) was never handed back: a leak. Measured before `release` so a
+    // post-release rebalance cannot mask it.
+    let leaked = budget.held();
     let finished_at = shared.now();
     let mut st = shared.lock();
     st.broker.release(job, finished_at);
     st.cpu_free += cpu_workers - 1;
+    st.stats.leaked_pages += leaked as u64;
+    if let Some(tenant) = &tenant {
+        st.stats.tenant_entry(tenant).total_queue_wait += queued_for;
+    }
     let outcome = match result {
         Ok(completion) => {
             let delays = &completion.outcome.delays;
             let stats = JobStats {
                 job,
+                tenant: tenant.clone(),
                 priority,
                 min_pages,
                 max_pages,
@@ -663,10 +717,33 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
             st.stats.completed += 1;
             st.stats.total_reallocations += reallocations;
             st.stats.total_delay_samples += stats.delay_samples as u64;
+            if let Some(tenant) = &tenant {
+                st.stats.tenant_entry(tenant).completed += 1;
+            }
             Ok(JobReport { completion, stats })
         }
         Err(e) => {
-            st.stats.failed += 1;
+            // A cancelled job did what it was told; count it apart from
+            // genuine failures. A sort that was blocked on a streaming input
+            // when the cancel landed reports its abandoned channel's I/O
+            // error instead of `Cancelled` — normalise it, so cancellation
+            // accounting is deterministic for the caller.
+            let e = if ticket.cancel_requested() {
+                SortError::Cancelled
+            } else {
+                e
+            };
+            if matches!(e, SortError::Cancelled) {
+                st.stats.cancelled += 1;
+                if let Some(tenant) = &tenant {
+                    st.stats.tenant_entry(tenant).cancelled += 1;
+                }
+            } else {
+                st.stats.failed += 1;
+                if let Some(tenant) = &tenant {
+                    st.stats.tenant_entry(tenant).failed += 1;
+                }
+            }
             Err(e)
         }
     };
@@ -969,6 +1046,135 @@ mod tests {
         );
         let stats = svc.shutdown();
         assert_eq!(stats.completed, 6);
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_removes_it_without_reserving_anything() {
+        // One worker, and a job holding the whole pool's minimum, so the
+        // second submission is deterministically still queued when cancelled.
+        let svc = SortService::builder().pool_pages(8).workers(1).build();
+        let blocker = svc
+            .submit(SortRequest::tuples(small_cfg(4), random_tuples(20_000, 11)).min_pages(8))
+            .unwrap();
+        let queued = svc
+            .submit(
+                SortRequest::tuples(small_cfg(4), random_tuples(1_000, 12))
+                    .min_pages(8)
+                    .tenant("acme"),
+            )
+            .unwrap();
+        assert!(queued.cancel(), "job was pending; cancel must take effect");
+        match queued.wait() {
+            Err(SortError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        blocker.wait().unwrap();
+        let stats = svc.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0, "a cancel is not a failure");
+        assert_eq!(stats.leaked_pages, 0);
+        assert_eq!(stats.tenant("acme").unwrap().cancelled, 1);
+        assert_eq!(stats.tenant("acme").unwrap().submitted, 1);
+    }
+
+    #[test]
+    fn cancelling_a_running_job_aborts_it_and_releases_its_pages() {
+        let svc = SortService::builder().pool_pages(8).workers(1).build();
+        // Large enough that the sort is still mid-flight when the cancel
+        // lands right after admission.
+        let ticket = svc
+            .submit(
+                SortRequest::tuples(small_cfg(8), random_tuples(60_000, 13))
+                    .min_pages(8)
+                    .tenant("acme"),
+            )
+            .unwrap();
+        while svc.live_jobs() == 0 {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(ticket.cancel());
+        match ticket.wait() {
+            Err(SortError::Cancelled) => {}
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+        // The dead job's pages came back: a sort needing the whole pool runs.
+        let input = random_tuples(800, 14);
+        let sorted = svc
+            .submit(SortRequest::tuples(small_cfg(4), input.clone()).min_pages(8))
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_sorted_vec()
+            .unwrap();
+        assert_sorted_permutation(&input, &sorted);
+        let stats = svc.shutdown();
+        assert_eq!(stats.cancelled, 1);
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.failed, 0);
+        assert_eq!(stats.leaked_pages, 0, "cancelled job leaked pages");
+        assert_eq!(stats.tenant("acme").unwrap().cancelled, 1);
+    }
+
+    #[test]
+    fn cancel_after_completion_is_a_no_op() {
+        let svc = SortService::builder().pool_pages(8).workers(1).build();
+        let input = random_tuples(500, 15);
+        let ticket = svc
+            .submit(SortRequest::tuples(small_cfg(4), input.clone()))
+            .unwrap();
+        while !ticket.is_done() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(!ticket.cancel(), "finished job cannot be cancelled");
+        let sorted = ticket.wait().unwrap().into_sorted_vec().unwrap();
+        assert_sorted_permutation(&input, &sorted);
+        let stats = svc.shutdown();
+        assert_eq!(stats.cancelled, 0);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn tenant_accounting_follows_jobs_through_their_lifecycle() {
+        struct FailingSource;
+        impl InputSource for FailingSource {
+            fn next_page(&mut self) -> SortResult<Option<Page>> {
+                Err(SortError::Io(std::io::Error::other("tenant b's disk died")))
+            }
+        }
+        let svc = SortService::builder().pool_pages(16).workers(2).build();
+        let mut tickets = Vec::new();
+        for i in 0..3 {
+            tickets.push(
+                svc.submit(
+                    SortRequest::tuples(small_cfg(4), random_tuples(600, 20 + i)).tenant("a"),
+                )
+                .unwrap(),
+            );
+        }
+        let failing = svc
+            .submit(SortRequest::from_source(small_cfg(4), FailingSource).tenant("b"))
+            .unwrap();
+        // An untagged job appears only in the service-wide totals.
+        tickets.push(
+            svc.submit(SortRequest::tuples(small_cfg(4), random_tuples(600, 30)))
+                .unwrap(),
+        );
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        failing.wait().unwrap_err();
+        let stats = svc.shutdown();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.failed, 1);
+        assert_eq!(stats.tenants.len(), 2);
+        let a = stats.tenant("a").unwrap();
+        assert_eq!((a.submitted, a.completed, a.failed), (3, 3, 0));
+        assert!(a.total_queue_wait >= 0.0);
+        let b = stats.tenant("b").unwrap();
+        assert_eq!((b.submitted, b.completed, b.failed), (1, 0, 1));
+        assert!(stats.tenant("c").is_none());
+        assert_eq!(stats.leaked_pages, 0);
     }
 
     #[test]

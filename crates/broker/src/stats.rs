@@ -7,12 +7,16 @@
 //! shrink requests.
 
 use crate::ticket::JobId;
+use std::collections::BTreeMap;
 
 /// Broker-side statistics for one completed job.
 #[derive(Clone, Debug)]
 pub struct JobStats {
     /// The job these statistics belong to.
     pub job: JobId,
+    /// Tenant the job was submitted on behalf of
+    /// ([`SortRequest::tenant`](crate::SortRequest::tenant)), if any.
+    pub tenant: Option<String>,
     /// Priority the job was submitted with.
     pub priority: u32,
     /// Guaranteed minimum share (pages).
@@ -89,6 +93,49 @@ pub struct ServiceStats {
     pub total_reallocations: u64,
     /// Total delay samples recorded across all completed jobs.
     pub total_delay_samples: u64,
+    /// Jobs cancelled through [`SortTicket::cancel`](crate::SortTicket) —
+    /// removed from the queue before running, or aborted mid-flight at an
+    /// adaptivity checkpoint. Counted here, not under `failed`.
+    pub cancelled: u64,
+    /// Pages a job's budget still recorded as held when the broker released
+    /// the job. Every sort — completed, failed or cancelled — must hand all
+    /// of its pages back, so anything other than zero is a leak.
+    pub leaked_pages: u64,
+    /// Per-tenant accounting for submissions tagged with
+    /// [`SortRequest::tenant`](crate::SortRequest::tenant); untagged
+    /// submissions only appear in the service-wide counters above.
+    pub tenants: BTreeMap<String, TenantStats>,
+}
+
+impl ServiceStats {
+    /// Accounting for one tenant, if any job has been submitted under `name`.
+    pub fn tenant(&self, name: &str) -> Option<&TenantStats> {
+        self.tenants.get(name)
+    }
+
+    pub(crate) fn tenant_entry(&mut self, name: &str) -> &mut TenantStats {
+        // Entry-by-owned-key only when the tenant is new.
+        if !self.tenants.contains_key(name) {
+            self.tenants
+                .insert(name.to_string(), TenantStats::default());
+        }
+        self.tenants.get_mut(name).expect("just inserted")
+    }
+}
+
+/// Aggregate statistics for one tenant's submissions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantStats {
+    /// Requests accepted for this tenant.
+    pub submitted: u64,
+    /// Jobs that finished successfully.
+    pub completed: u64,
+    /// Jobs that started but failed.
+    pub failed: u64,
+    /// Jobs cancelled while queued or running.
+    pub cancelled: u64,
+    /// Total seconds this tenant's jobs spent queued before admission.
+    pub total_queue_wait: f64,
 }
 
 #[cfg(test)]
@@ -99,6 +146,7 @@ mod tests {
     fn job_stats_mean_delay() {
         let mut s = JobStats {
             job: 0,
+            tenant: None,
             priority: 1,
             min_pages: 1,
             max_pages: 8,

@@ -1,21 +1,34 @@
 //! Tickets: the handle a caller holds while a submitted sort is queued and
 //! running, and the report it redeems for when the sort finishes.
 
-use crate::service::ServiceStore;
+use crate::service::{ServiceStore, Shared};
 use crate::stats::JobStats;
-use masort_core::{SortCompletion, SortError, SortOutcome, SortResult, SortedStream, Tuple};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use masort_core::{
+    MemoryBudget, SortCompletion, SortError, SortOutcome, SortResult, SortedStream, Tuple,
+};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::Duration;
 
 /// Identifier of a job within one [`SortService`](crate::SortService)
 /// (assigned in submission order, starting at 0).
 pub type JobId = u64;
 
+/// Cancellation state shared between a ticket and the worker running its job.
+/// The mutex serialises [`TicketShared::attach_budget`] against
+/// [`TicketShared::request_cancel`], so a cancel landing while the job is
+/// being admitted reaches the budget no matter which side wins the race.
+#[derive(Debug, Default)]
+struct CancelSlot {
+    requested: bool,
+    budget: Option<MemoryBudget>,
+}
+
 /// The shared completion slot between a worker thread and the ticket holder.
 #[derive(Debug, Default)]
 pub(crate) struct TicketShared {
     slot: Mutex<Option<SortResult<JobReport>>>,
     cv: Condvar,
+    cancel: Mutex<CancelSlot>,
 }
 
 impl TicketShared {
@@ -31,6 +44,40 @@ impl TicketShared {
         *g = Some(result);
         self.cv.notify_all();
     }
+
+    /// Called by the admitting worker (under the service state lock): make
+    /// the job's budget reachable from the ticket. A cancel requested while
+    /// the job was still queued is applied to the budget right here, so the
+    /// sort aborts at its first adaptivity checkpoint.
+    pub(crate) fn attach_budget(&self, budget: MemoryBudget) {
+        let mut g = self.cancel.lock().unwrap_or_else(|e| e.into_inner());
+        if g.requested {
+            budget.cancel();
+        }
+        g.budget = Some(budget);
+    }
+
+    /// Called by [`SortTicket::cancel`]: flag the job as cancelled and, if it
+    /// is already running, cancel its budget.
+    pub(crate) fn request_cancel(&self) {
+        let mut g = self.cancel.lock().unwrap_or_else(|e| e.into_inner());
+        g.requested = true;
+        if let Some(budget) = &g.budget {
+            budget.cancel();
+        }
+    }
+
+    /// Whether a cancel was ever requested for this job. The worker uses it
+    /// to classify the job's final error: a cancelled sort usually aborts at
+    /// a budget checkpoint with `SortError::Cancelled`, but one blocked on a
+    /// streaming input can instead surface the I/O error of its abandoned
+    /// channel — the caller asked for a cancel either way.
+    pub(crate) fn cancel_requested(&self) -> bool {
+        self.cancel
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .requested
+    }
 }
 
 /// A claim on the result of one submitted sort.
@@ -45,16 +92,52 @@ impl TicketShared {
 pub struct SortTicket {
     job: JobId,
     shared: Arc<TicketShared>,
+    service: Weak<Shared>,
 }
 
 impl SortTicket {
-    pub(crate) fn new(job: JobId, shared: Arc<TicketShared>) -> Self {
-        SortTicket { job, shared }
+    pub(crate) fn new(job: JobId, shared: Arc<TicketShared>, service: Weak<Shared>) -> Self {
+        SortTicket {
+            job,
+            shared,
+            service,
+        }
     }
 
     /// The service-assigned identifier of this job.
     pub fn job_id(&self) -> JobId {
         self.job
+    }
+
+    /// Cancel this job. Returns `true` if the cancellation took effect,
+    /// `false` if the job had already finished (its report is still
+    /// redeemable with [`wait`](Self::wait)).
+    ///
+    /// A job still **queued** is removed from the admission queue on the spot
+    /// and this ticket resolves to [`SortError::Cancelled`] immediately — it
+    /// never reserves pages or compute threads. A job already **running** has
+    /// its [`MemoryBudget`] flagged; the sort observes the flag at its next
+    /// adaptivity checkpoint (the same points where it polls for memory
+    /// changes), aborts with [`SortError::Cancelled`], and releases every
+    /// page it held back to the pool.
+    pub fn cancel(&self) -> bool {
+        if self.is_done() {
+            return false;
+        }
+        // Flag first: if the job is admitted concurrently, the admitting
+        // worker sees the flag when it attaches the budget and the sort
+        // aborts at its first checkpoint.
+        self.shared.request_cancel();
+        if let Some(service) = self.service.upgrade() {
+            if service.cancel_queued(self.job) {
+                // Removed from the queue under the service lock: no worker
+                // will ever see this request, so the ticket is ours to
+                // resolve.
+                self.shared.fulfill(Err(SortError::Cancelled));
+                return true;
+            }
+        }
+        !self.is_done()
     }
 
     /// True once the job has finished (successfully or not) and

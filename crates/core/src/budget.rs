@@ -95,6 +95,10 @@ struct Inner {
     /// Monotonically increasing counter bumped on every target change; lets
     /// pollers detect changes cheaply.
     version: u64,
+    /// Set by [`MemoryBudget::cancel`]; the sort observes it at its next
+    /// adaptivity checkpoint and aborts with
+    /// [`SortError::Cancelled`](crate::SortError::Cancelled).
+    cancelled: bool,
     /// Upward link of the budget hierarchy (strong: a worker's child keeps
     /// the root alive). `None` for root budgets.
     parent: Option<MemoryBudget>,
@@ -161,6 +165,7 @@ impl MemoryBudget {
                 pending_since: None,
                 delays: Vec::new(),
                 version: 0,
+                cancelled: false,
                 parent: None,
                 children: Vec::new(),
             })),
@@ -194,6 +199,7 @@ impl MemoryBudget {
                 pending_since: None,
                 delays: Vec::new(),
                 version: 0,
+                cancelled: g.cancelled,
                 parent: Some(self.clone()),
                 children: Vec::new(),
             })),
@@ -416,6 +422,31 @@ impl MemoryBudget {
     /// True if a shrink request is currently outstanding.
     pub fn shrink_pending(&self) -> bool {
         self.lock().pending_since.is_some()
+    }
+
+    /// Ask the sort running against this budget to abort.
+    ///
+    /// The sort observes the flag at its next adaptivity checkpoint — the
+    /// same points where it polls for target changes — and returns
+    /// [`SortError::Cancelled`](crate::SortError::Cancelled), releasing every
+    /// page it holds on the way out. Propagates to live
+    /// [`child`](Self::child) budgets so partition-parallel workers stop too;
+    /// cancelling is irreversible for the budget's lifetime.
+    pub fn cancel(&self) {
+        let children = {
+            let mut g = self.lock();
+            g.cancelled = true;
+            Self::live_children(&mut g)
+        };
+        for (child, _) in children {
+            child.cancel();
+        }
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called on this budget (or
+    /// an ancestor, for budgets created afterwards).
+    pub fn is_cancelled(&self) -> bool {
+        self.lock().cancelled
     }
 
     /// Read target, holding, version and pending-shrink state atomically,
@@ -688,5 +719,29 @@ mod tests {
         h.join().unwrap();
         // No panic / deadlock; counters consistent.
         assert!(b.target() < 32);
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_visible_through_clones() {
+        let b = MemoryBudget::new(8);
+        assert!(!b.is_cancelled());
+        let clone = b.clone();
+        b.cancel();
+        assert!(b.is_cancelled());
+        assert!(clone.is_cancelled(), "clones share the flag");
+        b.cancel(); // idempotent
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_propagates_to_children_both_ways() {
+        // Children created before the cancel are told directly...
+        let root = MemoryBudget::new(16);
+        let child = root.child(0.5);
+        root.cancel();
+        assert!(child.is_cancelled());
+        // ...and children created after inherit the flag at birth.
+        let late = root.child(0.25);
+        assert!(late.is_cancelled());
     }
 }

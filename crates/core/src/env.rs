@@ -178,7 +178,10 @@ impl SortEnv for RealEnv {
             if budget.target() >= pages {
                 return true;
             }
-            if Instant::now() >= deadline {
+            // A cancelled sort must not sit out the suspension timeout: give
+            // up immediately so the caller reaches its next checkpoint (and
+            // aborts there) right away.
+            if budget.is_cancelled() || Instant::now() >= deadline {
                 return false;
             }
             std::thread::sleep(self.poll_interval);

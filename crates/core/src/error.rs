@@ -40,6 +40,10 @@ pub enum SortError {
         /// Pages the budget grants.
         granted: usize,
     },
+    /// The sort was cancelled by its owner (via
+    /// [`MemoryBudget::cancel`](crate::MemoryBudget::cancel)) and aborted at
+    /// its next adaptivity checkpoint, releasing every page it held.
+    Cancelled,
 }
 
 impl SortError {
@@ -70,6 +74,7 @@ impl fmt::Display for SortError {
                 f,
                 "memory budget starved: the sort needs at least {needed} page(s) but the budget grants {granted}"
             ),
+            SortError::Cancelled => write!(f, "sort cancelled by its owner"),
         }
     }
 }

@@ -116,8 +116,8 @@ pub use config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, Sort
 pub use env::{CpuOp, RealEnv, SortEnv};
 pub use error::{SortError, SortResult};
 pub use input::{
-    GenSource, InputSource, IterSource, NeverSource, PartitionableSource, SharedSource, Unsplit,
-    VecSource,
+    ChannelClosed, ChannelSink, ChannelSource, GenSource, InputSource, IterSource, NeverSource,
+    PartitionableSource, SharedSource, Unsplit, VecSource,
 };
 pub use io::{IoConfig, IoHandle, IoPool};
 pub use job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};
@@ -139,8 +139,8 @@ pub mod prelude {
     pub use crate::env::{CpuOp, RealEnv, SortEnv};
     pub use crate::error::{SortError, SortResult};
     pub use crate::input::{
-        GenSource, InputSource, IterSource, NeverSource, PartitionableSource, SharedSource,
-        Unsplit, VecSource,
+        ChannelSink, ChannelSource, GenSource, InputSource, IterSource, NeverSource,
+        PartitionableSource, SharedSource, Unsplit, VecSource,
     };
     pub use crate::io::{IoConfig, IoPool};
     pub use crate::job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};

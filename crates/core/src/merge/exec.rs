@@ -250,6 +250,13 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     // ------------------------------------------------------------------
 
     fn adapt(&mut self) -> SortResult<()> {
+        // The merge-phase adaptivity checkpoint doubles as the cancellation
+        // point: an owner-cancelled sort aborts here, before doing any more
+        // merge work, and its pages are released with the cursors.
+        if self.budget.is_cancelled() {
+            self.budget.record_held(0, self.env.now());
+            return Err(crate::error::SortError::Cancelled);
+        }
         match self.params.adaptation {
             MergeAdaptation::DynamicSplitting => self.adapt_dynamic()?,
             MergeAdaptation::Suspension => self.adapt_static(true)?,

@@ -56,6 +56,10 @@ where
         let mut fill_target = budget.target().max(1);
         loop {
             env.poll(budget);
+            if budget.is_cancelled() {
+                budget.record_held(0, env.now());
+                return Err(crate::error::SortError::Cancelled);
+            }
             fill_target = fill_target.max(budget.target()).max(1);
             if held_pages >= fill_target {
                 break;

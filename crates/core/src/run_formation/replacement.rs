@@ -306,6 +306,10 @@ where
     let mut exhausted = false;
     loop {
         env.poll(budget);
+        if budget.is_cancelled() {
+            budget.record_held(0, env.now());
+            return Err(crate::error::SortError::Cancelled);
+        }
         let target = budget.target().max(1);
         // Under the adaptive policy the block size follows the allocation.
         st.block_tuples = policy.block_pages(target) * tpp;

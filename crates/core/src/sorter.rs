@@ -233,8 +233,18 @@ impl ExternalSorter {
             Ok((split, output_run, merge))
         });
         let flushed = store.flush();
-        let (split, output_run, merge) = phases?;
-        flushed?;
+        let (split, output_run, merge) = match phases.and_then(|ok| flushed.map(|_| ok)) {
+            Ok(parts) => parts,
+            Err(e) => {
+                // A failed (or cancelled) sort holds no buffers — everything
+                // it had is dropped with its locals on unwind from the phase
+                // functions. Record that, so owners auditing the budget for
+                // leaked pages (e.g. a broker's post-release check) see zero
+                // rather than the last checkpoint's stale count.
+                budget.record_held(0, env.now());
+                return Err(e);
+            }
+        };
         let response_time = env.now() - started;
         Ok(SortOutcome {
             output_run,
@@ -423,6 +433,72 @@ mod tests {
         let cfg = small_cfg(5, AlgorithmSpec::recommended());
         let sorted = sort_via_job(cfg, input.clone());
         assert_sorted_permutation(&input, &sorted);
+    }
+
+    #[test]
+    fn cancelled_budget_aborts_the_split_phase_with_zero_held_pages() {
+        for spec in [
+            AlgorithmSpec::new(
+                RunFormation::Quicksort,
+                MergePolicy::Optimized,
+                MergeAdaptation::DynamicSplitting,
+            ),
+            AlgorithmSpec::recommended(), // replacement selection
+        ] {
+            let cfg = small_cfg(4, spec);
+            let sorter = ExternalSorter::new(cfg.clone());
+            let budget = MemoryBudget::new(cfg.memory_pages);
+            budget.cancel();
+            let mut source =
+                VecSource::from_tuples(random_tuples(2_000, 41), cfg.tuples_per_page());
+            let mut store = MemStore::new();
+            let mut env = CountingEnv::new();
+            let err = sorter
+                .sort(&mut source, &mut store, &mut env, &budget)
+                .unwrap_err();
+            assert!(matches!(err, SortError::Cancelled), "{err:?}");
+            assert_eq!(budget.held(), 0, "cancelled sorts must release everything");
+        }
+    }
+
+    #[test]
+    fn cancel_during_the_merge_phase_aborts_at_the_next_checkpoint() {
+        // An environment that pulls the trigger the first time it is polled
+        // after the sort enters the merge phase: the split phase completes
+        // normally and the merge aborts at its first adaptivity checkpoint.
+        struct CancelOnMerge {
+            inner: CountingEnv,
+        }
+        impl SortEnv for CancelOnMerge {
+            fn now(&self) -> f64 {
+                self.inner.now()
+            }
+            fn charge_cpu(&mut self, op: CpuOp, count: u64) {
+                self.inner.charge_cpu(op, count)
+            }
+            fn poll(&mut self, budget: &MemoryBudget) {
+                if budget.phase() == crate::budget::SortPhase::Merge {
+                    budget.cancel();
+                }
+            }
+            fn wait_for_pages(&mut self, budget: &MemoryBudget, pages: usize) -> bool {
+                self.inner.wait_for_pages(budget, pages)
+            }
+        }
+        use crate::env::CpuOp;
+        let cfg = small_cfg(4, AlgorithmSpec::recommended());
+        let sorter = ExternalSorter::new(cfg.clone());
+        let budget = MemoryBudget::new(cfg.memory_pages);
+        let mut source = VecSource::from_tuples(random_tuples(4_000, 43), cfg.tuples_per_page());
+        let mut store = MemStore::new();
+        let mut env = CancelOnMerge {
+            inner: CountingEnv::new(),
+        };
+        let err = sorter
+            .sort(&mut source, &mut store, &mut env, &budget)
+            .unwrap_err();
+        assert!(matches!(err, SortError::Cancelled), "{err:?}");
+        assert_eq!(budget.held(), 0);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! `masort-cli` — sort stdin through a remote masort-server.
+//!
+//! ```text
+//! masort-cli [sort] [--addr HOST:PORT] [--tenant NAME] [--priority N]
+//!            [--budget PAGES] [--min-pages N] [--max-pages N]
+//!            [--page-size BYTES] [--tuple-size BYTES] [--cpu-threads N]
+//!            [--spill] [--descending]          < input > output
+//! masort-cli shutdown [--addr HOST:PORT]
+//! masort-cli stats    [--addr HOST:PORT]
+//! ```
+//!
+//! Input is one tuple per line: a decimal `u64` key, optionally followed by
+//! a space and an arbitrary payload string. Output uses the same format.
+//! The address defaults to `$MASORT_ADDR`, then `127.0.0.1:7878`.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::process::ExitCode;
+
+use masort_core::{Payload, Tuple};
+use masort_server::{server_stats, shutdown_server, SortClient, SubmitSpec};
+
+const INGEST_CHUNK: usize = 4096;
+
+fn usage() -> &'static str {
+    "usage: masort-cli [sort] [--addr HOST:PORT] [--tenant NAME] [--priority N]\n\
+     \u{20}                 [--budget PAGES] [--min-pages N] [--max-pages N]\n\
+     \u{20}                 [--page-size BYTES] [--tuple-size BYTES] [--cpu-threads N]\n\
+     \u{20}                 [--spill] [--descending]  < input > output\n\
+     \u{20}      masort-cli shutdown [--addr HOST:PORT]\n\
+     \u{20}      masort-cli stats    [--addr HOST:PORT]"
+}
+
+fn default_addr() -> String {
+    std::env::var("MASORT_ADDR").unwrap_or_else(|_| "127.0.0.1:7878".to_string())
+}
+
+fn parse_u64(raw: &str) -> Result<u64, String> {
+    raw.parse::<u64>()
+        .map_err(|_| format!("`{raw}` is not a number"))
+}
+
+fn run() -> Result<(), String> {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args.first().map(String::as_str) {
+        Some("sort") => {
+            args.remove(0);
+            "sort"
+        }
+        Some("shutdown") => {
+            args.remove(0);
+            "shutdown"
+        }
+        Some("stats") => {
+            args.remove(0);
+            "stats"
+        }
+        Some(s) if !s.starts_with("--") => {
+            return Err(format!("unknown command `{s}`\n{}", usage()))
+        }
+        _ => "sort",
+    };
+
+    let mut addr = default_addr();
+    let mut tenant: Option<String> = None;
+    let mut spec = SubmitSpec::default();
+    let mut iter = args.into_iter();
+    let value = |flag: &str, iter: &mut dyn Iterator<Item = String>| -> Result<String, String> {
+        iter.next().ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => addr = value("--addr", &mut iter)?,
+            "--tenant" => tenant = Some(value("--tenant", &mut iter)?),
+            "--priority" => spec.priority = parse_u64(&value("--priority", &mut iter)?)? as u32,
+            "--budget" => spec.memory_pages = parse_u64(&value("--budget", &mut iter)?)?,
+            "--min-pages" => spec.min_pages = parse_u64(&value("--min-pages", &mut iter)?)?,
+            "--max-pages" => spec.max_pages = parse_u64(&value("--max-pages", &mut iter)?)?,
+            "--page-size" => spec.page_size = parse_u64(&value("--page-size", &mut iter)?)?,
+            "--tuple-size" => spec.tuple_size = parse_u64(&value("--tuple-size", &mut iter)?)?,
+            "--cpu-threads" => {
+                spec.cpu_threads = parse_u64(&value("--cpu-threads", &mut iter)?)? as u32
+            }
+            "--spill" => spec.spill = true,
+            "--descending" => spec.descending = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return Ok(());
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+
+    match command {
+        "shutdown" => {
+            let summary = shutdown_server(&addr).map_err(|e| e.to_string())?;
+            eprintln!(
+                "server draining: {} completed, {} failed, {} cancelled, {} leaked pages",
+                summary.completed, summary.failed, summary.cancelled, summary.leaked_pages
+            );
+            Ok(())
+        }
+        "stats" => {
+            let s = server_stats(&addr).map_err(|e| e.to_string())?;
+            println!(
+                "pool_pages={} live={} queued={} submitted={} completed={} failed={} \
+                 rejected={} cancelled={} leaked_pages={} reallocations={}",
+                s.pool_pages,
+                s.live_jobs,
+                s.queued_jobs,
+                s.submitted,
+                s.completed,
+                s.failed,
+                s.rejected,
+                s.cancelled,
+                s.leaked_pages,
+                s.total_reallocations,
+            );
+            Ok(())
+        }
+        _ => sort(&addr, tenant.as_deref(), spec),
+    }
+}
+
+fn sort(addr: &str, tenant: Option<&str>, spec: SubmitSpec) -> Result<(), String> {
+    let mut client = SortClient::connect(addr, tenant).map_err(|e| e.to_string())?;
+    client.submit(spec).map_err(|e| e.to_string())?;
+
+    let stdin = io::stdin();
+    let mut chunk: Vec<Tuple> = Vec::with_capacity(INGEST_CHUNK);
+    for (lineno, line) in stdin.lock().lines().enumerate() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let (key, payload) = match trimmed.split_once(' ') {
+            Some((key, rest)) => (key, rest.as_bytes().to_vec()),
+            None => (trimmed, Vec::new()),
+        };
+        let key = key
+            .parse::<u64>()
+            .map_err(|_| format!("line {}: `{key}` is not a u64 key", lineno + 1))?;
+        chunk.push(Tuple::new(key, payload));
+        if chunk.len() >= INGEST_CHUNK {
+            client
+                .ingest(std::mem::take(&mut chunk))
+                .map_err(|e| e.to_string())?;
+            chunk.reserve(INGEST_CHUNK);
+        }
+    }
+    if !chunk.is_empty() {
+        client.ingest(chunk).map_err(|e| e.to_string())?;
+    }
+
+    let mut completed = client.finish().map_err(|e| e.to_string())?;
+    let stdout = io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    for tuple in &mut completed {
+        let tuple = tuple.map_err(|e| e.to_string())?;
+        match &tuple.payload {
+            Payload::Bytes(b) if !b.is_empty() => {
+                write!(out, "{} ", tuple.key).map_err(|e| e.to_string())?;
+                out.write_all(b).map_err(|e| e.to_string())?;
+                writeln!(out).map_err(|e| e.to_string())?;
+            }
+            _ => writeln!(out, "{}", tuple.key).map_err(|e| e.to_string())?,
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    if let Some(summary) = completed.summary() {
+        eprintln!(
+            "sorted {} tuples in {:.3}s (queued {:.3}s, {} runs, {} merge steps, \
+             {} reallocations, initial grant {} pages)",
+            summary.tuples,
+            summary.ran_for,
+            summary.queued_for,
+            summary.runs_formed,
+            summary.merge_steps,
+            summary.reallocations,
+            summary.initial_grant,
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("masort-cli: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

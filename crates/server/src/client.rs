@@ -1,0 +1,236 @@
+//! A thin synchronous client for the sort server.
+//!
+//! [`SortClient`] drives one sort per connection: connect (HELLO/WELCOME),
+//! [`submit`](SortClient::submit), feed tuples with
+//! [`ingest`](SortClient::ingest), then [`finish`](SortClient::finish) and
+//! iterate the sorted result. The free functions [`shutdown_server`] and
+//! [`server_stats`] speak the admin side of the protocol.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use masort_core::Tuple;
+
+use crate::codec::{read_frame, write_frame};
+use crate::protocol::{Frame, JobSummary, ServerSummary, SubmitSpec, WireError, PROTOCOL_VERSION};
+
+/// Everything that can go wrong on the client side of a sort.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server refused or aborted the sort with a typed error frame.
+    Remote(WireError),
+    /// The server broke the protocol (sent a frame the state machine does
+    /// not allow here, or closed mid-conversation).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error: {e}"),
+            ClientError::Protocol(d) => write!(f, "protocol error: {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Alias for client-side results.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+fn unexpected(frame: &Frame, wanted: &str) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, server sent {}", frame.name()))
+}
+
+fn closed(wanted: &str) -> ClientError {
+    ClientError::Protocol(format!("server closed the connection, expected {wanted}"))
+}
+
+/// One connection to a sort server; one sort per connection.
+pub struct SortClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    pool_pages: u64,
+    policy: String,
+}
+
+impl SortClient {
+    /// Connect and perform the HELLO/WELCOME handshake, optionally under a
+    /// tenant name.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: Option<&str>) -> ClientResult<SortClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = SortClient {
+            reader,
+            writer: BufWriter::new(stream),
+            pool_pages: 0,
+            policy: String::new(),
+        };
+        client.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+            tenant: tenant.map(str::to_string),
+        })?;
+        match client.recv("WELCOME")? {
+            Frame::Welcome {
+                pool_pages, policy, ..
+            } => {
+                client.pool_pages = pool_pages;
+                client.policy = policy;
+                Ok(client)
+            }
+            Frame::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected(&other, "WELCOME")),
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> ClientResult<()> {
+        write_frame(&mut self.writer, frame)?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn recv(&mut self, wanted: &str) -> ClientResult<Frame> {
+        match read_frame(&mut self.reader)? {
+            Some(frame) => Ok(frame),
+            None => Err(closed(wanted)),
+        }
+    }
+
+    /// Page-pool size the server advertised in WELCOME.
+    pub fn pool_pages(&self) -> u64 {
+        self.pool_pages
+    }
+
+    /// Arbitration-policy name the server advertised in WELCOME.
+    pub fn policy(&self) -> &str {
+        &self.policy
+    }
+
+    /// Submit the sort; returns the server-assigned job id.
+    pub fn submit(&mut self, spec: SubmitSpec) -> ClientResult<u64> {
+        self.send(&Frame::Submit(spec))?;
+        match self.recv("ACCEPTED")? {
+            Frame::Accepted { job } => Ok(job),
+            Frame::Error(e) => Err(ClientError::Remote(e)),
+            other => Err(unexpected(&other, "ACCEPTED")),
+        }
+    }
+
+    /// Send one chunk of input tuples. Blocks when the server's ingest
+    /// channel (and then the TCP window) fills — that is the sort's
+    /// backpressure reaching the producer.
+    pub fn ingest(&mut self, tuples: Vec<Tuple>) -> ClientResult<()> {
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        self.send(&Frame::Ingest(tuples))
+    }
+
+    /// Declare end of input and switch to draining the sorted result.
+    pub fn finish(mut self) -> ClientResult<Completed> {
+        self.send(&Frame::Fin)?;
+        Ok(Completed {
+            client: self,
+            chunk: Vec::new().into_iter(),
+            summary: None,
+        })
+    }
+
+    /// Abort the in-flight sort. The server answers with a `Cancelled`
+    /// error frame, which this call consumes.
+    pub fn cancel(mut self) -> ClientResult<WireError> {
+        self.send(&Frame::Cancel)?;
+        match self.recv("ERR")? {
+            Frame::Error(e) => Ok(e),
+            other => Err(unexpected(&other, "ERR")),
+        }
+    }
+}
+
+/// The draining half of a sort: iterate the sorted tuples, then read the
+/// [`summary`](Completed::summary).
+pub struct Completed {
+    client: SortClient,
+    chunk: std::vec::IntoIter<Tuple>,
+    summary: Option<JobSummary>,
+}
+
+impl Completed {
+    /// Per-job statistics from the terminal `STATS` frame. `None` until the
+    /// iterator has been fully drained.
+    pub fn summary(&self) -> Option<&JobSummary> {
+        self.summary.as_ref()
+    }
+
+    /// Drain every tuple into a vector and return it with the summary.
+    pub fn into_sorted_vec(mut self) -> ClientResult<(Vec<Tuple>, JobSummary)> {
+        let mut out = Vec::new();
+        for tuple in &mut self {
+            out.push(tuple?);
+        }
+        let summary = self
+            .summary
+            .take()
+            .expect("summary present after a fully drained stream");
+        Ok((out, summary))
+    }
+}
+
+impl Iterator for Completed {
+    type Item = ClientResult<Tuple>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(tuple) = self.chunk.next() {
+                return Some(Ok(tuple));
+            }
+            if self.summary.is_some() {
+                return None;
+            }
+            match self.client.recv("EGRESS or STATS") {
+                Ok(Frame::Egress(tuples)) => self.chunk = tuples.into_iter(),
+                Ok(Frame::Stats(summary)) => {
+                    self.summary = Some(summary);
+                    return None;
+                }
+                Ok(Frame::Error(e)) => return Some(Err(ClientError::Remote(e))),
+                Ok(other) => return Some(Err(unexpected(&other, "EGRESS or STATS"))),
+                Err(e) => return Some(Err(e)),
+            }
+        }
+    }
+}
+
+/// Ask a server to drain and exit; returns its final counters.
+pub fn shutdown_server(addr: impl ToSocketAddrs) -> ClientResult<ServerSummary> {
+    admin(addr, Frame::Shutdown)
+}
+
+/// Fetch a server's service-wide counters.
+pub fn server_stats(addr: impl ToSocketAddrs) -> ClientResult<ServerSummary> {
+    admin(addr, Frame::StatsReq)
+}
+
+fn admin(addr: impl ToSocketAddrs, frame: Frame) -> ClientResult<ServerSummary> {
+    let stream = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, &frame)?;
+    writer.flush()?;
+    match read_frame(&mut reader)? {
+        Some(Frame::ServerStats(summary)) => Ok(summary),
+        Some(Frame::Error(e)) => Err(ClientError::Remote(e)),
+        Some(other) => Err(unexpected(&other, "SERVER_STATS")),
+        None => Err(closed("SERVER_STATS")),
+    }
+}

@@ -1,0 +1,591 @@
+//! Byte-level frame encoding and decoding.
+//!
+//! A frame on the wire is `u32 LE length ++ body`, where `body[0]` is the
+//! opcode and the rest is the opcode-specific payload. All integers are
+//! little-endian; strings and byte blobs are length-prefixed (`u32 LE` count
+//! followed by the raw bytes). Tuples encode as
+//! `u64 key ++ u8 payload-tag ++ payload`, where tag `0` is a synthetic
+//! payload (`u32` nominal size) and tag `1` is a literal byte blob — so a
+//! round trip preserves not just keys but the exact payload representation.
+//!
+//! Decoding is defensive: every read is bounds-checked against the body, the
+//! length prefix is capped at [`MAX_FRAME_BYTES`], unknown opcodes and
+//! error codes are rejected, and trailing garbage after a well-formed payload
+//! is an error. Malformed input can only ever produce
+//! [`io::ErrorKind::InvalidData`] / [`io::ErrorKind::UnexpectedEof`] — never
+//! a panic or an oversized allocation.
+
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use masort_core::{Payload, Tuple};
+
+use crate::protocol::{
+    ErrorCode, Frame, JobSummary, ServerSummary, SubmitSpec, WireError, MAX_FRAME_BYTES,
+};
+
+const TAG_SYNTHETIC: u8 = 0;
+const TAG_BYTES: u8 = 1;
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_bytes(buf, s.as_bytes());
+}
+
+fn put_tuples(buf: &mut Vec<u8>, tuples: &[Tuple]) {
+    put_u32(buf, tuples.len() as u32);
+    for t in tuples {
+        put_u64(buf, t.key);
+        match &t.payload {
+            Payload::Synthetic(size) => {
+                buf.push(TAG_SYNTHETIC);
+                put_u32(buf, *size);
+            }
+            Payload::Bytes(bytes) => {
+                buf.push(TAG_BYTES);
+                put_bytes(buf, bytes);
+            }
+        }
+    }
+}
+
+/// Encode a frame into its body bytes (opcode byte included, length prefix
+/// excluded). [`write_frame`] adds the prefix; this form exists so tests can
+/// corrupt bodies directly.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.push(frame.opcode());
+    match frame {
+        Frame::Hello { version, tenant } => {
+            put_u32(&mut buf, *version);
+            match tenant {
+                Some(name) => {
+                    buf.push(1);
+                    put_str(&mut buf, name);
+                }
+                None => buf.push(0),
+            }
+        }
+        Frame::Welcome {
+            version,
+            pool_pages,
+            policy,
+        } => {
+            put_u32(&mut buf, *version);
+            put_u64(&mut buf, *pool_pages);
+            put_str(&mut buf, policy);
+        }
+        Frame::Submit(spec) => {
+            put_u32(&mut buf, spec.priority);
+            put_u64(&mut buf, spec.min_pages);
+            put_u64(&mut buf, spec.max_pages);
+            put_u64(&mut buf, spec.memory_pages);
+            put_u64(&mut buf, spec.page_size);
+            put_u64(&mut buf, spec.tuple_size);
+            put_u32(&mut buf, spec.cpu_threads);
+            put_u64(&mut buf, spec.expected_tuples);
+            buf.push(spec.spill as u8);
+            buf.push(spec.descending as u8);
+        }
+        Frame::Accepted { job } => put_u64(&mut buf, *job),
+        Frame::Ingest(tuples) | Frame::Egress(tuples) => put_tuples(&mut buf, tuples),
+        Frame::Fin | Frame::Cancel | Frame::Shutdown | Frame::StatsReq => {}
+        Frame::Stats(s) => {
+            put_u64(&mut buf, s.job);
+            put_u64(&mut buf, s.tuples);
+            put_f64(&mut buf, s.queued_for);
+            put_f64(&mut buf, s.ran_for);
+            put_u64(&mut buf, s.initial_grant);
+            put_u64(&mut buf, s.reallocations);
+            put_u64(&mut buf, s.delay_samples);
+            put_f64(&mut buf, s.total_delay);
+            put_u64(&mut buf, s.runs_formed);
+            put_u64(&mut buf, s.merge_steps);
+        }
+        Frame::Error(e) => {
+            buf.push(e.code as u8);
+            put_u64(&mut buf, e.needed);
+            put_u64(&mut buf, e.granted);
+            put_str(&mut buf, &e.message);
+        }
+        Frame::ServerStats(s) => {
+            put_u64(&mut buf, s.pool_pages);
+            put_u64(&mut buf, s.live_jobs);
+            put_u64(&mut buf, s.queued_jobs);
+            put_u64(&mut buf, s.submitted);
+            put_u64(&mut buf, s.completed);
+            put_u64(&mut buf, s.failed);
+            put_u64(&mut buf, s.rejected);
+            put_u64(&mut buf, s.cancelled);
+            put_u64(&mut buf, s.leaked_pages);
+            put_u64(&mut buf, s.total_reallocations);
+        }
+    }
+    buf
+}
+
+/// Write one length-prefixed frame. Flushes are the caller's business —
+/// batch several frames, then flush once.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    let body = encode_frame(frame);
+    if body.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "{} frame body is {} bytes, over the {} byte frame cap",
+                frame.name(),
+                body.len(),
+                MAX_FRAME_BYTES
+            ),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked reader over a frame body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn bad(what: &str) -> io::Error {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed frame: truncated {what}"),
+        )
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> io::Result<&'a [u8]> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.buf.len());
+        match end {
+            Some(end) => {
+                let slice = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(Self::bad(what)),
+        }
+    }
+
+    fn u8(&mut self, what: &str) -> io::Result<u8> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn bytes(&mut self, what: &str) -> io::Result<Vec<u8>> {
+        let len = self.u32(what)? as usize;
+        // A blob cannot be longer than the bytes that remain: reject before
+        // allocating, so a corrupt count cannot request gigabytes.
+        if len > self.buf.len() - self.pos {
+            return Err(Self::bad(what));
+        }
+        Ok(self.take(len, what)?.to_vec())
+    }
+
+    fn string(&mut self, what: &str) -> io::Result<String> {
+        String::from_utf8(self.bytes(what)?).map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed frame: {what} is not UTF-8"),
+            )
+        })
+    }
+
+    fn bool(&mut self, what: &str) -> io::Result<bool> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed frame: {what} flag byte is {v}, expected 0 or 1"),
+            )),
+        }
+    }
+
+    fn tuples(&mut self) -> io::Result<Vec<Tuple>> {
+        let count = self.u32("tuple count")? as usize;
+        // Each tuple takes at least key (8) + tag (1) + payload body (4).
+        if count > (self.buf.len() - self.pos) / 13 {
+            return Err(Self::bad("tuple list"));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = self.u64("tuple key")?;
+            let payload = match self.u8("payload tag")? {
+                TAG_SYNTHETIC => Payload::Synthetic(self.u32("synthetic payload size")?),
+                TAG_BYTES => Payload::Bytes(self.bytes("payload bytes")?),
+                tag => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed frame: unknown payload tag {tag}"),
+                    ))
+                }
+            };
+            out.push(Tuple { key, payload });
+        }
+        Ok(out)
+    }
+
+    fn finish(self, frame: &'static str) -> io::Result<()> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "malformed frame: {} trailing bytes after {frame} payload",
+                    self.buf.len() - self.pos
+                ),
+            ))
+        }
+    }
+}
+
+/// Decode one frame body (as produced by [`encode_frame`]). Rejects unknown
+/// opcodes, truncated payloads and trailing garbage with
+/// [`io::ErrorKind::InvalidData`].
+pub fn decode_frame(body: &[u8]) -> io::Result<Frame> {
+    let mut c = Cursor::new(body);
+    let opcode = c.u8("opcode")?;
+    let frame = match opcode {
+        0x01 => {
+            let version = c.u32("HELLO version")?;
+            let tenant = if c.bool("HELLO tenant flag")? {
+                Some(c.string("HELLO tenant")?)
+            } else {
+                None
+            };
+            Frame::Hello { version, tenant }
+        }
+        0x02 => Frame::Welcome {
+            version: c.u32("WELCOME version")?,
+            pool_pages: c.u64("WELCOME pool")?,
+            policy: c.string("WELCOME policy")?,
+        },
+        0x03 => Frame::Submit(SubmitSpec {
+            priority: c.u32("SUBMIT priority")?,
+            min_pages: c.u64("SUBMIT min_pages")?,
+            max_pages: c.u64("SUBMIT max_pages")?,
+            memory_pages: c.u64("SUBMIT memory_pages")?,
+            page_size: c.u64("SUBMIT page_size")?,
+            tuple_size: c.u64("SUBMIT tuple_size")?,
+            cpu_threads: c.u32("SUBMIT cpu_threads")?,
+            expected_tuples: c.u64("SUBMIT expected_tuples")?,
+            spill: c.bool("SUBMIT spill")?,
+            descending: c.bool("SUBMIT descending")?,
+        }),
+        0x04 => Frame::Accepted {
+            job: c.u64("ACCEPTED job")?,
+        },
+        0x05 => Frame::Ingest(c.tuples()?),
+        0x06 => Frame::Fin,
+        0x07 => Frame::Egress(c.tuples()?),
+        0x08 => Frame::Stats(JobSummary {
+            job: c.u64("STATS job")?,
+            tuples: c.u64("STATS tuples")?,
+            queued_for: c.f64("STATS queued_for")?,
+            ran_for: c.f64("STATS ran_for")?,
+            initial_grant: c.u64("STATS initial_grant")?,
+            reallocations: c.u64("STATS reallocations")?,
+            delay_samples: c.u64("STATS delay_samples")?,
+            total_delay: c.f64("STATS total_delay")?,
+            runs_formed: c.u64("STATS runs_formed")?,
+            merge_steps: c.u64("STATS merge_steps")?,
+        }),
+        0x09 => {
+            let raw = c.u8("ERR code")?;
+            let code = ErrorCode::from_u8(raw).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed frame: unknown error code {raw}"),
+                )
+            })?;
+            Frame::Error(WireError {
+                code,
+                needed: c.u64("ERR needed")?,
+                granted: c.u64("ERR granted")?,
+                message: c.string("ERR message")?,
+            })
+        }
+        0x0A => Frame::Cancel,
+        0x0B => Frame::Shutdown,
+        0x0C => Frame::StatsReq,
+        0x0D => Frame::ServerStats(ServerSummary {
+            pool_pages: c.u64("SERVER_STATS pool")?,
+            live_jobs: c.u64("SERVER_STATS live")?,
+            queued_jobs: c.u64("SERVER_STATS queued")?,
+            submitted: c.u64("SERVER_STATS submitted")?,
+            completed: c.u64("SERVER_STATS completed")?,
+            failed: c.u64("SERVER_STATS failed")?,
+            rejected: c.u64("SERVER_STATS rejected")?,
+            cancelled: c.u64("SERVER_STATS cancelled")?,
+            leaked_pages: c.u64("SERVER_STATS leaked")?,
+            total_reallocations: c.u64("SERVER_STATS reallocations")?,
+        }),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed frame: unknown opcode 0x{other:02X}"),
+            ))
+        }
+    };
+    let name = frame.name();
+    c.finish(name)?;
+    Ok(frame)
+}
+
+/// Read one length-prefixed frame, blocking until it arrives.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (the peer closed between
+/// frames); a close *inside* a frame is [`io::ErrorKind::UnexpectedEof`].
+/// A length prefix over [`MAX_FRAME_BYTES`] is rejected before any body
+/// allocation.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Option<Frame>> {
+    read_frame_abortable(r, &AtomicBool::new(false))
+}
+
+/// [`read_frame`], but bails out between frames when `abort` becomes true.
+///
+/// The reader is expected to carry a read timeout: each blocking read then
+/// wakes up with [`WouldBlock`](io::ErrorKind::WouldBlock) /
+/// [`TimedOut`](io::ErrorKind::TimedOut) every so often, and this function
+/// re-checks the flag. The check only fires while **zero** bytes of the next
+/// frame have arrived — once a frame is partially read we keep going, because
+/// abandoning mid-frame would desynchronise the stream. An abort surfaces as
+/// `Ok(None)`, same as a clean close.
+pub fn read_frame_abortable<R: Read>(r: &mut R, abort: &AtomicBool) -> io::Result<Option<Frame>> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0usize;
+    while got < prefix.len() {
+        if got == 0 && abort.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match r.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame length prefix",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // Read timeout tick: loop back around, re-checking the abort
+                // flag only while nothing of this frame has arrived yet.
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_le_bytes(prefix) as usize;
+    if len == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed frame: zero-length body",
+        ));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed frame: {len} byte body exceeds the {MAX_FRAME_BYTES} byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    let mut got = 0usize;
+    while got < len {
+        match r.read(&mut body[got..]) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed inside a frame body",
+                ))
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    decode_frame(&body).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let body = encode_frame(&frame);
+        assert_eq!(decode_frame(&body).unwrap(), frame, "body round trip");
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let mut r = io::Cursor::new(wire);
+        assert_eq!(
+            read_frame(&mut r).unwrap(),
+            Some(frame),
+            "framed round trip"
+        );
+    }
+
+    #[test]
+    fn every_frame_shape_survives_a_round_trip() {
+        round_trip(Frame::Hello {
+            version: 1,
+            tenant: None,
+        });
+        round_trip(Frame::Hello {
+            version: 7,
+            tenant: Some("acme".into()),
+        });
+        round_trip(Frame::Welcome {
+            version: 1,
+            pool_pages: 64,
+            policy: "priority-weighted".into(),
+        });
+        round_trip(Frame::Submit(SubmitSpec {
+            priority: 3,
+            min_pages: 2,
+            max_pages: 24,
+            memory_pages: 16,
+            page_size: 4096,
+            tuple_size: 64,
+            cpu_threads: 2,
+            expected_tuples: 100_000,
+            spill: true,
+            descending: true,
+        }));
+        round_trip(Frame::Accepted { job: 42 });
+        round_trip(Frame::Ingest(vec![
+            Tuple::synthetic(9, 64),
+            Tuple::new(3, vec![1, 2, 3]),
+            Tuple::new(u64::MAX, Vec::new()),
+        ]));
+        round_trip(Frame::Fin);
+        round_trip(Frame::Egress(vec![Tuple::synthetic(0, 0)]));
+        round_trip(Frame::Stats(JobSummary {
+            job: 1,
+            tuples: 12345,
+            queued_for: 0.25,
+            ran_for: 1.5,
+            initial_grant: 8,
+            reallocations: 3,
+            delay_samples: 2,
+            total_delay: 0.125,
+            runs_formed: 4,
+            merge_steps: 1,
+        }));
+        round_trip(Frame::Error(WireError {
+            code: ErrorCode::BudgetStarved,
+            needed: 32,
+            granted: 8,
+            message: "pool too small".into(),
+        }));
+        round_trip(Frame::Cancel);
+        round_trip(Frame::Shutdown);
+        round_trip(Frame::StatsReq);
+        round_trip(Frame::ServerStats(ServerSummary {
+            pool_pages: 64,
+            live_jobs: 2,
+            queued_jobs: 1,
+            submitted: 10,
+            completed: 7,
+            failed: 1,
+            rejected: 1,
+            cancelled: 1,
+            leaked_pages: 0,
+            total_reallocations: 9,
+        }));
+    }
+
+    #[test]
+    fn empty_and_oversized_bodies_are_rejected() {
+        assert_eq!(
+            decode_frame(&[]).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&((MAX_FRAME_BYTES as u32) + 1).to_le_bytes());
+        wire.push(0x06);
+        let err = read_frame(&mut io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn a_blob_count_larger_than_the_body_does_not_allocate() {
+        // INGEST claiming u32::MAX tuples with a 5-byte body.
+        let body = [0x05, 0xFF, 0xFF, 0xFF, 0xFF];
+        let err = decode_frame(&body).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut body = encode_frame(&Frame::Fin);
+        body.push(0xAB);
+        let err = decode_frame(&body).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("trailing"), "{err}");
+    }
+
+    #[test]
+    fn eof_inside_a_frame_is_unexpected_eof() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Frame::Accepted { job: 5 }).unwrap();
+        wire.truncate(wire.len() - 3);
+        let err = read_frame(&mut io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn eof_between_frames_is_a_clean_none() {
+        let mut empty = io::Cursor::new(Vec::<u8>::new());
+        assert_eq!(read_frame(&mut empty).unwrap(), None);
+    }
+}

@@ -1,0 +1,326 @@
+//! The server: a TCP accept loop in front of one [`SortService`].
+//!
+//! Every accepted connection becomes a session on its own
+//! thread; the sort itself still runs on the service's bounded worker pool,
+//! so hundreds of connections contend for the same page pool and the same
+//! workers — exactly the multi-query pressure the paper's broker arbitrates.
+//!
+//! Shutdown is cooperative: a flag flips (via [`ServerHandle::shutdown`] or
+//! a `SHUTDOWN` frame), the accept loop stops taking connections, parked
+//! sessions notice at their next read tick, in-flight sorts drain, and the
+//! underlying service is torn down only after every session thread has been
+//! joined.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use masort_broker::{EqualShare, MinGuarantee, PriorityWeighted, ServiceStats, SortService};
+use masort_core::SortConfig;
+
+use crate::protocol::ServerSummary;
+use crate::session::run_session;
+use crate::tenant::{TenantQuota, TenantRegistry};
+
+/// How often the accept loop wakes to re-check the shutdown flag.
+const ACCEPT_TICK: Duration = Duration::from_millis(50);
+
+/// Which shipped arbitration policy the service should run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PolicyChoice {
+    /// Every live sort gets the same share ([`EqualShare`]).
+    EqualShare,
+    /// Shares proportional to priority ([`PriorityWeighted`]).
+    #[default]
+    PriorityWeighted,
+    /// Minimums first, leftovers by priority ([`MinGuarantee`]).
+    MinGuarantee,
+}
+
+impl FromStr for PolicyChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "equal" | "equal-share" => Ok(PolicyChoice::EqualShare),
+            "priority" | "priority-weighted" => Ok(PolicyChoice::PriorityWeighted),
+            "min-guarantee" => Ok(PolicyChoice::MinGuarantee),
+            other => Err(format!(
+                "unknown policy `{other}` (expected equal, priority or min-guarantee)"
+            )),
+        }
+    }
+}
+
+/// Everything a session needs from the server, shared across session threads.
+pub(crate) struct ServerShared {
+    /// The brokered sort service all sessions submit into.
+    pub(crate) service: SortService,
+    /// Tenant quotas and live-job accounting.
+    pub(crate) tenants: TenantRegistry,
+    /// Cooperative shutdown flag, also held by [`ServerHandle`].
+    pub(crate) shutdown: Arc<AtomicBool>,
+    /// Defaults a `SUBMIT` frame's zero fields fall back to.
+    pub(crate) base_cfg: SortConfig,
+    /// Bound of each sort's ingest channel, in pages.
+    pub(crate) ingest_depth: usize,
+    /// Tuples per `EGRESS` frame.
+    pub(crate) egress_chunk: usize,
+}
+
+impl ServerShared {
+    /// Snapshot of the service-wide counters in wire form.
+    pub(crate) fn summary(&self) -> ServerSummary {
+        let stats = self.service.stats();
+        ServerSummary {
+            pool_pages: self.service.pool_pages() as u64,
+            live_jobs: self.service.live_jobs() as u64,
+            queued_jobs: self.service.queued_jobs() as u64,
+            submitted: stats.submitted,
+            completed: stats.completed,
+            failed: stats.failed,
+            rejected: stats.rejected,
+            cancelled: stats.cancelled,
+            leaked_pages: stats.leaked_pages,
+            total_reallocations: stats.total_reallocations,
+        }
+    }
+}
+
+/// Configures and binds a [`Server`]. Obtain one with [`Server::builder`].
+#[derive(Clone)]
+pub struct ServerBuilder {
+    pool_pages: usize,
+    workers: usize,
+    policy: PolicyChoice,
+    io_threads: usize,
+    io_pipeline: usize,
+    cpu_threads: usize,
+    base_cfg: SortConfig,
+    ingest_depth: usize,
+    egress_chunk: usize,
+    tenants: HashMap<String, TenantQuota>,
+}
+
+impl Default for ServerBuilder {
+    fn default() -> Self {
+        ServerBuilder {
+            pool_pages: 64,
+            workers: 4,
+            policy: PolicyChoice::default(),
+            io_threads: 0,
+            io_pipeline: 0,
+            cpu_threads: 0,
+            base_cfg: SortConfig::default()
+                .with_page_size(4096)
+                .with_tuple_size(64)
+                .with_memory_pages(16),
+            ingest_depth: 8,
+            egress_chunk: 4096,
+            tenants: HashMap::new(),
+        }
+    }
+}
+
+impl ServerBuilder {
+    /// Size of the global page pool the broker divides.
+    pub fn pool_pages(mut self, pages: usize) -> Self {
+        self.pool_pages = pages;
+        self
+    }
+
+    /// Sort worker threads (concurrent sorts actually executing).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Arbitration policy dividing the pool.
+    pub fn policy(mut self, policy: PolicyChoice) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// I/O helper threads for the service's read-ahead/write-behind pipeline
+    /// (0 = synchronous I/O).
+    pub fn io_threads(mut self, n: usize) -> Self {
+        self.io_threads = n;
+        self
+    }
+
+    /// Pipeline depth (in blocks) when I/O threads are enabled.
+    pub fn io_pipeline(mut self, depth: usize) -> Self {
+        self.io_pipeline = depth;
+        self
+    }
+
+    /// Extra compute threads the service may lend to splits (0 = none).
+    pub fn cpu_threads(mut self, n: usize) -> Self {
+        self.cpu_threads = n;
+        self
+    }
+
+    /// Default sort geometry for `SUBMIT` frames that leave fields at zero.
+    pub fn base_config(mut self, cfg: SortConfig) -> Self {
+        self.base_cfg = cfg;
+        self
+    }
+
+    /// Bound of each sort's ingest channel, in pages. Smaller = tighter
+    /// backpressure; larger = more slack for bursty clients.
+    pub fn ingest_depth(mut self, pages: usize) -> Self {
+        self.ingest_depth = pages.max(1);
+        self
+    }
+
+    /// Tuples per `EGRESS` frame.
+    pub fn egress_chunk(mut self, tuples: usize) -> Self {
+        self.egress_chunk = tuples.max(1);
+        self
+    }
+
+    /// Attach a quota to a tenant name.
+    pub fn tenant(mut self, name: impl Into<String>, quota: TenantQuota) -> Self {
+        self.tenants.insert(name.into(), quota);
+        self
+    }
+
+    /// Bind the listener and construct the server. `addr` is any standard
+    /// socket address; use port 0 to let the OS pick (see
+    /// [`Server::local_addr`]).
+    pub fn bind(self, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let mut svc = SortService::builder()
+            .pool_pages(self.pool_pages)
+            .workers(self.workers)
+            .io_threads(self.io_threads)
+            .io_pipeline(self.io_pipeline)
+            .cpu_threads(self.cpu_threads);
+        svc = match self.policy {
+            PolicyChoice::EqualShare => svc.policy(EqualShare),
+            PolicyChoice::PriorityWeighted => svc.policy(PriorityWeighted),
+            PolicyChoice::MinGuarantee => svc.policy(MinGuarantee),
+        };
+        Ok(Server {
+            shared: Arc::new(ServerShared {
+                service: svc.build(),
+                tenants: TenantRegistry::new(self.tenants),
+                shutdown: Arc::new(AtomicBool::new(false)),
+                base_cfg: self.base_cfg,
+                ingest_depth: self.ingest_depth,
+                egress_chunk: self.egress_chunk,
+            }),
+            listener,
+            addr,
+        })
+    }
+}
+
+/// A bound, not-yet-running sort server. Drive it with [`run`](Self::run)
+/// (blocking) or [`spawn`](Self::spawn) (background thread + handle).
+pub struct Server {
+    shared: Arc<ServerShared>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl Server {
+    /// Start configuring a server.
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve connections on the calling thread until shutdown is requested
+    /// (a `SHUTDOWN` frame, or the flag from a [`ServerHandle`]). Drains
+    /// in-flight sorts, joins every session, tears down the service and
+    /// returns its final statistics.
+    pub fn run(self) -> ServiceStats {
+        let Server {
+            shared,
+            listener,
+            addr: _,
+        } = self;
+        let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+        while !shared.shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = Arc::clone(&shared);
+                    sessions.push(thread::spawn(move || run_session(&shared, stream)));
+                    // Reap finished sessions so a long-lived server does not
+                    // accumulate dead join handles.
+                    if sessions.len().is_multiple_of(32) {
+                        let (done, live): (Vec<_>, Vec<_>) =
+                            sessions.drain(..).partition(|h| h.is_finished());
+                        for h in done {
+                            let _ = h.join();
+                        }
+                        sessions = live;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(ACCEPT_TICK);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => thread::sleep(ACCEPT_TICK),
+            }
+        }
+        drop(listener);
+        for h in sessions {
+            let _ = h.join();
+        }
+        // Every session thread has been joined, so this Arc is the last one.
+        let shared = Arc::try_unwrap(shared).unwrap_or_else(|_| {
+            unreachable!("session threads joined but ServerShared still shared")
+        });
+        shared.service.shutdown()
+    }
+
+    /// Run the accept loop on a background thread and return a handle that
+    /// can stop it and collect the final statistics.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let stop = Arc::clone(&self.shared.shutdown);
+        let thread = thread::spawn(move || self.run());
+        ServerHandle { addr, stop, thread }
+    }
+}
+
+/// Handle on a [spawned](Server::spawn) server.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: JoinHandle<ServiceStats>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the server to stop accepting and drain.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Shut down (idempotent) and wait for the server to finish, returning
+    /// the service's final statistics.
+    pub fn join(self) -> ServiceStats {
+        self.shutdown();
+        self.thread
+            .join()
+            .expect("server accept thread should not panic")
+    }
+}

@@ -1,0 +1,402 @@
+//! One accepted connection: the server side of the protocol state machine.
+//!
+//! A session owns exactly one sort. It reads `HELLO`/`SUBMIT`, turns the
+//! submission into a [`SortRequest`] whose input is a bounded
+//! [`ChannelSource`] — so a slow sort backpressures `INGEST` frames straight
+//! through TCP — and then pumps tuples in, waits on the ticket and streams
+//! the sorted result back out. Every abnormal exit (a `CANCEL` frame, a
+//! protocol violation, a vanished client) funnels through the same cleanup:
+//! cancel the ticket, drop the ingest channel, drain the ticket so the job's
+//! pages are provably back in the pool before the session ends.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use masort_broker::SortRequest;
+use masort_core::{ChannelSource, Page, SortError, SortOrder, Tuple};
+
+use crate::codec::{read_frame, read_frame_abortable, write_frame};
+use crate::protocol::{
+    ErrorCode, Frame, JobSummary, SubmitSpec, WireError, MAX_FRAME_BYTES, PROTOCOL_VERSION,
+};
+use crate::server::ServerShared;
+
+/// How often a blocked socket read wakes up to re-check the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Map a sort error onto its wire representation.
+pub(crate) fn wire_error(e: &SortError) -> WireError {
+    match e {
+        SortError::BudgetStarved { needed, granted } => WireError {
+            code: ErrorCode::BudgetStarved,
+            needed: *needed as u64,
+            granted: *granted as u64,
+            message: e.to_string(),
+        },
+        SortError::InvalidConfig(_) => WireError::new(ErrorCode::InvalidConfig, e.to_string()),
+        SortError::Cancelled => WireError::new(ErrorCode::Cancelled, e.to_string()),
+        SortError::CorruptRun { .. } => WireError::new(ErrorCode::CorruptRun, e.to_string()),
+        SortError::UnknownRun(_) => WireError::new(ErrorCode::UnknownRun, e.to_string()),
+        SortError::Io(_) => WireError::new(ErrorCode::Io, e.to_string()),
+    }
+}
+
+/// Serve one accepted connection to completion. Socket errors are swallowed
+/// — the peer is gone and there is nobody left to tell — but job cleanup
+/// always runs.
+pub(crate) fn run_session(shared: &Arc<ServerShared>, stream: TcpStream) {
+    // The read timeout turns blocking reads into a poll loop so a parked
+    // session notices server shutdown; the codec retries the timeouts
+    // internally and only surfaces them at frame boundaries.
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut writer = BufWriter::new(write_half);
+    let _ = serve(shared, &mut reader, &mut writer);
+    let _ = writer.flush();
+}
+
+/// Send a frame and flush it out immediately.
+fn send<W: Write>(w: &mut W, frame: &Frame) -> io::Result<()> {
+    write_frame(w, frame)?;
+    w.flush()
+}
+
+fn send_error<W: Write>(w: &mut W, err: WireError) -> io::Result<()> {
+    send(w, &Frame::Error(err))
+}
+
+fn protocol_error<W: Write>(w: &mut W, detail: String) -> io::Result<()> {
+    send_error(w, WireError::new(ErrorCode::Protocol, detail))
+}
+
+fn serve<W: Write>(
+    shared: &Arc<ServerShared>,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut W,
+) -> io::Result<()> {
+    // The opening frame routes the whole connection: HELLO starts a sort,
+    // SHUTDOWN / STATS_REQ are admin commands.
+    let tenant = match read_frame_abortable(reader, &shared.shutdown)? {
+        None => return Ok(()),
+        Some(Frame::Shutdown) => {
+            send(writer, &Frame::ServerStats(shared.summary()))?;
+            shared.shutdown.store(true, Ordering::Release);
+            return Ok(());
+        }
+        Some(Frame::StatsReq) => {
+            send(writer, &Frame::ServerStats(shared.summary()))?;
+            // Allow a monitoring connection to keep polling.
+            while let Some(frame) = read_frame_abortable(reader, &shared.shutdown)? {
+                match frame {
+                    Frame::StatsReq => send(writer, &Frame::ServerStats(shared.summary()))?,
+                    Frame::Shutdown => {
+                        send(writer, &Frame::ServerStats(shared.summary()))?;
+                        shared.shutdown.store(true, Ordering::Release);
+                        return Ok(());
+                    }
+                    other => {
+                        return protocol_error(
+                            writer,
+                            format!("unexpected {} on a stats connection", other.name()),
+                        )
+                    }
+                }
+            }
+            return Ok(());
+        }
+        Some(Frame::Hello { version, tenant }) => {
+            if version != PROTOCOL_VERSION {
+                return send_error(
+                    writer,
+                    WireError::new(
+                        ErrorCode::Protocol,
+                        format!(
+                            "client speaks protocol version {version}, server speaks {PROTOCOL_VERSION}"
+                        ),
+                    ),
+                );
+            }
+            tenant
+        }
+        Some(other) => {
+            return protocol_error(writer, format!("expected HELLO, got {}", other.name()))
+        }
+    };
+
+    if shared.shutdown.load(Ordering::Acquire) {
+        return send_error(
+            writer,
+            WireError::new(ErrorCode::ShuttingDown, "server is draining"),
+        );
+    }
+    send(
+        writer,
+        &Frame::Welcome {
+            version: PROTOCOL_VERSION,
+            pool_pages: shared.service.pool_pages() as u64,
+            policy: shared.service.policy_name().to_string(),
+        },
+    )?;
+
+    let spec = match read_frame(reader)? {
+        None => return Ok(()),
+        Some(Frame::Submit(spec)) => spec,
+        Some(other) => {
+            return protocol_error(writer, format!("expected SUBMIT, got {}", other.name()))
+        }
+    };
+    run_sort(shared, reader, writer, tenant, spec)
+}
+
+/// Admit the submission, pump ingest, drain egress. One sort, end to end.
+fn run_sort<W: Write>(
+    shared: &Arc<ServerShared>,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut W,
+    tenant: Option<String>,
+    spec: SubmitSpec,
+) -> io::Result<()> {
+    // Quotas first: a live-job slot (held by RAII guard for the rest of the
+    // session) and a per-sort page cap.
+    let quota = tenant.as_deref().and_then(|t| shared.tenants.quota(t));
+    let _live_guard = match tenant.as_deref() {
+        Some(name) => match shared.tenants.claim(name) {
+            Ok(guard) => Some(guard),
+            Err((live, max)) => {
+                return send_error(
+                    writer,
+                    WireError {
+                        code: ErrorCode::QuotaExceeded,
+                        needed: live as u64 + 1,
+                        granted: max as u64,
+                        message: format!(
+                            "tenant `{name}` already has {live} of {max} sorts in flight"
+                        ),
+                    },
+                )
+            }
+        },
+        None => None,
+    };
+
+    let mut cfg = shared.base_cfg.clone();
+    if spec.page_size != 0 {
+        cfg = cfg.with_page_size(spec.page_size as usize);
+    }
+    if spec.tuple_size != 0 {
+        cfg = cfg.with_tuple_size(spec.tuple_size as usize);
+    }
+    if spec.memory_pages != 0 {
+        cfg = cfg.with_memory_pages(spec.memory_pages as usize);
+    }
+    if spec.descending {
+        cfg = cfg.with_order(SortOrder::descending());
+    }
+    let page_cap = quota.map(|q| q.max_pages).unwrap_or(0);
+    if page_cap != 0 {
+        if spec.min_pages as usize > page_cap {
+            return send_error(
+                writer,
+                WireError {
+                    code: ErrorCode::QuotaExceeded,
+                    needed: spec.min_pages,
+                    granted: page_cap as u64,
+                    message: format!(
+                        "minimum share of {} pages exceeds the tenant's {page_cap} page cap",
+                        spec.min_pages
+                    ),
+                },
+            );
+        }
+        let capped = cfg.memory_pages.min(page_cap);
+        cfg = cfg.with_memory_pages(capped);
+    }
+    let tuples_per_page = cfg.tuples_per_page();
+
+    let (sink, source) = ChannelSource::bounded(shared.ingest_depth);
+    let source = if spec.expected_tuples != 0 {
+        source.expecting_tuples(spec.expected_tuples as usize)
+    } else {
+        source
+    };
+    let mut request = SortRequest::from_source(cfg, source);
+    let priority = match quota.map(|q| q.priority) {
+        Some(p) if p != 0 => p,
+        _ => spec.priority.max(1),
+    };
+    request = request.priority(priority);
+    if spec.min_pages != 0 {
+        request = request.min_pages(spec.min_pages as usize);
+    }
+    let max_pages = match (spec.max_pages as usize, page_cap) {
+        (0, 0) => 0,
+        (0, cap) => cap,
+        (want, 0) => want,
+        (want, cap) => want.min(cap),
+    };
+    if max_pages != 0 {
+        request = request.max_pages(max_pages);
+    }
+    if spec.cpu_threads != 0 {
+        request = request.cpu_threads(spec.cpu_threads as usize);
+    }
+    if spec.spill {
+        request = request.spill_to_temp_dir();
+    }
+    if let Some(name) = &tenant {
+        request = request.tenant(name.clone());
+    }
+
+    if shared.shutdown.load(Ordering::Acquire) {
+        return send_error(
+            writer,
+            WireError::new(ErrorCode::ShuttingDown, "server is draining"),
+        );
+    }
+    let ticket = match shared.service.submit(request) {
+        Ok(ticket) => ticket,
+        Err(e) => return send_error(writer, wire_error(&e)),
+    };
+    send(
+        writer,
+        &Frame::Accepted {
+            job: ticket.job_id(),
+        },
+    )?;
+
+    // -- Ingest ------------------------------------------------------------
+    // Tuples are re-paged to the job's own page geometry; a full channel
+    // blocks `sink.send`, which stops us reading frames, which fills the TCP
+    // window — backpressure all the way to the client.
+    let mut sink = Some(sink);
+    let mut pending: Vec<Tuple> = Vec::new();
+    let finished = loop {
+        match read_frame_abortable(reader, &shared.shutdown) {
+            Ok(Some(Frame::Ingest(tuples))) => {
+                pending.extend(tuples);
+                let tx = sink.as_ref().expect("sink alive during ingest");
+                let mut closed = false;
+                while pending.len() >= tuples_per_page {
+                    let rest = pending.split_off(tuples_per_page);
+                    let page = Page::from_tuples(std::mem::replace(&mut pending, rest));
+                    if tx.send(page).is_err() {
+                        // The sort is already over (failed or reallocated
+                        // away); stop feeding it and report its fate below.
+                        closed = true;
+                        break;
+                    }
+                }
+                if closed {
+                    sink = None;
+                    break true;
+                }
+            }
+            Ok(Some(Frame::Fin)) => {
+                let tx = sink.take().expect("sink alive during ingest");
+                if !pending.is_empty() {
+                    let _ = tx.send(Page::from_tuples(std::mem::take(&mut pending)));
+                }
+                tx.finish();
+                break true;
+            }
+            Ok(Some(Frame::Cancel)) => {
+                ticket.cancel();
+                sink = None; // wake a sort blocked on input
+                break false;
+            }
+            Ok(Some(other)) => {
+                ticket.cancel();
+                sink = None;
+                let _ = protocol_error(
+                    writer,
+                    format!("expected INGEST, FIN or CANCEL, got {}", other.name()),
+                );
+                break false;
+            }
+            Ok(None) | Err(_) => {
+                // Client disconnected mid-ingest (or the server is draining
+                // and the client went quiet): abort the job. Dropping the
+                // sink unblocks a sort waiting for input; cancelling the
+                // ticket aborts one that is mid-computation. Either way we
+                // still drain the ticket below, so by the time this session
+                // ends the job's pages are back in the pool and its runs are
+                // gone.
+                ticket.cancel();
+                sink = None;
+                break false;
+            }
+        }
+    };
+    drop(sink);
+
+    if !finished {
+        // Cancelled or abandoned: drain the ticket so cleanup is complete,
+        // then (best-effort) tell the client.
+        let result = ticket.wait();
+        let err = match &result {
+            Err(e) => wire_error(e),
+            // The sort won the race and completed before the cancel landed;
+            // the client asked us to throw the result away.
+            Ok(_) => wire_error(&SortError::Cancelled),
+        };
+        return send_error(writer, err);
+    }
+
+    // -- Egress ------------------------------------------------------------
+    let report = match ticket.wait() {
+        Ok(report) => report,
+        Err(e) => return send_error(writer, wire_error(&e)),
+    };
+    let stats = &report.stats;
+    let outcome = report.outcome();
+    let mut summary = JobSummary {
+        job: stats.job,
+        tuples: 0,
+        queued_for: stats.queued_for,
+        ran_for: stats.ran_for,
+        initial_grant: stats.initial_grant as u64,
+        reallocations: stats.reallocations,
+        delay_samples: stats.delay_samples as u64,
+        total_delay: stats.total_delay,
+        runs_formed: outcome.split.runs.len() as u64,
+        merge_steps: outcome.merge.steps_executed as u64,
+    };
+    // Keep each EGRESS frame comfortably under the frame cap even for
+    // pathological payload sizes.
+    let chunk_tuples = shared.egress_chunk.max(1);
+    let mut chunk: Vec<Tuple> = Vec::with_capacity(chunk_tuples);
+    let mut chunk_bytes = 0usize;
+    for tuple in report.into_stream() {
+        let tuple = match tuple {
+            Ok(t) => t,
+            Err(e) => return send_error(writer, wire_error(&e)),
+        };
+        chunk_bytes += tuple_wire_bytes(&tuple);
+        chunk.push(tuple);
+        summary.tuples += 1;
+        if chunk.len() >= chunk_tuples || chunk_bytes >= MAX_FRAME_BYTES / 2 {
+            write_frame(writer, &Frame::Egress(std::mem::take(&mut chunk)))?;
+            chunk_bytes = 0;
+        }
+    }
+    if !chunk.is_empty() {
+        write_frame(writer, &Frame::Egress(chunk))?;
+    }
+    send(writer, &Frame::Stats(summary))
+}
+
+/// Wire footprint of one tuple, for egress chunk sizing.
+fn tuple_wire_bytes(t: &Tuple) -> usize {
+    8 + 1
+        + match &t.payload {
+            masort_core::Payload::Synthetic(_) => 4,
+            masort_core::Payload::Bytes(b) => 4 + b.len(),
+        }
+}
