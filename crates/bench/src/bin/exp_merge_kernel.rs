@@ -23,7 +23,10 @@
 //!   and batches stretch across whole pages.
 //!
 //! A machine-readable summary is written to `BENCH_merge.json` (override
-//! with `MASORT_MK_JSON`) so CI can track the kernel's perf trajectory.
+//! with `MASORT_MK_JSON`) so CI can track the kernel's perf trajectory. The
+//! same measurements are also folded into a [`MetricsRegistry`] and exported
+//! as `METRICS_merge.json` (override with `MASORT_MK_METRICS_JSON`); CI
+//! diffs that file's metric *name set* against the committed golden list.
 //!
 //! Environment knobs:
 //! `MASORT_MK_FANS` (comma-separated fan-ins, default `4,16,64`),
@@ -37,6 +40,7 @@ use masort_core::merge::exec::{execute_merge, ExecParams};
 use masort_core::tuple::paginate;
 use masort_core::verify::collect_run;
 use masort_core::{MemStore, MemoryBudget, RealEnv, RunMeta, RunStore, SortConfig, Tuple};
+use masort_trace::{metrics_to_json, MetricsRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -176,6 +180,10 @@ fn main() {
 
     eprintln!("Merge kernel experiment — fan-ins {fans:?}, {pages_each} pages/run, best of {reps}");
 
+    // Tuples/sec observations per kernel, bucketed decade by decade.
+    const THROUGHPUT_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
+    let metrics = MetricsRegistry::new();
+
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
     let mut summaries = Vec::new();
@@ -194,6 +202,18 @@ fn main() {
             let naive_tps = naive.tuples as f64 / naive.secs.max(1e-9);
             let batched_tps = batched.tuples as f64 / batched.secs.max(1e-9);
             let speedup = batched_tps / naive_tps.max(1e-9);
+            metrics
+                .counter("merge_tuples_total", Some(workload.name()))
+                .add(batched.tuples);
+            metrics
+                .histogram("merge_tuples_per_sec", Some("naive"), THROUGHPUT_BUCKETS)
+                .observe(naive_tps);
+            metrics
+                .histogram("merge_tuples_per_sec", Some("batched"), THROUGHPUT_BUCKETS)
+                .observe(batched_tps);
+            metrics
+                .gauge("merge_speedup_pct", Some(workload.name()))
+                .set((speedup * 100.0) as i64);
             rows.push(vec![
                 workload.name().to_string(),
                 fan.to_string(),
@@ -249,6 +269,17 @@ fn main() {
         Ok(()) => eprintln!("wrote {}", json_path.display()),
         Err(e) => {
             eprintln!("could not write {}: {e}", json_path.display());
+            std::process::exit(1);
+        }
+    }
+
+    let metrics_path = std::env::var("MASORT_MK_METRICS_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| masort_bench::bench_output_path("METRICS_merge.json"));
+    match masort_trace::write_json_file(&metrics_path, &metrics_to_json(&metrics.snapshot())) {
+        Ok(()) => eprintln!("wrote {}", metrics_path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", metrics_path.display());
             std::process::exit(1);
         }
     }

@@ -11,7 +11,11 @@
 //! Emits a JSON document (`BENCH_server.json` via
 //! [`bench_output_path`](masort_bench::bench_output_path), override the name
 //! with `MASORT_SRV_JSON`) with end-to-end p50/p99 response times, queue
-//! waits, throughput and the server's leak counters.
+//! waits, throughput and the server's leak counters — plus the server's
+//! live metrics registry, fetched over the wire with a `METRICS_REQ` frame
+//! and written verbatim to `METRICS_server.json` (override with
+//! `MASORT_SRV_METRICS_JSON`). CI diffs that file's metric *name set*
+//! against the committed golden list.
 //!
 //! Environment knobs: `MASORT_SRV_CLIENTS` (default 32),
 //! `MASORT_SRV_TUPLES` (tuples per client, default 20000),
@@ -23,8 +27,9 @@ use std::time::Instant;
 
 use masort_bench::env_usize;
 use masort_core::{SortConfig, Tuple};
-use masort_server::{PolicyChoice, Server, SortClient, SubmitSpec};
+use masort_server::{fetch_metrics, PolicyChoice, Server, SortClient, SubmitSpec};
 use masort_simkit::Tally;
+use masort_trace::{metrics_from_json, JsonValue};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -140,6 +145,26 @@ fn main() {
         runs_formed += outcome.runs_formed;
     }
     let wall_s = wall.elapsed().as_secs_f64();
+
+    // Pull the server's metrics registry over the wire before shutting it
+    // down; sanity-check it against the ground truth, then persist it.
+    let metrics_path = std::env::var("MASORT_SRV_METRICS_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| masort_bench::bench_output_path("METRICS_server.json"));
+    let metrics_json = fetch_metrics(addr).expect("METRICS_REQ over the wire");
+    let snapshot =
+        metrics_from_json(&JsonValue::parse(&metrics_json).expect("metrics JSON parses"));
+    assert_eq!(
+        snapshot.counter("jobs_completed_total", None),
+        Some(clients as u64),
+        "metrics registry disagrees with the client fleet"
+    );
+    if let Err(e) = std::fs::write(&metrics_path, &metrics_json) {
+        eprintln!("could not write {}: {e}", metrics_path.display());
+        std::process::exit(1);
+    }
+    eprintln!("wrote {}", metrics_path.display());
+
     let stats = handle.join();
 
     assert_eq!(

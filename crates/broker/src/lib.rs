@@ -115,7 +115,9 @@ pub mod ticket;
 
 pub use broker::MemoryBroker;
 pub use policy::{ArbitrationPolicy, EqualShare, JobDemand, MinGuarantee, PriorityWeighted};
-pub use service::{RunStorage, ServiceStore, SortRequest, SortService, SortServiceBuilder};
+pub use service::{
+    job_span, RunStorage, ServiceStore, SortRequest, SortService, SortServiceBuilder,
+};
 pub use stats::{JobStats, ServiceStats, TenantStats};
 pub use ticket::{JobId, JobReport, SortTicket};
 
@@ -126,7 +128,7 @@ pub mod prelude {
         ArbitrationPolicy, EqualShare, JobDemand, MinGuarantee, PriorityWeighted,
     };
     pub use crate::service::{
-        RunStorage, ServiceStore, SortRequest, SortService, SortServiceBuilder,
+        job_span, RunStorage, ServiceStore, SortRequest, SortService, SortServiceBuilder,
     };
     pub use crate::stats::{JobStats, ServiceStats, TenantStats};
     pub use crate::ticket::{JobId, JobReport, SortTicket};

@@ -10,9 +10,24 @@ use masort_core::{
     BlockReadJob, DelaySample, FileStore, InputSource, IoPool, MemStore, MemoryBudget, Page,
     RealEnv, RunId, RunStore, SortConfig, SortError, SortJob, SortResult, Tuple, VecSource,
 };
+use masort_trace::{EventKind, SpanId, Trace};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The trace span a job's events are emitted on. Offset by one so job 0 does
+/// not collide with [`SpanId::SERVICE`]; the server and CLI use the same
+/// mapping to pull one job's timeline out of a service-wide recorder.
+pub fn job_span(job: JobId) -> SpanId {
+    SpanId(job + 1)
+}
+
+/// Bucket bounds (seconds) for the service's latency histograms
+/// (`job_response_seconds`, `job_queue_wait_seconds`, `io_stall_seconds`).
+const LATENCY_BUCKETS: &[f64] = &[0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0];
+
+/// Bucket bounds (tuples/second) for `merge_tuples_per_sec`.
+const THROUGHPUT_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
 
 /// Where a job's runs (and its output run) are stored.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -49,6 +64,15 @@ impl ServiceStore {
         match self {
             ServiceStore::Mem(s) => s,
             ServiceStore::Temp(s) => s,
+        }
+    }
+
+    /// Seconds the store spent blocked on write-behind blocks (0 for
+    /// in-memory stores, which never stall).
+    pub fn write_stall_seconds(&self) -> f64 {
+        match self {
+            ServiceStore::Mem(_) => 0.0,
+            ServiceStore::Temp(s) => s.write_stall_seconds(),
         }
     }
 }
@@ -88,6 +112,10 @@ impl RunStore for ServiceStore {
 
     fn set_write_coalescing(&mut self, pages: usize) {
         self.inner_mut().set_write_coalescing(pages)
+    }
+
+    fn attach_trace(&mut self, trace: masort_trace::Trace) {
+        self.inner_mut().attach_trace(trace)
     }
 
     fn flush(&mut self) -> SortResult<()> {
@@ -215,6 +243,7 @@ pub struct SortServiceBuilder {
     io_threads: usize,
     io_pipeline_depth: usize,
     cpu_threads: usize,
+    trace: Trace,
 }
 
 impl std::fmt::Debug for SortServiceBuilder {
@@ -242,6 +271,7 @@ impl Default for SortServiceBuilder {
             io_threads: 0,
             io_pipeline_depth: 0,
             cpu_threads: 0,
+            trace: Trace::disabled(),
         }
     }
 }
@@ -311,6 +341,15 @@ impl SortServiceBuilder {
         self
     }
 
+    /// Observability: emit admission/budget/phase/I-O events and service
+    /// metrics through `trace` (default: disabled, zero overhead). Each job's
+    /// events are recorded on [`job_span`]`(job_id)`; admission-queue and
+    /// service-wide events stay on the handle's own span.
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Start the service: spawn the worker threads and return the handle.
     pub fn build(self) -> SortService {
         let shared = Arc::new(Shared {
@@ -318,6 +357,7 @@ impl SortServiceBuilder {
             suspension_wait: self.suspension_wait,
             io_pool: (self.io_threads > 0).then(|| IoPool::new(self.io_threads)),
             default_io_depth: self.io_pipeline_depth,
+            trace: self.trace,
             state: Mutex::new(State {
                 broker: MemoryBroker::new(self.pool_pages, self.policy),
                 queue: AdmissionQueue::default(),
@@ -360,6 +400,8 @@ pub(crate) struct Shared {
     io_pool: Option<IoPool>,
     /// Pipeline depth applied to submissions that do not choose their own.
     default_io_depth: usize,
+    /// Service-wide observability handle; jobs emit on [`job_span`] rebinds.
+    pub(crate) trace: Trace,
     state: Mutex<State>,
     work: Condvar,
 }
@@ -386,6 +428,14 @@ impl Shared {
                     st.stats.tenant_entry(tenant).cancelled += 1;
                 }
                 drop(st);
+                if self.trace.is_enabled() {
+                    self.trace
+                        .with_span(job_span(job))
+                        .emit(EventKind::Cancelled);
+                    if let Some(metrics) = self.trace.metrics() {
+                        metrics.counter("jobs_cancelled_total", None).inc();
+                    }
+                }
                 // The request (and its boxed input source) dies outside the
                 // state lock.
                 drop(req);
@@ -448,13 +498,23 @@ impl SortService {
         }
         if min_pages > st.broker.pool_pages() {
             st.stats.rejected += 1;
+            let granted = st.broker.pool_pages();
+            drop(st);
+            self.shared.trace.emit(EventKind::AdmissionRejected {
+                needed: min_pages,
+                granted,
+            });
+            if let Some(metrics) = self.shared.trace.metrics() {
+                metrics.counter("admission_rejected_total", None).inc();
+            }
             return Err(SortError::BudgetStarved {
                 needed: min_pages,
-                granted: st.broker.pool_pages(),
+                granted,
             });
         }
         let job = st.next_job;
         st.next_job += 1;
+        let tenant_label = request.tenant.clone();
         let ticket_shared = Arc::new(TicketShared::default());
         if let Some(tenant) = &request.tenant {
             st.stats.tenant_entry(tenant).submitted += 1;
@@ -475,6 +535,20 @@ impl SortService {
         st.stats.submitted += 1;
         st.stats.peak_queued = st.stats.peak_queued.max(st.queue.len());
         drop(st);
+        let trace = &self.shared.trace;
+        if trace.is_enabled() {
+            trace
+                .with_span(job_span(job))
+                .emit(EventKind::AdmissionQueued);
+            if let Some(metrics) = trace.metrics() {
+                metrics.counter("jobs_submitted_total", None).inc();
+                if let Some(tenant) = &tenant_label {
+                    metrics
+                        .counter("jobs_submitted_total", Some(tenant.as_str()))
+                        .inc();
+                }
+            }
+        }
         self.shared.work.notify_all();
         Ok(SortTicket::new(
             job,
@@ -651,6 +725,27 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
         ..
     } = req;
 
+    // The admission grant is the one place where the trace event and the
+    // metrics counter come from the same numbers — timelines and counters
+    // must agree on total pages granted.
+    let trace = shared.trace.with_span(job_span(job));
+    if trace.is_enabled() {
+        trace.emit(EventKind::AdmissionGranted {
+            pages: initial_grant,
+        });
+        if let Some(metrics) = trace.metrics() {
+            metrics
+                .counter("pages_granted_total", None)
+                .add(initial_grant as u64);
+            if let Some(tenant) = &tenant {
+                metrics
+                    .counter("pages_granted_total", Some(tenant.as_str()))
+                    .add(initial_grant as u64);
+            }
+        }
+        budget.attach_trace(trace.clone());
+    }
+
     // A panicking job (e.g. a user-supplied `InputSource`) must not take the
     // worker thread down with it: its pages would stay committed forever and
     // its ticket would never be fulfilled. Contain the unwind and surface it
@@ -670,6 +765,7 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
             let mut env = RealEnv::starting_at(shared.start);
             env.max_wait = shared.suspension_wait;
             env.io_pool = shared.io_pool.clone();
+            env.trace = trace.clone();
             SortJob::builder()
                 .config(cfg)
                 .input(input)
@@ -700,6 +796,7 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
     let outcome = match result {
         Ok(completion) => {
             let delays = &completion.outcome.delays;
+            let merge = &completion.outcome.merge;
             let stats = JobStats {
                 job,
                 tenant: tenant.clone(),
@@ -713,6 +810,11 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
                 reallocations,
                 delay_samples: delays.len(),
                 total_delay: delays.iter().map(DelaySample::delay).sum(),
+                write_stall_seconds: completion.store.write_stall_seconds(),
+                io_stall_seconds: merge.io_stall,
+                sync_loads: merge.sync_block_loads,
+                prefetch_joins: merge.prefetch_block_joins,
+                io_peak_depth: shared.io_pool.as_ref().map_or(0, IoPool::peak_queued),
             };
             st.stats.completed += 1;
             st.stats.total_reallocations += reallocations;
@@ -720,7 +822,11 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
             if let Some(tenant) = &tenant {
                 st.stats.tenant_entry(tenant).completed += 1;
             }
-            Ok(JobReport { completion, stats })
+            Ok(JobReport {
+                completion,
+                stats,
+                trace: trace.clone(),
+            })
         }
         Err(e) => {
             // A cancelled job did what it was told; count it apart from
@@ -748,6 +854,59 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
         }
     };
     drop(st);
+    if trace.is_enabled() {
+        let tenant = tenant.as_deref();
+        match &outcome {
+            Ok(report) => {
+                if let Some(metrics) = trace.metrics() {
+                    let s = &report.stats;
+                    let merge = &report.completion.outcome.merge;
+                    let labels = std::iter::once(None).chain(tenant.map(Some));
+                    for label in labels {
+                        metrics.counter("jobs_completed_total", label).inc();
+                        metrics
+                            .histogram("job_response_seconds", label, LATENCY_BUCKETS)
+                            .observe(s.response_time());
+                        metrics
+                            .histogram("job_queue_wait_seconds", label, LATENCY_BUCKETS)
+                            .observe(s.queued_for);
+                    }
+                    metrics
+                        .counter("budget_reallocations_total", None)
+                        .add(reallocations);
+                    metrics
+                        .histogram("io_stall_seconds", None, LATENCY_BUCKETS)
+                        .observe(s.io_stall_seconds + s.write_stall_seconds);
+                    let duration = merge.duration();
+                    if duration > 0.0 {
+                        metrics
+                            .histogram("merge_tuples_per_sec", None, THROUGHPUT_BUCKETS)
+                            .observe(merge.tuples_output as f64 / duration);
+                    }
+                    metrics
+                        .gauge("io_pool_peak_depth", None)
+                        .set(s.io_peak_depth as i64);
+                }
+            }
+            Err(e) => {
+                let cancelled = matches!(e, SortError::Cancelled);
+                if cancelled {
+                    trace.emit(EventKind::Cancelled);
+                }
+                if let Some(metrics) = trace.metrics() {
+                    let name = if cancelled {
+                        "jobs_cancelled_total"
+                    } else {
+                        "jobs_failed_total"
+                    };
+                    metrics.counter(name, None).inc();
+                    if let Some(t) = tenant {
+                        metrics.counter(name, Some(t)).inc();
+                    }
+                }
+            }
+        }
+    }
     ticket.fulfill(outcome);
 }
 

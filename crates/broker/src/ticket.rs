@@ -193,6 +193,13 @@ pub struct JobReport {
     pub completion: SortCompletion<ServiceStore>,
     /// Broker-side statistics: queue wait, reallocations, delay samples.
     pub stats: JobStats,
+    /// Observability handle bound to this job's span
+    /// ([`job_span`](crate::job_span)`(stats.job)`). Disabled — and
+    /// recording nothing — unless the service was built with
+    /// [`trace`](crate::SortServiceBuilder::trace); when enabled, the job's
+    /// full event timeline is
+    /// `trace.recorder().unwrap().events_for(trace.span())`.
+    pub trace: masort_trace::Trace,
 }
 
 impl JobReport {

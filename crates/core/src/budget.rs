@@ -105,6 +105,10 @@ struct Inner {
     /// Downward links (weak: a finished worker's child is pruned on the next
     /// re-target), with the share of the parent target each child receives.
     children: Vec<ChildSlot>,
+    /// Observability handle; disabled unless attached via
+    /// [`MemoryBudget::attach_trace`]. Events are emitted outside the budget
+    /// lock so tracing never lengthens the critical section.
+    trace: masort_trace::Trace,
 }
 
 #[derive(Debug)]
@@ -168,8 +172,16 @@ impl MemoryBudget {
                 cancelled: false,
                 parent: None,
                 children: Vec::new(),
+                trace: masort_trace::Trace::disabled(),
             })),
         }
+    }
+
+    /// Emit this budget's target and holding changes as trace events through
+    /// `trace` (on whatever span the handle is bound to). The default is the
+    /// disabled handle, which costs one branch per change.
+    pub fn attach_trace(&self, trace: masort_trace::Trace) {
+        self.lock().trace = trace;
     }
 
     /// Create a sub-budget entitled to `share` (clamped to `(0, 1]`) of this
@@ -202,6 +214,9 @@ impl MemoryBudget {
                 cancelled: g.cancelled,
                 parent: Some(self.clone()),
                 children: Vec::new(),
+                // Workers report through their own budgets but the grant
+                // trajectory of interest is the root's; children stay silent.
+                trace: masort_trace::Trace::disabled(),
             })),
         };
         g.children.retain(|c| c.inner.strong_count() > 0);
@@ -313,8 +328,9 @@ impl MemoryBudget {
     /// definition of split/merge-phase delays as "the time the method takes to
     /// respond to memory shortages".
     pub fn set_target(&self, pages: usize, now: f64) {
-        let (children, is_child, sample) = {
+        let (children, is_child, sample, trace, prev) = {
             let mut g = self.lock();
+            let prev = g.target;
             g.target = pages;
             g.version += 1;
             let mut sample = None;
@@ -335,8 +351,20 @@ impl MemoryBudget {
                     });
                 }
             }
-            (Self::live_children(&mut g), g.parent.is_some(), sample)
+            (
+                Self::live_children(&mut g),
+                g.parent.is_some(),
+                sample,
+                g.trace.clone(),
+                prev,
+            )
         };
+        if trace.is_enabled() && prev != pages {
+            trace.emit(masort_trace::EventKind::BudgetTarget {
+                prev,
+                target: pages,
+            });
+        }
         if let Some(sample) = sample {
             if is_child {
                 self.push_delay_at_root(sample);
@@ -355,8 +383,9 @@ impl MemoryBudget {
     /// If a shrink request was pending and the new holding satisfies it, the
     /// delay is logged.
     pub fn record_held(&self, pages: usize, now: f64) {
-        let (delta, parent, sample) = {
+        let (delta, parent, sample, trace, prev) = {
             let mut g = self.lock();
+            let prev = g.held;
             let delta = pages as isize - g.held as isize;
             g.held = pages;
             let mut sample = None;
@@ -370,8 +399,11 @@ impl MemoryBudget {
                     g.pending_since = None;
                 }
             }
-            (delta, g.parent.clone(), sample)
+            (delta, g.parent.clone(), sample, g.trace.clone(), prev)
         };
+        if trace.is_enabled() && delta != 0 {
+            trace.emit(masort_trace::EventKind::BudgetHeld { prev, held: pages });
+        }
         if let Some(sample) = sample {
             match &parent {
                 Some(_) => self.push_delay_at_root(sample),

@@ -75,6 +75,14 @@ pub trait SortEnv {
     fn fork_worker(&self) -> Option<Box<dyn SortEnv + Send>> {
         None
     }
+
+    /// The observability handle the sort emits trace events and metrics
+    /// through. The default is the disabled handle — a single branch on
+    /// every emission point, so an uninstrumented environment pays nothing
+    /// and behaves bit-identically to pre-trace code.
+    fn trace(&self) -> masort_trace::Trace {
+        masort_trace::Trace::disabled()
+    }
 }
 
 impl<E: SortEnv + ?Sized> SortEnv for Box<E> {
@@ -105,6 +113,10 @@ impl<E: SortEnv + ?Sized> SortEnv for Box<E> {
     fn fork_worker(&self) -> Option<Box<dyn SortEnv + Send>> {
         (**self).fork_worker()
     }
+
+    fn trace(&self) -> masort_trace::Trace {
+        (**self).trace()
+    }
 }
 
 /// A production environment: wall-clock time, no CPU accounting, and
@@ -119,6 +131,8 @@ pub struct RealEnv {
     pub poll_interval: Duration,
     /// Shared background I/O pool handed to pipelined sorts, if any.
     pub io_pool: Option<crate::io::IoPool>,
+    /// Observability handle; disabled by default (zero hot-path cost).
+    pub trace: masort_trace::Trace,
 }
 
 impl Default for RealEnv {
@@ -128,6 +142,7 @@ impl Default for RealEnv {
             max_wait: Duration::from_secs(30),
             poll_interval: Duration::from_millis(1),
             io_pool: None,
+            trace: masort_trace::Trace::disabled(),
         }
     }
 }
@@ -161,6 +176,12 @@ impl RealEnv {
     /// Builder-style: share `pool` with sorts running in this environment.
     pub fn with_io_pool(mut self, pool: crate::io::IoPool) -> Self {
         self.io_pool = Some(pool);
+        self
+    }
+
+    /// Builder-style: emit trace events and metrics through `trace`.
+    pub fn with_trace(mut self, trace: masort_trace::Trace) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -200,7 +221,12 @@ impl SortEnv for RealEnv {
             max_wait: self.max_wait,
             poll_interval: self.poll_interval,
             io_pool: self.io_pool.clone(),
+            trace: self.trace.clone(),
         }))
+    }
+
+    fn trace(&self) -> masort_trace::Trace {
+        self.trace.clone()
     }
 }
 

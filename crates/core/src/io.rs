@@ -15,6 +15,7 @@
 //! as before.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -30,6 +31,8 @@ struct PoolInner {
     queue: Mutex<Queue>,
     work: Condvar,
     threads: usize,
+    /// High-water mark of the queue length, for observability ([`IoPool::peak_queued`]).
+    peak: AtomicUsize,
 }
 
 /// Signals shutdown to the workers when the last user-held clone drops.
@@ -76,6 +79,7 @@ impl IoPool {
             queue: Mutex::new(Queue::default()),
             work: Condvar::new(),
             threads,
+            peak: AtomicUsize::new(0),
         });
         for i in 0..threads {
             let inner = Arc::clone(&inner);
@@ -133,7 +137,9 @@ impl IoPool {
         } else {
             q.jobs.push_back(wrapped);
         }
+        let depth = q.jobs.len();
         drop(q);
+        self.inner.peak.fetch_max(depth, Ordering::Relaxed);
         self.inner.work.notify_one();
         IoHandle { rx }
     }
@@ -146,6 +152,12 @@ impl IoPool {
             .unwrap_or_else(|e| e.into_inner())
             .jobs
             .len()
+    }
+
+    /// Deepest the queue has ever been over the pool's lifetime — how far
+    /// submission outpaced the workers. Shared across every clone of the pool.
+    pub fn peak_queued(&self) -> usize {
+        self.inner.peak.load(Ordering::Relaxed)
     }
 }
 

@@ -35,6 +35,7 @@ use crate::merge::select::LoserTree;
 use crate::merge::step::{Input, Side, StepArena};
 use crate::store::{RunId, RunMeta, RunStore};
 use crate::tuple::{Page, Tuple};
+use masort_trace::EventKind;
 use std::collections::HashSet;
 
 /// Parameters of one merge-phase execution.
@@ -191,6 +192,9 @@ struct Exec<'a, S: RunStore, E: SortEnv> {
     tree: LoserTree<u64>,
     /// True when `tree` no longer matches the active step's inputs.
     sel_dirty: bool,
+    /// Observability handle captured from the environment at construction;
+    /// disabled handles make every emission a single branch.
+    trace: masort_trace::Trace,
     /// The current winner streak, for gallop batching: `(input, challenger)`
     /// once the same input has won twice in a row. During a streak only the
     /// winner's head moves, so the challenger — the best rival head — is
@@ -221,6 +225,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         } else {
             None
         };
+        let trace = env.trace();
         Exec {
             cfg,
             budget,
@@ -237,6 +242,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             pipeline_stamp: None,
             tree: LoserTree::new(Vec::new()),
             sel_dirty: true,
+            trace,
             streak: None,
         }
     }
@@ -361,9 +367,12 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
                 // then stop until the memory returns.
                 self.shed_step(self.arena.active);
                 self.budget.record_held(0, self.env.now());
+                self.trace.emit(EventKind::Suspend { need, target });
                 let waited_from = self.env.now();
                 let _granted = self.env.wait_for_pages(self.budget, need);
-                self.stats.suspended_time += self.env.now() - waited_from;
+                let waited = self.env.now() - waited_from;
+                self.stats.suspended_time += waited;
+                self.trace.emit(EventKind::Resume { waited });
                 // Fetch all the input buffers together on resume (one batch).
                 let refetch = need.saturating_sub(1);
                 self.env.charge_extra_read(refetch);
@@ -424,6 +433,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         // read-ahead pages to the budget immediately.
         self.shed_step(parent);
         self.stats.splits += 1;
+        self.trace.emit(EventKind::Split { target: memory });
         self.charge_switch();
         self.reset_paging_state();
         Ok(())
@@ -489,6 +499,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         self.env.charge_extra_read(pages);
         self.stats.refetched_pages += pages;
         self.stats.switches += 1;
+        self.trace.emit(EventKind::Switch);
         self.sel_dirty = true;
     }
 
@@ -559,6 +570,7 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         self.store.delete_run(run)?;
         if absorbed.is_some() {
             self.stats.combines += 1;
+            self.trace.emit(EventKind::Combine);
         }
         self.reset_paging_state();
         // Inputs renumbered (swap_remove / absorbed children).
@@ -907,6 +919,9 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
             self.stats.finished_at = self.env.now();
             return Ok(output);
         }
+        self.trace.emit(EventKind::MergeStepStart {
+            fan_in: self.arena.steps[self.arena.root()].inputs.len(),
+        });
         loop {
             self.env.poll(self.budget);
             self.adapt()?;
@@ -924,11 +939,17 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         self.stats.steps_executed = self.arena.executed_steps();
         self.stats.finished_at = self.env.now();
         self.budget.record_held(0, self.env.now());
+        self.trace.emit(EventKind::MergeStepEnd {
+            tuples_out: self.stats.tuples_output,
+        });
         Ok(output)
     }
 
     fn run_join(&mut self, on_match: &mut dyn FnMut(&Tuple, &Tuple)) -> SortResult<()> {
         self.stats.started_at = self.env.now();
+        self.trace.emit(EventKind::MergeStepStart {
+            fan_in: self.arena.steps[self.arena.root()].inputs.len(),
+        });
         loop {
             self.env.poll(self.budget);
             self.adapt()?;
@@ -947,6 +968,9 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         self.stats.steps_executed = self.arena.executed_steps();
         self.stats.finished_at = self.env.now();
         self.budget.record_held(0, self.env.now());
+        self.trace.emit(EventKind::MergeStepEnd {
+            tuples_out: self.stats.tuples_output,
+        });
         Ok(())
     }
 }

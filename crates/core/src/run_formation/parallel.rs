@@ -220,7 +220,15 @@ where
                 let tx = tx.clone();
                 scope.spawn(move || {
                     let mut store = WorkerStore::new(i, tx);
-                    form_runs(cfg, child, &mut part, &mut store, &mut worker_env)
+                    let trace = worker_env.trace();
+                    trace.emit(masort_trace::EventKind::PhaseStart {
+                        phase: "split-worker",
+                    });
+                    let result = form_runs(cfg, child, &mut part, &mut store, &mut worker_env);
+                    trace.emit(masort_trace::EventKind::PhaseEnd {
+                        phase: "split-worker",
+                    });
+                    result
                 })
             })
             .collect();

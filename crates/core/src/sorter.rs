@@ -14,6 +14,7 @@ use crate::merge::exec::{execute_merge, ExecParams, MergeStats};
 use crate::run_formation::{form_runs, parallel::form_runs_parallel, SplitStats};
 use crate::store::{RunId, RunStore};
 use crate::stream::SortedStream;
+use masort_trace::EventKind;
 
 /// The result of a complete external sort.
 #[derive(Clone, Debug)]
@@ -128,6 +129,7 @@ impl ExternalSorter {
         let started = env.now();
         self.attach_io(store, env);
         budget.set_phase(SortPhase::Split);
+        env.trace().emit(EventKind::PhaseStart { phase: "split" });
         let split = form_runs(&self.cfg, budget, input, store, env);
         self.merge_and_finish(split, store, env, budget, started)
     }
@@ -160,6 +162,7 @@ impl ExternalSorter {
         let started = env.now();
         self.attach_io(store, env);
         budget.set_phase(SortPhase::Split);
+        env.trace().emit(EventKind::PhaseStart { phase: "split" });
         let threads = self.cfg.cpu_threads;
         let split = if threads >= 2 {
             let forked: Option<Vec<_>> = (0..threads).map(|_| env.fork_worker()).collect();
@@ -197,6 +200,12 @@ impl ExternalSorter {
     /// during run formation and merging; merge cursors pick the same pool up
     /// for read-ahead.
     fn attach_io<S: RunStore, E: SortEnv>(&self, store: &mut S, env: &E) {
+        // The store shares the environment's observability handle so its run
+        // and I/O events land on the same span as the sort's phase events.
+        let trace = env.trace();
+        if trace.is_enabled() {
+            store.attach_trace(trace);
+        }
         if self.cfg.io.enabled() {
             let pool = env.io_pool().or_else(|| {
                 (self.cfg.io.io_threads > 0).then(|| crate::io::IoPool::new(self.cfg.io.io_threads))
@@ -224,7 +233,10 @@ impl ExternalSorter {
         started: f64,
     ) -> SortResult<SortOutcome> {
         let phases = split.and_then(|split| {
+            let trace = env.trace();
+            trace.emit(EventKind::PhaseEnd { phase: "split" });
             budget.set_phase(SortPhase::Merge);
+            trace.emit(EventKind::PhaseStart { phase: "merge" });
             let params = ExecParams::from_algorithm(&self.cfg.algorithm)
                 .with_io_depth(self.cfg.io.pipeline_depth)
                 .with_merge_batch(self.cfg.merge_batch);
@@ -246,6 +258,7 @@ impl ExternalSorter {
             }
         };
         let response_time = env.now() - started;
+        env.trace().emit(EventKind::PhaseEnd { phase: "merge" });
         Ok(SortOutcome {
             output_run,
             split,

@@ -18,6 +18,7 @@
 use crate::error::{SortError, SortResult};
 use crate::io::{IoHandle, IoPool};
 use crate::tuple::{Page, Payload, Tuple};
+use masort_trace::EventKind;
 use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -115,6 +116,13 @@ pub trait RunStore {
     /// back to its last durable prefix. The default ignores the hint.
     fn set_write_coalescing(&mut self, _pages: usize) {}
 
+    /// Attach an observability handle. Stores that support it start emitting
+    /// run-lifecycle ([`RunCreate`](masort_trace::EventKind::RunCreate) /
+    /// [`RunDelete`](masort_trace::EventKind::RunDelete)) and I/O
+    /// (`IoRead` / `IoWrite` / `IoStall`) events at block granularity; the
+    /// default ignores the handle and stays silent.
+    fn attach_trace(&mut self, _trace: masort_trace::Trace) {}
+
     /// Number of pages currently in `run` (0 for unknown runs).
     fn run_pages(&self, run: RunId) -> usize;
 
@@ -149,6 +157,7 @@ pub struct MemStore {
     pages_read: usize,
     bytes_written: usize,
     bytes_read: usize,
+    trace: masort_trace::Trace,
 }
 
 impl MemStore {
@@ -192,6 +201,7 @@ impl RunStore for MemStore {
         self.next += 1;
         self.runs.insert(id, Vec::new());
         self.tuple_counts.insert(id, 0);
+        self.trace.emit(EventKind::RunCreate { run: id.into() });
         Ok(id)
     }
 
@@ -207,6 +217,10 @@ impl RunStore for MemStore {
             .get_mut(&run)
             .ok_or(SortError::UnknownRun(run))?
             .push(page);
+        self.trace.emit(EventKind::IoWrite {
+            run: run.into(),
+            pages: 1,
+        });
         Ok(())
     }
 
@@ -217,7 +231,12 @@ impl RunStore for MemStore {
         })?;
         self.pages_read += 1;
         self.bytes_read += page.bytes();
-        Ok(page.clone())
+        let page = page.clone();
+        self.trace.emit(EventKind::IoRead {
+            run: run.into(),
+            pages: 1,
+        });
+        Ok(page)
     }
 
     fn read_block(&mut self, run: RunId, start: usize, len: usize) -> SortResult<Vec<Page>> {
@@ -234,6 +253,10 @@ impl RunStore for MemStore {
         }
         self.pages_read += len;
         self.bytes_read += pages[start..end].iter().map(Page::bytes).sum::<usize>();
+        self.trace.emit(EventKind::IoRead {
+            run: run.into(),
+            pages: len,
+        });
         Ok(pages[start..end].to_vec())
     }
 
@@ -246,9 +269,15 @@ impl RunStore for MemStore {
     }
 
     fn delete_run(&mut self, run: RunId) -> SortResult<()> {
-        self.runs.remove(&run);
+        if self.runs.remove(&run).is_some() {
+            self.trace.emit(EventKind::RunDelete { run: run.into() });
+        }
         self.tuple_counts.remove(&run);
         Ok(())
+    }
+
+    fn attach_trace(&mut self, trace: masort_trace::Trace) {
+        self.trace = trace;
     }
 }
 
@@ -637,6 +666,8 @@ pub struct FileStore {
     /// Run files whose deletion failed; retried on later store operations and
     /// on drop so a transient unlink failure cannot orphan a file for good.
     trash: Vec<PathBuf>,
+    /// Observability handle; disabled by default.
+    trace: masort_trace::Trace,
     #[cfg(test)]
     fail_next_append: bool,
     #[cfg(test)]
@@ -662,6 +693,7 @@ impl FileStore {
             coalesce_pages: 0,
             write_stall: 0.0,
             trash: Vec::new(),
+            trace: masort_trace::Trace::disabled(),
             #[cfg(test)]
             fail_next_append: false,
             #[cfg(test)]
@@ -725,6 +757,8 @@ impl FileStore {
         #[cfg(not(test))]
         let injected_failure = false;
         let pool = self.pool.clone();
+        let trace = self.trace.clone();
+        let page_count = pages.len();
         // A pool implies block coalescing even if the caller never set an
         // explicit block size; without a pool, coalescing is opt-in.
         let coalesce = if pool.is_some() {
@@ -736,6 +770,7 @@ impl FileStore {
             runs, write_stall, ..
         } = self;
         let r = runs.get_mut(&run).ok_or(SortError::UnknownRun(run))?;
+        let stall_before = *write_stall;
         let start_offset = r.write_pos;
         let index_from = r.index.len();
         let tuples_before = r.tuples;
@@ -766,6 +801,16 @@ impl FileStore {
             if r.queued.len() >= coalesce {
                 flush_queued(r, pool.as_ref(), write_stall)?;
             }
+            if trace.is_enabled() {
+                trace.emit(EventKind::IoWrite {
+                    run: run.into(),
+                    pages: page_count,
+                });
+                let stalled = *write_stall - stall_before;
+                if stalled > 0.0 {
+                    trace.emit(EventKind::IoStall { seconds: stalled });
+                }
+            }
             return Ok(());
         }
 
@@ -783,6 +828,10 @@ impl FileStore {
             Ok(()) => {
                 r.write_pos += total as u64;
                 r.tuples += tuple_count;
+                trace.emit(EventKind::IoWrite {
+                    run: run.into(),
+                    pages: page_count,
+                });
                 Ok(())
             }
             Err(e) => {
@@ -800,15 +849,24 @@ impl FileStore {
             runs,
             write_stall,
             pool,
+            trace,
             ..
         } = self;
-        match runs.get_mut(&run) {
+        let stall_before = *write_stall;
+        let result = match runs.get_mut(&run) {
             Some(r) => {
                 flush_queued(r, pool.as_ref(), write_stall)?;
                 drain_pending(r, write_stall)
             }
             None => Ok(()),
+        };
+        if trace.is_enabled() {
+            let stalled = *write_stall - stall_before;
+            if stalled > 0.0 {
+                trace.emit(EventKind::IoStall { seconds: stalled });
+            }
         }
+        result
     }
 }
 
@@ -852,6 +910,7 @@ impl RunStore for FileStore {
                 poison_next_block: false,
             },
         );
+        self.trace.emit(EventKind::RunCreate { run: id.into() });
         Ok(id)
     }
 
@@ -885,6 +944,10 @@ impl RunStore for FileStore {
                 SortError::Io(e)
             }
         })?;
+        self.trace.emit(EventKind::IoRead {
+            run: run.into(),
+            pages: 1,
+        });
         decode_page(&buf).map_err(|detail| SortError::corrupt(run, format!("page {idx}: {detail}")))
     }
 
@@ -919,6 +982,10 @@ impl RunStore for FileStore {
                 SortError::Io(e)
             }
         })?;
+        self.trace.emit(EventKind::IoRead {
+            run: run.into(),
+            pages: len,
+        });
         decode_block(run, start, first_off, &entries, &buf)
     }
 
@@ -932,6 +999,7 @@ impl RunStore for FileStore {
         if let Err(e) = self.drain_run(run) {
             return Some(Box::new(move || Err(e)));
         }
+        let trace = self.trace.clone();
         let r = self.runs.get_mut(&run)?;
         let entries = r.index.get(start..start + len)?.to_vec();
         let file = r.file.try_clone().ok()?;
@@ -950,6 +1018,10 @@ impl RunStore for FileStore {
                     SortError::Io(e)
                 }
             })?;
+            trace.emit(EventKind::IoRead {
+                run: run.into(),
+                pages: len,
+            });
             decode_block(run, start, first_off, &entries, &buf)
         }))
     }
@@ -971,8 +1043,10 @@ impl RunStore for FileStore {
             runs,
             write_stall,
             pool,
+            trace,
             ..
         } = self;
+        let stall_before = *write_stall;
         let mut first_err = None;
         for r in runs.values_mut() {
             if let Err(e) = flush_queued(r, pool.as_ref(), write_stall) {
@@ -980,6 +1054,12 @@ impl RunStore for FileStore {
             }
             if let Err(e) = drain_pending(r, write_stall) {
                 first_err.get_or_insert(e);
+            }
+        }
+        if trace.is_enabled() {
+            let stalled = *write_stall - stall_before;
+            if stalled > 0.0 {
+                trace.emit(EventKind::IoStall { seconds: stalled });
             }
         }
         match first_err {
@@ -1021,8 +1101,13 @@ impl RunStore for FileStore {
                 }
                 _ => {}
             }
+            self.trace.emit(EventKind::RunDelete { run: run.into() });
         }
         Ok(())
+    }
+
+    fn attach_trace(&mut self, trace: masort_trace::Trace) {
+        self.trace = trace;
     }
 }
 

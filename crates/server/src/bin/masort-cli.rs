@@ -7,17 +7,29 @@
 //!            [--spill] [--descending]          < input > output
 //! masort-cli shutdown [--addr HOST:PORT]
 //! masort-cli stats    [--addr HOST:PORT]
+//! masort-cli metrics  [--addr HOST:PORT] [--prometheus]
+//! masort-cli trace JOB [--addr HOST:PORT] [--json]
 //! ```
 //!
 //! Input is one tuple per line: a decimal `u64` key, optionally followed by
 //! a space and an arbitrary payload string. Output uses the same format.
 //! The address defaults to `$MASORT_ADDR`, then `127.0.0.1:7878`.
+//!
+//! `metrics` fetches the server's metrics registry (JSON by default,
+//! `--prometheus` for text exposition); `trace JOB` fetches one job's event
+//! timeline and renders it as an ASCII grant-level chart (`--json` for the
+//! raw document).
 
 use std::io::{self, BufRead, BufWriter, Write};
 use std::process::ExitCode;
 
 use masort_core::{Payload, Tuple};
-use masort_server::{server_stats, shutdown_server, SortClient, SubmitSpec};
+use masort_server::{
+    fetch_metrics, fetch_trace, server_stats, shutdown_server, SortClient, SubmitSpec,
+};
+use masort_trace::{
+    metrics_from_json, metrics_to_prometheus, render_timeline, trace_from_json, JsonValue,
+};
 
 const INGEST_CHUNK: usize = 4096;
 
@@ -27,7 +39,9 @@ fn usage() -> &'static str {
      \u{20}                 [--page-size BYTES] [--tuple-size BYTES] [--cpu-threads N]\n\
      \u{20}                 [--spill] [--descending]  < input > output\n\
      \u{20}      masort-cli shutdown [--addr HOST:PORT]\n\
-     \u{20}      masort-cli stats    [--addr HOST:PORT]"
+     \u{20}      masort-cli stats    [--addr HOST:PORT]\n\
+     \u{20}      masort-cli metrics  [--addr HOST:PORT] [--prometheus]\n\
+     \u{20}      masort-cli trace JOB [--addr HOST:PORT] [--json]"
 }
 
 fn default_addr() -> String {
@@ -54,14 +68,32 @@ fn run() -> Result<(), String> {
             args.remove(0);
             "stats"
         }
+        Some("metrics") => {
+            args.remove(0);
+            "metrics"
+        }
+        Some("trace") => {
+            args.remove(0);
+            "trace"
+        }
         Some(s) if !s.starts_with("--") => {
             return Err(format!("unknown command `{s}`\n{}", usage()))
         }
         _ => "sort",
     };
+    let trace_job = if command == "trace" {
+        if args.is_empty() || args[0].starts_with("--") {
+            return Err(format!("trace needs a job id\n{}", usage()));
+        }
+        parse_u64(&args.remove(0))?
+    } else {
+        0
+    };
 
     let mut addr = default_addr();
     let mut tenant: Option<String> = None;
+    let mut prometheus = false;
+    let mut raw_json = false;
     let mut spec = SubmitSpec::default();
     let mut iter = args.into_iter();
     let value = |flag: &str, iter: &mut dyn Iterator<Item = String>| -> Result<String, String> {
@@ -82,6 +114,8 @@ fn run() -> Result<(), String> {
             }
             "--spill" => spec.spill = true,
             "--descending" => spec.descending = true,
+            "--prometheus" => prometheus = true,
+            "--json" => raw_json = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 return Ok(());
@@ -101,20 +135,43 @@ fn run() -> Result<(), String> {
         }
         "stats" => {
             let s = server_stats(&addr).map_err(|e| e.to_string())?;
-            println!(
-                "pool_pages={} live={} queued={} submitted={} completed={} failed={} \
-                 rejected={} cancelled={} leaked_pages={} reallocations={}",
-                s.pool_pages,
-                s.live_jobs,
-                s.queued_jobs,
-                s.submitted,
-                s.completed,
-                s.failed,
-                s.rejected,
-                s.cancelled,
-                s.leaked_pages,
-                s.total_reallocations,
-            );
+            let rows: [(&str, u64); 10] = [
+                ("pool pages", s.pool_pages),
+                ("live jobs", s.live_jobs),
+                ("queued jobs", s.queued_jobs),
+                ("submitted", s.submitted),
+                ("completed", s.completed),
+                ("failed", s.failed),
+                ("rejected", s.rejected),
+                ("cancelled", s.cancelled),
+                ("leaked pages", s.leaked_pages),
+                ("reallocations", s.total_reallocations),
+            ];
+            let width = rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+            for (key, value) in rows {
+                println!("{key:<width$}  {value:>12}");
+            }
+            Ok(())
+        }
+        "metrics" => {
+            let json = fetch_metrics(&addr).map_err(|e| e.to_string())?;
+            if prometheus {
+                let doc = JsonValue::parse(&json).map_err(|e| format!("metrics JSON: {e}"))?;
+                print!("{}", metrics_to_prometheus(&metrics_from_json(&doc)));
+            } else {
+                println!("{json}");
+            }
+            Ok(())
+        }
+        "trace" => {
+            let json = fetch_trace(&addr, trace_job).map_err(|e| e.to_string())?;
+            if raw_json {
+                println!("{json}");
+            } else {
+                let doc = JsonValue::parse(&json).map_err(|e| format!("trace JSON: {e}"))?;
+                let snapshot = trace_from_json(&doc);
+                print!("{}", render_timeline(&snapshot.events));
+            }
             Ok(())
         }
         _ => sort(&addr, tenant.as_deref(), spec),

@@ -222,15 +222,40 @@ pub fn server_stats(addr: impl ToSocketAddrs) -> ClientResult<ServerSummary> {
 }
 
 fn admin(addr: impl ToSocketAddrs, frame: Frame) -> ClientResult<ServerSummary> {
+    match admin_frame(addr, frame, "SERVER_STATS")? {
+        Frame::ServerStats(summary) => Ok(summary),
+        other => Err(unexpected(&other, "SERVER_STATS")),
+    }
+}
+
+/// Fetch one job's event timeline as a JSON document (the raw `TRACE_DATA`
+/// payload; parse with [`masort_trace::trace_from_json`]).
+pub fn fetch_trace(addr: impl ToSocketAddrs, job: u64) -> ClientResult<String> {
+    match admin_frame(addr, Frame::TraceReq { job }, "TRACE_DATA")? {
+        Frame::TraceData { json } => Ok(json),
+        other => Err(unexpected(&other, "TRACE_DATA")),
+    }
+}
+
+/// Fetch the server's service-wide metrics registry as a JSON document (the
+/// raw `METRICS_DATA` payload; parse with [`masort_trace::metrics_from_json`]).
+pub fn fetch_metrics(addr: impl ToSocketAddrs) -> ClientResult<String> {
+    match admin_frame(addr, Frame::MetricsReq, "METRICS_DATA")? {
+        Frame::MetricsData { json } => Ok(json),
+        other => Err(unexpected(&other, "METRICS_DATA")),
+    }
+}
+
+/// One-shot admin exchange: connect, send `frame`, read the reply.
+fn admin_frame(addr: impl ToSocketAddrs, frame: Frame, wanted: &str) -> ClientResult<Frame> {
     let stream = TcpStream::connect(addr)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     write_frame(&mut writer, &frame)?;
     writer.flush()?;
     match read_frame(&mut reader)? {
-        Some(Frame::ServerStats(summary)) => Ok(summary),
         Some(Frame::Error(e)) => Err(ClientError::Remote(e)),
-        Some(other) => Err(unexpected(&other, "SERVER_STATS")),
-        None => Err(closed("SERVER_STATS")),
+        Some(reply) => Ok(reply),
+        None => Err(closed(wanted)),
     }
 }

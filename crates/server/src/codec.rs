@@ -140,6 +140,9 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_u64(&mut buf, s.leaked_pages);
             put_u64(&mut buf, s.total_reallocations);
         }
+        Frame::TraceReq { job } => put_u64(&mut buf, *job),
+        Frame::TraceData { json } | Frame::MetricsData { json } => put_str(&mut buf, json),
+        Frame::MetricsReq => {}
     }
     buf
 }
@@ -351,6 +354,16 @@ pub fn decode_frame(body: &[u8]) -> io::Result<Frame> {
         0x0A => Frame::Cancel,
         0x0B => Frame::Shutdown,
         0x0C => Frame::StatsReq,
+        0x0E => Frame::TraceReq {
+            job: c.u64("TRACE_REQ job")?,
+        },
+        0x0F => Frame::TraceData {
+            json: c.string("TRACE_DATA json")?,
+        },
+        0x10 => Frame::MetricsReq,
+        0x11 => Frame::MetricsData {
+            json: c.string("METRICS_DATA json")?,
+        },
         0x0D => Frame::ServerStats(ServerSummary {
             pool_pages: c.u64("SERVER_STATS pool")?,
             live_jobs: c.u64("SERVER_STATS live")?,
@@ -542,6 +555,14 @@ mod tests {
             leaked_pages: 0,
             total_reallocations: 9,
         }));
+        round_trip(Frame::TraceReq { job: 17 });
+        round_trip(Frame::TraceData {
+            json: "{\"span\":18,\"events\":[]}".into(),
+        });
+        round_trip(Frame::MetricsReq);
+        round_trip(Frame::MetricsData {
+            json: "{\"counters\":[],\"gauges\":[],\"histograms\":[]}".into(),
+        });
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod server;
 mod session;
 pub mod tenant;
 
-pub use client::{server_stats, shutdown_server, ClientError, ClientResult, Completed, SortClient};
+pub use client::{
+    fetch_metrics, fetch_trace, server_stats, shutdown_server, ClientError, ClientResult,
+    Completed, SortClient,
+};
 pub use protocol::{
     ErrorCode, Frame, JobSummary, ServerSummary, SubmitSpec, WireError, MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -64,7 +67,8 @@ pub use tenant::{TenantQuota, TenantRegistry};
 /// Convenient glob import of the server- and client-facing types.
 pub mod prelude {
     pub use crate::client::{
-        server_stats, shutdown_server, ClientError, ClientResult, Completed, SortClient,
+        fetch_metrics, fetch_trace, server_stats, shutdown_server, ClientError, ClientResult,
+        Completed, SortClient,
     };
     pub use crate::protocol::{
         ErrorCode, Frame, JobSummary, ServerSummary, SubmitSpec, WireError, PROTOCOL_VERSION,

@@ -267,6 +267,27 @@ pub enum Frame {
     StatsReq,
     /// Answer to `STATS_REQ`.
     ServerStats(ServerSummary),
+    /// Ask for one job's event timeline (sent instead of `HELLO`). The job
+    /// id is the server-assigned id from `ACCEPTED`.
+    TraceReq {
+        /// Job whose timeline to fetch.
+        job: u64,
+    },
+    /// Answer to `TRACE_REQ`: the job's events as a JSON document (the
+    /// `masort_trace` trace-snapshot schema; empty event list for unknown
+    /// jobs, which are indistinguishable from jobs that emitted nothing).
+    TraceData {
+        /// JSON text, parseable with `masort_trace::trace_from_json`.
+        json: String,
+    },
+    /// Ask for the service-wide metrics registry (sent instead of `HELLO`).
+    MetricsReq,
+    /// Answer to `METRICS_REQ`: every counter/gauge/histogram as a JSON
+    /// document (the `masort_trace` metrics-snapshot schema).
+    MetricsData {
+        /// JSON text, parseable with `masort_trace::metrics_from_json`.
+        json: String,
+    },
 }
 
 impl Frame {
@@ -286,6 +307,10 @@ impl Frame {
             Frame::Shutdown => 0x0B,
             Frame::StatsReq => 0x0C,
             Frame::ServerStats(_) => 0x0D,
+            Frame::TraceReq { .. } => 0x0E,
+            Frame::TraceData { .. } => 0x0F,
+            Frame::MetricsReq => 0x10,
+            Frame::MetricsData { .. } => 0x11,
         }
     }
 
@@ -305,6 +330,10 @@ impl Frame {
             Frame::Shutdown => "SHUTDOWN",
             Frame::StatsReq => "STATS_REQ",
             Frame::ServerStats(_) => "SERVER_STATS",
+            Frame::TraceReq { .. } => "TRACE_REQ",
+            Frame::TraceData { .. } => "TRACE_DATA",
+            Frame::MetricsReq => "METRICS_REQ",
+            Frame::MetricsData { .. } => "METRICS_DATA",
         }
     }
 }

@@ -20,8 +20,11 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use masort_broker::{EqualShare, MinGuarantee, PriorityWeighted, ServiceStats, SortService};
+use masort_broker::{
+    job_span, EqualShare, MinGuarantee, PriorityWeighted, ServiceStats, SortService,
+};
 use masort_core::SortConfig;
+use masort_trace::{metrics_to_json, trace_to_json, MetricsRegistry, Recorder, Trace};
 
 use crate::protocol::ServerSummary;
 use crate::session::run_session;
@@ -71,6 +74,10 @@ pub(crate) struct ServerShared {
     pub(crate) ingest_depth: usize,
     /// Tuples per `EGRESS` frame.
     pub(crate) egress_chunk: usize,
+    /// Always-enabled observability handle: the service and every job feed
+    /// the recorder + registry this handle wraps, and `TRACE_REQ` /
+    /// `METRICS_REQ` frames are answered from it.
+    pub(crate) trace: Trace,
 }
 
 impl ServerShared {
@@ -89,6 +96,26 @@ impl ServerShared {
             leaked_pages: stats.leaked_pages,
             total_reallocations: stats.total_reallocations,
         }
+    }
+
+    /// One job's event timeline as a pretty-printed JSON document
+    /// (the `TRACE_DATA` payload).
+    pub(crate) fn trace_json(&self, job: u64) -> String {
+        let recorder = self
+            .trace
+            .recorder()
+            .expect("server trace handle is always enabled");
+        trace_to_json(&recorder.snapshot().for_span(job_span(job))).to_pretty_string()
+    }
+
+    /// The service-wide metrics registry as a pretty-printed JSON document
+    /// (the `METRICS_DATA` payload).
+    pub(crate) fn metrics_json(&self) -> String {
+        let metrics = self
+            .trace
+            .metrics()
+            .expect("server trace handle is always enabled");
+        metrics_to_json(&metrics.snapshot()).to_pretty_string()
     }
 }
 
@@ -197,12 +224,14 @@ impl ServerBuilder {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let trace = Trace::enabled(Recorder::new(), MetricsRegistry::new());
         let mut svc = SortService::builder()
             .pool_pages(self.pool_pages)
             .workers(self.workers)
             .io_threads(self.io_threads)
             .io_pipeline(self.io_pipeline)
-            .cpu_threads(self.cpu_threads);
+            .cpu_threads(self.cpu_threads)
+            .trace(trace.clone());
         svc = match self.policy {
             PolicyChoice::EqualShare => svc.policy(EqualShare),
             PolicyChoice::PriorityWeighted => svc.policy(PriorityWeighted),
@@ -216,6 +245,7 @@ impl ServerBuilder {
                 base_cfg: self.base_cfg,
                 ingest_depth: self.ingest_depth,
                 egress_chunk: self.egress_chunk,
+                trace,
             }),
             listener,
             addr,

@@ -17,6 +17,7 @@ use std::time::Duration;
 
 use masort_broker::SortRequest;
 use masort_core::{ChannelSource, Page, SortError, SortOrder, Tuple};
+use masort_trace::EventKind;
 
 use crate::codec::{read_frame, read_frame_abortable, write_frame};
 use crate::protocol::{
@@ -58,7 +59,9 @@ pub(crate) fn run_session(shared: &Arc<ServerShared>, stream: TcpStream) {
     };
     let mut reader = BufReader::new(stream);
     let mut writer = BufWriter::new(write_half);
+    shared.trace.emit(EventKind::SessionOpen);
     let _ = serve(shared, &mut reader, &mut writer);
+    shared.trace.emit(EventKind::SessionClose);
     let _ = writer.flush();
 }
 
@@ -82,7 +85,7 @@ fn serve<W: Write>(
     writer: &mut W,
 ) -> io::Result<()> {
     // The opening frame routes the whole connection: HELLO starts a sort,
-    // SHUTDOWN / STATS_REQ are admin commands.
+    // SHUTDOWN / STATS_REQ / TRACE_REQ / METRICS_REQ are admin commands.
     let tenant = match read_frame_abortable(reader, &shared.shutdown)? {
         None => return Ok(()),
         Some(Frame::Shutdown) => {
@@ -90,12 +93,25 @@ fn serve<W: Write>(
             shared.shutdown.store(true, Ordering::Release);
             return Ok(());
         }
-        Some(Frame::StatsReq) => {
-            send(writer, &Frame::ServerStats(shared.summary()))?;
-            // Allow a monitoring connection to keep polling.
-            while let Some(frame) = read_frame_abortable(reader, &shared.shutdown)? {
+        Some(frame @ (Frame::StatsReq | Frame::TraceReq { .. } | Frame::MetricsReq)) => {
+            let mut frame = frame;
+            // Answer, then allow a monitoring connection to keep polling any
+            // mix of the three read-only admin requests.
+            loop {
                 match frame {
                     Frame::StatsReq => send(writer, &Frame::ServerStats(shared.summary()))?,
+                    Frame::TraceReq { job } => send(
+                        writer,
+                        &Frame::TraceData {
+                            json: shared.trace_json(job),
+                        },
+                    )?,
+                    Frame::MetricsReq => send(
+                        writer,
+                        &Frame::MetricsData {
+                            json: shared.metrics_json(),
+                        },
+                    )?,
                     Frame::Shutdown => {
                         send(writer, &Frame::ServerStats(shared.summary()))?;
                         shared.shutdown.store(true, Ordering::Release);
@@ -108,8 +124,11 @@ fn serve<W: Write>(
                         )
                     }
                 }
+                match read_frame_abortable(reader, &shared.shutdown)? {
+                    Some(next) => frame = next,
+                    None => return Ok(()),
+                }
             }
-            return Ok(());
         }
         Some(Frame::Hello { version, tenant }) => {
             if version != PROTOCOL_VERSION {
