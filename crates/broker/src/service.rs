@@ -6,13 +6,14 @@ use crate::broker::MemoryBroker;
 use crate::policy::{ArbitrationPolicy, EqualShare, JobDemand};
 use crate::stats::{JobStats, ServiceStats};
 use crate::ticket::{JobId, JobReport, SortTicket, TicketShared};
+use masort_core::sync::thread::{self, JoinHandle};
+use masort_core::sync::{Condvar, Mutex, MutexGuard};
 use masort_core::{
     BlockReadJob, DelaySample, FileStore, InputSource, IoPool, MemStore, MemoryBudget, Page,
     RealEnv, RunId, RunStore, SortConfig, SortError, SortJob, SortResult, Tuple, VecSource,
 };
 use masort_trace::{EventKind, SpanId, Trace};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
-use std::thread::JoinHandle;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The trace span a job's events are emitted on. Offset by one so job 0 does
@@ -371,7 +372,7 @@ impl SortServiceBuilder {
         let handles = (0..self.workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("masort-worker-{i}"))
                     .spawn(move || worker_loop(shared))
                     .expect("spawning a sort worker thread failed")
@@ -412,7 +413,7 @@ impl Shared {
     }
 
     fn lock(&self) -> MutexGuard<'_, State> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        self.state.lock()
     }
 
     /// Remove job `job` from the admission queue, if it is still queued, and
@@ -693,7 +694,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 if st.shutdown && st.queue.is_empty() {
                     return;
                 }
-                st = shared.work.wait(st).unwrap_or_else(|e| e.into_inner());
+                st = shared.work.wait(st);
             }
         };
         run_admitted(&shared, admitted);

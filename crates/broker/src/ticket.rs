@@ -3,10 +3,11 @@
 
 use crate::service::{ServiceStore, Shared};
 use crate::stats::JobStats;
+use masort_core::sync::{Condvar, Mutex, MutexGuard};
 use masort_core::{
     MemoryBudget, SortCompletion, SortError, SortOutcome, SortResult, SortedStream, Tuple,
 };
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
+use std::sync::{Arc, Weak};
 use std::time::Duration;
 
 /// Identifier of a job within one [`SortService`](crate::SortService)
@@ -33,7 +34,7 @@ pub(crate) struct TicketShared {
 
 impl TicketShared {
     fn lock(&self) -> MutexGuard<'_, Option<SortResult<JobReport>>> {
-        self.slot.lock().unwrap_or_else(|e| e.into_inner())
+        self.slot.lock()
     }
 
     /// Deliver the job's result and wake every waiter. Must be called at most
@@ -50,7 +51,7 @@ impl TicketShared {
     /// the job was still queued is applied to the budget right here, so the
     /// sort aborts at its first adaptivity checkpoint.
     pub(crate) fn attach_budget(&self, budget: MemoryBudget) {
-        let mut g = self.cancel.lock().unwrap_or_else(|e| e.into_inner());
+        let mut g = self.cancel.lock();
         if g.requested {
             budget.cancel();
         }
@@ -60,7 +61,7 @@ impl TicketShared {
     /// Called by [`SortTicket::cancel`]: flag the job as cancelled and, if it
     /// is already running, cancel its budget.
     pub(crate) fn request_cancel(&self) {
-        let mut g = self.cancel.lock().unwrap_or_else(|e| e.into_inner());
+        let mut g = self.cancel.lock();
         g.requested = true;
         if let Some(budget) = &g.budget {
             budget.cancel();
@@ -73,10 +74,7 @@ impl TicketShared {
     /// streaming input can instead surface the I/O error of its abandoned
     /// channel — the caller asked for a cancel either way.
     pub(crate) fn cancel_requested(&self) -> bool {
-        self.cancel
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .requested
+        self.cancel.lock().requested
     }
 }
 
@@ -155,7 +153,7 @@ impl SortTicket {
             if let Some(result) = g.take() {
                 return result;
             }
-            g = self.shared.cv.wait(g).unwrap_or_else(|e| e.into_inner());
+            g = self.shared.cv.wait(g);
         }
     }
 
@@ -173,11 +171,7 @@ impl SortTicket {
                 drop(g);
                 return Err(self);
             }
-            let (guard, _timed_out) = self
-                .shared
-                .cv
-                .wait_timeout(g, deadline - now)
-                .unwrap_or_else(|e| e.into_inner());
+            let (guard, _timed_out) = self.shared.cv.wait_timeout(g, deadline - now);
             g = guard;
         }
     }

@@ -1,0 +1,50 @@
+//! CI gate for the raw-sync lint: scans the workspace for direct
+//! `std::sync::{Mutex, RwLock, Condvar}` / `std::sync::mpsc` use outside
+//! the shim and exits non-zero with a listing when any is found.
+//!
+//! Usage: `cargo run -p masort-check --bin lint-sync [ROOT...]`
+//! (defaults to the workspace root's `crates/` and `src/`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        // CARGO_MANIFEST_DIR = <workspace>/crates/check
+        let ws = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(|p| p.parent())
+            .map(|p| p.to_path_buf())
+            .unwrap_or_else(|| PathBuf::from("."));
+        ["crates", "src"]
+            .iter()
+            .map(|d| ws.join(d))
+            .filter(|p| p.is_dir())
+            .collect()
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+
+    let mut findings = Vec::new();
+    for root in &roots {
+        findings.extend(masort_check::lint::scan_tree(root));
+    }
+
+    if findings.is_empty() {
+        println!(
+            "lint-sync: OK — no raw std::sync primitives outside the shim ({} roots scanned)",
+            roots.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "lint-sync: {} raw std::sync primitive(s) found:",
+            findings.len()
+        );
+        for f in &findings {
+            eprintln!("  {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

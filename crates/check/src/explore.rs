@@ -1,0 +1,213 @@
+//! The deterministic interleaving explorer: run a model closure under many
+//! schedules, deterministically, and replay any failure from a printed seed.
+//!
+//! A *model* is a plain closure that builds some shared state and spawns
+//! threads through the shim (`masort_core::sync::thread`), all of which
+//! become cooperative tasks of a seeded scheduler. Two modes:
+//!
+//! - [`explore_random`]: a seeded random walk over schedules. Each schedule
+//!   gets its own derived seed; on failure that seed is printed and
+//!   [`replay`] reproduces the exact interleaving.
+//! - [`explore_exhaustive`]: bounded-exhaustive enumeration of scheduling
+//!   choice prefixes (depth-first), for small models where full coverage of
+//!   the first divergences matters more than raw schedule count.
+//!
+//! Failures are panics in any task, structural deadlocks (no runnable task
+//! and no timed waiter), or exceeding the per-schedule step bound.
+
+use crate::rt::{self, ChoiceSrc};
+use std::sync::Arc;
+
+/// Tuning knobs for an exploration run.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Number of schedules to run (random walks, or the enumeration bound
+    /// for the exhaustive mode).
+    pub schedules: usize,
+    /// Base seed for the random walk; each schedule derives its own seed
+    /// from this (the *derived* seed is what a failure report prints).
+    pub seed: u64,
+    /// Per-schedule bound on scheduling decisions, to catch livelocks.
+    pub max_steps: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            schedules: 100,
+            seed: 0x5EED_CAFE,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Successful exploration summary.
+#[derive(Clone, Copy, Debug)]
+pub struct Explored {
+    /// Number of schedules executed without failure.
+    pub schedules: usize,
+}
+
+/// A failing schedule, with everything needed to reproduce it.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    /// The derived seed of the failing random walk (`None` for exhaustive
+    /// mode — use [`Failure::trace`] with [`replay_trace`] instead).
+    pub seed: Option<u64>,
+    /// Index of the failing schedule within the run.
+    pub schedule: usize,
+    /// Human-readable failure (panic message, deadlock report, step bound).
+    pub message: String,
+    /// The scheduling choices taken, reproducible via [`replay_trace`].
+    pub trace: Vec<usize>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.seed {
+            Some(seed) => write!(
+                f,
+                "schedule {} failed (replay with seed {seed:#018x}): {}",
+                self.schedule, self.message
+            ),
+            None => write!(
+                f,
+                "schedule {} failed (replay trace {:?}): {}",
+                self.schedule, self.trace, self.message
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// splitmix64: derive well-separated per-schedule seeds from a base seed.
+fn derive_seed(base: u64, i: u64) -> u64 {
+    let mut z = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    if z == 0 {
+        0x9E37_79B9_7F4A_7C15
+    } else {
+        z
+    }
+}
+
+fn run_one(
+    choices: ChoiceSrc,
+    opts: &Options,
+    model: &Arc<dyn Fn() + Send + Sync>,
+) -> rt::ScheduleOutcome {
+    let m = Arc::clone(model);
+    rt::run_schedule(choices, opts.max_steps, Box::new(move || m()))
+}
+
+/// Run `opts.schedules` seeded random-walk schedules of `model`. On failure
+/// the derived seed is printed to stderr and returned for [`replay`].
+pub fn explore_random(
+    opts: &Options,
+    model: impl Fn() + Send + Sync + 'static,
+) -> Result<Explored, Failure> {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    for i in 0..opts.schedules {
+        let seed = derive_seed(opts.seed, i as u64);
+        let out = run_one(ChoiceSrc::Random(seed), opts, &model);
+        if let Some(message) = out.failure {
+            let failure = Failure {
+                seed: Some(seed),
+                schedule: i,
+                message,
+                trace: out.trace.iter().map(|&(c, _)| c).collect(),
+            };
+            eprintln!("masort-check: {failure}");
+            return Err(failure);
+        }
+    }
+    Ok(Explored {
+        schedules: opts.schedules,
+    })
+}
+
+/// Re-run a single schedule from a derived seed printed by a failing
+/// [`explore_random`] run. Returns the failure if it reproduces.
+pub fn replay(
+    seed: u64,
+    opts: &Options,
+    model: impl Fn() + Send + Sync + 'static,
+) -> Result<(), Failure> {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let out = run_one(ChoiceSrc::Random(seed), opts, &model);
+    match out.failure {
+        None => Ok(()),
+        Some(message) => Err(Failure {
+            seed: Some(seed),
+            schedule: 0,
+            message,
+            trace: out.trace.iter().map(|&(c, _)| c).collect(),
+        }),
+    }
+}
+
+/// Re-run a single schedule from an explicit choice trace (as recorded in
+/// [`Failure::trace`], e.g. by the exhaustive mode).
+pub fn replay_trace(
+    trace: Vec<usize>,
+    opts: &Options,
+    model: impl Fn() + Send + Sync + 'static,
+) -> Result<(), Failure> {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let out = run_one(ChoiceSrc::Fixed(trace), opts, &model);
+    match out.failure {
+        None => Ok(()),
+        Some(message) => Err(Failure {
+            seed: None,
+            schedule: 0,
+            message,
+            trace: out.trace.iter().map(|&(c, _)| c).collect(),
+        }),
+    }
+}
+
+/// Bounded-exhaustive exploration: depth-first enumeration of scheduling
+/// choice prefixes, visiting at most `opts.schedules` schedules. Complete
+/// for models whose decision trees fit in the bound; otherwise it covers
+/// the earliest divergences first.
+pub fn explore_exhaustive(
+    opts: &Options,
+    model: impl Fn() + Send + Sync + 'static,
+) -> Result<Explored, Failure> {
+    let model: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let mut stack: Vec<Vec<usize>> = vec![Vec::new()];
+    let mut run = 0usize;
+    while let Some(prefix) = stack.pop() {
+        if run >= opts.schedules {
+            break;
+        }
+        let depth = prefix.len();
+        let out = run_one(ChoiceSrc::Fixed(prefix), opts, &model);
+        if let Some(message) = out.failure {
+            let failure = Failure {
+                seed: None,
+                schedule: run,
+                message,
+                trace: out.trace.iter().map(|&(c, _)| c).collect(),
+            };
+            eprintln!("masort-check: {failure}");
+            return Err(failure);
+        }
+        run += 1;
+        // Branch on every untried alternative at or beyond the prefix
+        // frontier. Pushed in reverse so lower choices are explored first.
+        let choices: Vec<usize> = out.trace.iter().map(|&(c, _)| c).collect();
+        for pos in (depth..out.trace.len()).rev() {
+            let (taken, n) = out.trace[pos];
+            for alt in (taken + 1..n).rev() {
+                let mut p = choices[..pos].to_vec();
+                p.push(alt);
+                stack.push(p);
+            }
+        }
+    }
+    Ok(Explored { schedules: run })
+}

@@ -1,0 +1,31 @@
+//! masort-check: deterministic concurrency checking for the masort stack.
+//!
+//! The paper's adaptation protocol is inherently concurrent — sorts
+//! suspend, page and split while the broker re-divides memory under them —
+//! and masort implements it with five layers of hand-rolled locking. This
+//! crate is the correctness-tooling layer beneath all of them:
+//!
+//! - [`sync`]: the synchronisation shim every masort crate uses instead of
+//!   `std::sync` (re-exported as `masort_core::sync`). Transparent in
+//!   release, witness-instrumented in debug, explorer-instrumented under
+//!   `--cfg masort_check`.
+//! - [`witness`]: a lockdep-style lock-order witness that panics on the
+//!   first cyclic acquisition order, with both site chains in the message.
+//! - [`explore`]: a seeded cooperative scheduler that runs *model tests*
+//!   over real masort protocols, deterministically replaying any failing
+//!   interleaving from a printed seed.
+//! - [`checked`]: the instrumented primitives behind the shim under
+//!   `--cfg masort_check`.
+//! - [`lint`] and the `lint-sync` binary: a source scanner failing CI when
+//!   raw `std::sync::{Mutex, RwLock, Condvar, mpsc}` appears outside the
+//!   shim.
+//!
+//! The crate is intentionally dependency-free so it can sit below
+//! masort-trace, the lowest crate in the workspace.
+
+pub mod checked;
+pub mod explore;
+pub mod lint;
+mod rt;
+pub mod sync;
+pub mod witness;

@@ -1,0 +1,159 @@
+//! The raw-sync lint: a dependency-free source scanner that flags direct
+//! use of `std::sync::{Mutex, RwLock, Condvar}` or `std::sync::mpsc`
+//! outside the shim, so all of masort's blocking synchronisation stays
+//! visible to the lock-order witness and the interleaving explorer.
+//!
+//! Skipped: `crates/check/` itself (it *implements* the shim), `vendor/`,
+//! `target/`, `tests/` directories, and any line — or any multi-line `use`
+//! group containing a line — carrying a `check-exempt:` marker comment.
+//! `std::sync::Arc`, `OnceLock`, atomics and `std::thread` are allowed.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One raw-sync occurrence.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// File containing the occurrence.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: raw std::sync primitive: `{}` (route it through masort_core::sync, or mark \
+             the line `// check-exempt: <reason>`)",
+            self.file.display(),
+            self.line,
+            self.text
+        )
+    }
+}
+
+const BANNED: [&str; 4] = ["Mutex", "RwLock", "Condvar", "mpsc"];
+
+/// Directory names never descended into.
+fn skip_dir(name: &str) -> bool {
+    matches!(name, "target" | "vendor" | "tests" | ".git" | "check")
+}
+
+/// True when `line` (comments already stripped) names a banned primitive
+/// through `std::sync::`.
+fn line_flagged(line: &str) -> bool {
+    let mut rest = line;
+    while let Some(pos) = rest.find("std::sync::") {
+        let after = &rest[pos + "std::sync::".len()..];
+        if BANNED.iter().any(|b| {
+            after.starts_with(b)
+                && !after[b.len()..]
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        }) {
+            return true;
+        }
+        // A brace group on this line: `use std::sync::{Arc, Mutex};`.
+        if let Some(body) = after.strip_prefix('{') {
+            let group = body.split('}').next().unwrap_or("");
+            if group_flagged(group) {
+                return true;
+            }
+        }
+        rest = after;
+    }
+    false
+}
+
+/// True when the body of a `use std::sync::{ ... }` group names a banned
+/// primitive as a path segment.
+fn group_flagged(group: &str) -> bool {
+    group
+        .split(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .any(|tok| BANNED.contains(&tok))
+}
+
+/// Strip a trailing `// ...` comment (good enough for lint purposes; string
+/// literals containing `//` may hide code, which this lint tolerates).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Scan one Rust source file for raw-sync occurrences.
+pub fn scan_file(path: &Path) -> Vec<Finding> {
+    let Ok(src) = fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut findings = Vec::new();
+    let mut group: Option<(usize, String, bool)> = None; // (start line, text, exempt)
+    for (idx, raw) in src.lines().enumerate() {
+        let exempt = raw.contains("check-exempt:");
+        let line = strip_comment(raw);
+        if let Some((start, text, was_exempt)) = group.take() {
+            let text = format!("{text} {}", line.trim());
+            let exempt = was_exempt || exempt;
+            if line.contains(';') {
+                if !exempt && line_flagged(&text) {
+                    findings.push(Finding {
+                        file: path.to_path_buf(),
+                        line: start,
+                        text: text.trim().to_string(),
+                    });
+                }
+            } else {
+                group = Some((start, text, exempt));
+            }
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let is_use = trimmed.starts_with("use ") || trimmed.starts_with("pub use ");
+        if is_use && trimmed.contains("std::sync::") && !line.contains(';') {
+            // Multi-line use group: accumulate until the terminating `;`.
+            group = Some((idx + 1, line.trim().to_string(), exempt));
+            continue;
+        }
+        if !exempt && line_flagged(line) {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: idx + 1,
+                text: raw.trim().to_string(),
+            });
+        }
+    }
+    findings
+}
+
+/// Recursively scan every `.rs` file under `root`, honouring the skip list.
+pub fn scan_tree(root: &Path) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        let mut entries: Vec<_> = entries.flatten().collect();
+        entries.sort_by_key(|e| e.path());
+        for entry in entries {
+            let path = entry.path();
+            let Ok(ft) = entry.file_type() else { continue };
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if ft.is_dir() {
+                if !skip_dir(&name) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                findings.extend(scan_file(&path));
+            }
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}

@@ -1,0 +1,109 @@
+//! Tests of the raw-sync lint: planted raw `std::sync` primitives are
+//! flagged, exemptions and allowed types pass, and — the real acceptance
+//! criterion — the migrated masort tree itself scans clean.
+
+use masort_check::lint::{scan_file, scan_tree};
+use std::fs;
+use std::path::PathBuf;
+
+/// A per-test scratch path under the system temp dir.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("masort-lint-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn planted_raw_primitives_are_flagged_with_line_numbers() {
+    let path = scratch("planted.rs");
+    fs::write(
+        &path,
+        "use std::sync::Mutex;\n\
+         use std::sync::{Arc, RwLock};\n\
+         use std::sync::Arc;\n\
+         fn f() {\n\
+             let _cv = std::sync::Condvar::new();\n\
+             let (_tx, _rx) = std::sync::mpsc::channel::<u32>();\n\
+         }\n",
+    )
+    .unwrap();
+    let findings = scan_file(&path);
+    fs::remove_file(&path).unwrap();
+    let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+    assert_eq!(lines, vec![1, 2, 5, 6], "findings: {findings:#?}");
+}
+
+#[test]
+fn exempt_and_allowed_lines_pass() {
+    let path = scratch("exempt.rs");
+    fs::write(
+        &path,
+        "use std::sync::Arc;\n\
+         use std::sync::atomic::{AtomicUsize, Ordering};\n\
+         use std::sync::OnceLock;\n\
+         // check-exempt: exercising the exemption marker\n\
+         use std::sync::Mutex; // check-exempt: planted on purpose\n\
+         use std::sync::mpsc; // check-exempt: planted on purpose\n\
+         struct MutexLike; // a comment mentioning std::sync::Mutex is fine\n",
+    )
+    .unwrap();
+    let findings = scan_file(&path);
+    fs::remove_file(&path).unwrap();
+    assert!(findings.is_empty(), "false positives: {findings:#?}");
+}
+
+#[test]
+fn multiline_use_groups_are_flagged_and_exemptable() {
+    let path = scratch("multiline.rs");
+    fs::write(
+        &path,
+        "use std::sync::{\n\
+             Arc,\n\
+             Mutex,\n\
+         };\n\
+         use std::sync::{\n\
+             // check-exempt: planted on purpose\n\
+             Condvar,\n\
+         };\n",
+    )
+    .unwrap();
+    let findings = scan_file(&path);
+    fs::remove_file(&path).unwrap();
+    assert_eq!(findings.len(), 1, "findings: {findings:#?}");
+    assert_eq!(findings[0].line, 1);
+}
+
+#[test]
+fn planted_tree_fails_and_skip_dirs_are_honoured() {
+    let root = scratch("tree");
+    let core_src = root.join("crates/core/src");
+    let tests_dir = root.join("crates/core/tests");
+    fs::create_dir_all(&core_src).unwrap();
+    fs::create_dir_all(&tests_dir).unwrap();
+    fs::write(core_src.join("bad.rs"), "use std::sync::Mutex;\n").unwrap();
+    // A tests/ directory is exempt wholesale: raw primitives there are fine.
+    fs::write(tests_dir.join("also_raw.rs"), "use std::sync::Mutex;\n").unwrap();
+    let findings = scan_tree(&root);
+    fs::remove_dir_all(&root).unwrap();
+    assert_eq!(findings.len(), 1, "findings: {findings:#?}");
+    assert!(findings[0].file.ends_with("crates/core/src/bad.rs"));
+}
+
+#[test]
+fn the_migrated_masort_tree_is_clean() {
+    let repo = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut findings = Vec::new();
+    for sub in ["crates", "src"] {
+        let root = repo.join(sub);
+        if root.is_dir() {
+            findings.extend(scan_tree(&root));
+        }
+    }
+    assert!(
+        findings.is_empty(),
+        "raw std::sync primitives crept back in:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -1,0 +1,133 @@
+//! Deterministic model tests of masort's real concurrent components, run
+//! under the interleaving explorer. Compiled only with the checked shim
+//! active:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg masort_check" cargo test -p masort-check --test models
+//! ```
+//!
+//! Each model keeps all shared state inside explorer tasks (sorts run with
+//! the default `cpu_threads = 1` so run formation spawns no unmanaged scoped
+//! threads) and uses tiny in-memory inputs so a schedule is a few thousand
+//! scheduling decisions at most.
+#![cfg(masort_check)]
+
+use masort_broker::{SortRequest, SortService};
+use masort_check::explore::{explore_random, Options};
+use masort_core::prelude::*;
+use masort_core::sync::thread;
+use masort_core::verify::assert_sorted_permutation;
+use std::sync::Arc;
+
+fn opts(schedules: usize) -> Options {
+    Options {
+        schedules,
+        seed: 0x0DE1_CA7E,
+        max_steps: 500_000,
+    }
+}
+
+fn tuples(n: usize, salt: u64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| Tuple::synthetic((i as u64).wrapping_mul(7919).wrapping_add(salt) % 97, 64))
+        .collect()
+}
+
+/// `MemoryBudget` hierarchy: a parent re-targeting while a child reports
+/// holdings. Every interleaving must preserve the budget invariants (checked
+/// by the debug asserts inside `budget.rs` on every operation) and converge:
+/// once the child reports zero, the root holds zero and no shrink request
+/// can still be pending against an empty holding.
+#[test]
+fn budget_retarget_races_child_rollup() {
+    explore_random(&opts(25), || {
+        let root = MemoryBudget::new(16);
+        let child = root.child(0.5);
+        let setter = {
+            let root = root.clone();
+            thread::spawn(move || {
+                for (i, t) in [8usize, 2, 12].into_iter().enumerate() {
+                    root.set_target(t, i as f64);
+                }
+            })
+        };
+        let reporter = {
+            let child = child.clone();
+            thread::spawn(move || {
+                for (i, h) in [4usize, 6, 1, 0].into_iter().enumerate() {
+                    child.record_held(h, 10.0 + i as f64);
+                }
+            })
+        };
+        setter.join().expect("setter panicked");
+        reporter.join().expect("reporter panicked");
+        assert_eq!(root.held(), 0, "quiescent child must roll up to zero");
+        assert!(!root.shrink_pending(), "no shortage with zero held");
+        assert!(!child.shrink_pending());
+        assert_eq!(child.target(), 6, "final child target = floor(12 * 0.5)");
+    })
+    .expect("no interleaving may break the budget hierarchy");
+}
+
+/// `IoPool` backpressure: one worker, competing submitters, handles redeemed
+/// while the pool is being dropped. Every interleaving must run every job
+/// exactly once (no deadlock between the worker's condvar wait and the
+/// shutdown flag, no lost job on the drop path).
+#[test]
+fn io_pool_backpressure_and_shutdown() {
+    explore_random(&opts(25), || {
+        let pool = IoPool::new(1);
+        let h1 = pool.submit(|| 1u32);
+        let h2 = pool.submit_urgent(|| 2u32);
+        let submitter = {
+            let pool = pool.clone();
+            thread::spawn(move || pool.submit(|| 3u32).wait())
+        };
+        drop(pool); // workers must drain the queue before exiting
+        assert_eq!(h1.wait(), Some(1));
+        assert_eq!(h2.wait(), Some(2));
+        assert_eq!(submitter.join().expect("submitter panicked"), Some(3));
+    })
+    .expect("no interleaving may lose an IoPool job");
+}
+
+/// The broker under concurrent admission, completion and pool resizing: two
+/// tiny sorts run while another task shrinks and re-grows the page pool.
+/// Every interleaving must deliver both sorted outputs and leave the service
+/// consistent (the resize may suspend/repartition jobs but never wedge or
+/// corrupt them).
+#[test]
+fn broker_resize_races_admission_and_completion() {
+    explore_random(&opts(10), || {
+        let svc = Arc::new(SortService::builder().pool_pages(12).workers(2).build());
+        let cfg = SortConfig::default()
+            .with_page_size(256)
+            .with_tuple_size(64)
+            .with_memory_pages(4);
+        let in1 = tuples(24, 1);
+        let in2 = tuples(24, 2);
+        let t1 = svc
+            .submit(SortRequest::tuples(cfg.clone(), in1.clone()).min_pages(2))
+            .expect("submit 1");
+        let resizer = {
+            let svc = Arc::clone(&svc);
+            thread::spawn(move || {
+                svc.resize_pool(6);
+                svc.resize_pool(16);
+            })
+        };
+        let t2 = svc
+            .submit(SortRequest::tuples(cfg, in2.clone()).min_pages(2))
+            .expect("submit 2");
+        let r1 = t1.wait().expect("sort 1 failed");
+        let r2 = t2.wait().expect("sort 2 failed");
+        assert_sorted_permutation(&in1, &r1.into_sorted_vec().expect("read sort 1"));
+        assert_sorted_permutation(&in2, &r2.into_sorted_vec().expect("read sort 2"));
+        resizer.join().expect("resizer panicked");
+        if let Ok(svc) = Arc::try_unwrap(svc) {
+            let stats = svc.shutdown();
+            assert_eq!(stats.completed, 2);
+        }
+    })
+    .expect("no interleaving may wedge or corrupt the broker");
+}

@@ -53,7 +53,8 @@
 //! during the (single-threaded) merge phase, after the workers have gone
 //! quiet.
 
-use std::sync::{Arc, Mutex, MutexGuard, Weak};
+use crate::sync::{Mutex, MutexGuard};
+use std::sync::{Arc, Weak};
 
 /// Which phase of the external sort a delay was incurred in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -128,6 +129,24 @@ fn child_target(parent_target: usize, share: f64) -> usize {
     }
 }
 
+/// Debug-build invariant check, run at the end of every mutating critical
+/// section while the budget lock is still held. The one cross-field
+/// invariant every mutation must preserve: a shrink request stays pending
+/// *exactly* while the sort holds more than its target — `set_target`,
+/// `record_held` and the child roll-up all clear `pending_since` the moment
+/// `held <= target`.
+#[cfg(debug_assertions)]
+fn check_inner(g: &Inner) {
+    debug_assert!(
+        g.pending_since.is_none() || g.held > g.target,
+        "budget invariant violated: shrink pending while held ({}) <= target ({})",
+        g.held,
+        g.target,
+    );
+}
+#[cfg(not(debug_assertions))]
+fn check_inner(_g: &Inner) {}
+
 /// A point-in-time view of a [`MemoryBudget`], read under a single lock so
 /// that the fields are mutually consistent (reading `target()` and `held()`
 /// separately can interleave with a concurrent update).
@@ -156,7 +175,7 @@ impl MemoryBudget {
     /// budget owner must not wedge the sort — the state is a few plain
     /// counters that are always internally consistent).
     fn lock(&self) -> MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.lock()
     }
 
     /// Create a budget with an initial target of `initial_pages` pages.
@@ -270,6 +289,16 @@ impl MemoryBudget {
     fn apply_child_delta(&self, delta: isize, now: f64) {
         let (parent, sample) = {
             let mut g = self.lock();
+            // A roll-up that would underflow means a child released more
+            // pages than were ever accumulated here — a protocol violation
+            // (e.g. a parent overwrote its holding with `record_held` while
+            // workers were still reporting). Saturation hides it in release;
+            // debug builds refuse.
+            debug_assert!(
+                g.held.checked_add_signed(delta).is_some(),
+                "budget roll-up underflow: child delta {delta} on held {}",
+                g.held,
+            );
             g.held = g.held.saturating_add_signed(delta);
             let sample = match g.pending_since {
                 Some(since) if g.held <= g.target => {
@@ -282,6 +311,7 @@ impl MemoryBudget {
                 }
                 _ => None,
             };
+            check_inner(&g);
             (g.parent.clone(), sample)
         };
         if let Some(sample) = sample {
@@ -351,6 +381,7 @@ impl MemoryBudget {
                     });
                 }
             }
+            check_inner(&g);
             (
                 Self::live_children(&mut g),
                 g.parent.is_some(),
@@ -399,6 +430,7 @@ impl MemoryBudget {
                     g.pending_since = None;
                 }
             }
+            check_inner(&g);
             (delta, g.parent.clone(), sample, g.trace.clone(), prev)
         };
         if trace.is_enabled() && delta != 0 {

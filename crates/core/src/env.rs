@@ -205,7 +205,7 @@ impl SortEnv for RealEnv {
             if budget.is_cancelled() || Instant::now() >= deadline {
                 return false;
             }
-            std::thread::sleep(self.poll_interval);
+            crate::sync::thread::sleep(self.poll_interval);
         }
     }
 

@@ -1,12 +1,13 @@
 //! Input sources — where the pages of the relation being sorted come from.
 
 use crate::error::SortResult;
+use crate::sync::{mpsc, Mutex};
 use crate::tuple::{paginate, Page, Tuple};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 use std::fmt;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// A stream of input pages for the split phase.
 ///
@@ -175,11 +176,9 @@ impl<I: InputSource> SharedSource<I> {
 
 impl<I: InputSource> InputSource for SharedSource<I> {
     fn next_page(&mut self) -> SortResult<Option<Page>> {
-        // A panicking sibling worker must not wedge the rest of the sort.
-        self.inner
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .next_page()
+        // A panicking sibling worker must not wedge the rest of the sort:
+        // the shim's lock() recovers poison instead of propagating it.
+        self.inner.lock().next_page()
     }
 }
 
@@ -445,7 +444,7 @@ impl std::error::Error for ChannelClosed {}
 /// a truncated relation must not be reported as a successful sort.
 #[derive(Debug)]
 pub struct ChannelSink {
-    tx: std::sync::mpsc::SyncSender<ChannelItem>,
+    tx: mpsc::SyncSender<ChannelItem>,
 }
 
 impl ChannelSink {
@@ -497,7 +496,7 @@ impl ChannelSink {
 /// ```
 #[derive(Debug)]
 pub struct ChannelSource {
-    rx: std::sync::mpsc::Receiver<ChannelItem>,
+    rx: mpsc::Receiver<ChannelItem>,
     done: bool,
     expected_tuples: Option<usize>,
 }
@@ -506,7 +505,7 @@ impl ChannelSource {
     /// Create a channel holding at most `capacity` (≥ 1) undrained pages and
     /// return both halves.
     pub fn bounded(capacity: usize) -> (ChannelSink, ChannelSource) {
-        let (tx, rx) = std::sync::mpsc::sync_channel(capacity.max(1));
+        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
         (
             ChannelSink { tx },
             ChannelSource {
@@ -761,7 +760,7 @@ mod tests {
 
     #[test]
     fn channel_source_backpressure_blocks_the_producer() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use crate::sync::atomic::{AtomicUsize, Ordering};
         let sent = Arc::new(AtomicUsize::new(0));
         let (sink, mut source) = ChannelSource::bounded(2);
         let sent2 = Arc::clone(&sent);

@@ -14,10 +14,10 @@
 //! every store read and write stays synchronous and the sort behaves exactly
 //! as before.
 
+use crate::sync::atomic::{AtomicUsize, Ordering};
+use crate::sync::{mpsc, thread, Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -44,7 +44,7 @@ struct PoolGuard {
 
 impl Drop for PoolGuard {
     fn drop(&mut self) {
-        let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.inner.queue.lock();
         q.shutdown = true;
         drop(q);
         self.inner.work.notify_all();
@@ -83,7 +83,7 @@ impl IoPool {
         });
         for i in 0..threads {
             let inner = Arc::clone(&inner);
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name(format!("masort-io-{i}"))
                 .spawn(move || worker_loop(inner))
                 .expect("spawning an I/O worker thread failed");
@@ -131,7 +131,7 @@ impl IoPool {
         let wrapped: Job = Box::new(move || {
             let _ = tx.send(job());
         });
-        let mut q = self.inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+        let mut q = self.inner.queue.lock();
         if urgent {
             q.jobs.push_front(wrapped);
         } else {
@@ -146,12 +146,7 @@ impl IoPool {
 
     /// Number of jobs currently waiting for a worker (for tests/metrics).
     pub fn queued(&self) -> usize {
-        self.inner
-            .queue
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .jobs
-            .len()
+        self.inner.queue.lock().jobs.len()
     }
 
     /// Deepest the queue has ever been over the pool's lifetime — how far
@@ -162,20 +157,20 @@ impl IoPool {
 }
 
 fn worker_loop(inner: Arc<PoolInner>) {
-    let mut q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+    let mut q = inner.queue.lock();
     loop {
         if let Some(job) = q.jobs.pop_front() {
             drop(q);
             // A panicking job must not kill the worker: the submitter sees
             // `None` from its handle and the pool keeps serving other jobs.
             let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
-            q = inner.queue.lock().unwrap_or_else(|e| e.into_inner());
+            q = inner.queue.lock();
             continue;
         }
         if q.shutdown {
             return;
         }
-        q = inner.work.wait(q).unwrap_or_else(|e| e.into_inner());
+        q = inner.work.wait(q);
     }
 }
 
@@ -235,7 +230,7 @@ impl IoConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn submit_returns_results() {

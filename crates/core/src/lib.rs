@@ -91,9 +91,6 @@
 //! buffers when asked, and records how long each release took (the paper's
 //! split-phase / merge-phase *delays*).
 
-#![warn(missing_docs)]
-#![warn(rust_2018_idioms)]
-
 pub mod budget;
 pub mod config;
 pub mod env;
@@ -110,6 +107,17 @@ pub mod store;
 pub mod stream;
 pub mod tuple;
 pub mod verify;
+
+/// The masort synchronisation shim (re-exported from `masort-check`).
+///
+/// All blocking synchronisation in the masort crates goes through this
+/// module instead of `std::sync` — transparent wrappers in release builds,
+/// lock-order-witnessed in debug builds, and instrumented for the
+/// deterministic interleaving explorer under `--cfg masort_check`. The
+/// `lint-sync` binary in masort-check enforces the rule.
+pub mod sync {
+    pub use masort_check::sync::*;
+}
 
 pub use budget::{BudgetSnapshot, DelaySample, MemoryBudget, SortPhase};
 pub use config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig};

@@ -22,8 +22,8 @@
 //! (worker, creation) order so the downstream merge plan is deterministic for
 //! a fixed partitioning.
 
+use crate::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::collections::HashMap;
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 
 use crate::budget::MemoryBudget;
 use crate::config::SortConfig;

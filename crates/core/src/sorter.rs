@@ -520,7 +520,7 @@ mod tests {
         // while queued write-behind work may still be buffered; the sorter
         // must flush it before propagating so deferred write failures cannot
         // be dropped silently with the store.
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use crate::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Arc;
         struct FlushCountingStore {
             inner: MemStore,

@@ -248,7 +248,7 @@ mod tests {
     fn early_drop_empties_a_mem_store() {
         // Observe the deletion through a shared counter: the store is dropped
         // with the stream, so it cannot be inspected afterwards directly.
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use crate::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Arc;
         struct CountingDeletes {
             inner: MemStore,
@@ -308,7 +308,7 @@ mod tests {
         // A stream that fused on a read error has not deleted its run; the
         // Drop cleanup must still reclaim it (deferred write-behind errors
         // surface exactly here, on the first read).
-        use std::sync::atomic::{AtomicUsize, Ordering};
+        use crate::sync::atomic::{AtomicUsize, Ordering};
         use std::sync::Arc;
         struct FailingCountingStore {
             inner: MemStore,

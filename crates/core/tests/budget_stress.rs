@@ -11,7 +11,10 @@
 //!
 //! CI additionally runs this in release mode
 //! (`cargo test --release -p masort-core --test budget_stress`), where the
-//! thread interleavings are tighter.
+//! thread interleavings are tighter. In debug builds every `set_target` /
+//! `record_held` here also runs the budget's internal invariant checks
+//! (`check_inner` in `budget.rs`), so this test doubles as their stress
+//! exercise.
 
 use masort_core::prelude::*;
 use masort_core::verify::assert_sorted_permutation;

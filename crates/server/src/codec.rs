@@ -15,8 +15,8 @@
 //! [`io::ErrorKind::InvalidData`] / [`io::ErrorKind::UnexpectedEof`] — never
 //! a panic or an oversized allocation.
 
+use masort_core::sync::atomic::{AtomicBool, Ordering};
 use std::io::{self, Read, Write};
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use masort_core::{Payload, Tuple};
 

@@ -11,13 +11,13 @@
 //! underlying service is torn down only after every session thread has been
 //! joined.
 
+use masort_core::sync::atomic::{AtomicBool, Ordering};
+use masort_core::sync::thread::{self, JoinHandle};
 use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
 use masort_broker::{

@@ -9,9 +9,9 @@
 //! cancel the ticket, drop the ingest channel, drain the ticket so the job's
 //! pages are provably back in the pool before the session ends.
 
+use masort_core::sync::atomic::Ordering;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::TcpStream;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 

@@ -8,8 +8,9 @@
 //! or disconnect). Unknown tenants, and connections with no tenant at all,
 //! run unrestricted.
 
+use masort_core::sync::{Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// Limits applied to one tenant. A zero field means "unlimited" (or, for
 /// `priority`, "no override").
@@ -94,7 +95,7 @@ impl TenantRegistry {
     }
 
     fn lock(&self) -> MutexGuard<'_, RegistryState> {
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        self.state.lock()
     }
 
     /// The quota configured for `tenant`, if any.

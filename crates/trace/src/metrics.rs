@@ -1,8 +1,9 @@
 //! The metrics registry: named counters, gauges and fixed-bucket histograms.
 
+use masort_check::sync::{Mutex, MutexGuard};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// A monotonically increasing counter.
 ///
@@ -203,7 +204,7 @@ impl MetricsRegistry {
     }
 
     fn lock(&self) -> MutexGuard<'_, BTreeMap<Key, Metric>> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.lock()
     }
 
     /// Get or create the counter `name` (optionally labelled).

@@ -1,7 +1,8 @@
 //! The event recorder: a bounded, shared buffer of [`TraceEvent`]s.
 
 use crate::event::{EventKind, SpanId, TraceEvent};
-use std::sync::{Arc, Mutex, MutexGuard};
+use masort_check::sync::{Mutex, MutexGuard};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Default capacity of the event buffer (events, not bytes).
@@ -75,7 +76,7 @@ impl Recorder {
     }
 
     fn lock(&self) -> MutexGuard<'_, Buf> {
-        self.inner.buf.lock().unwrap_or_else(|e| e.into_inner())
+        self.inner.buf.lock()
     }
 
     /// Seconds since this recorder was created.
