@@ -245,6 +245,43 @@ impl FromStr for AlgorithmSpec {
     }
 }
 
+/// The physical representation run pages are built in (see [`crate::layout`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum PageLayout {
+    /// Classic owned pages: a `Vec` of [`crate::Tuple`]s, every payload its
+    /// own allocation. The default, and the only layout the simulation
+    /// harness uses.
+    #[default]
+    Owned,
+    /// Dense fixed-stride pages built from per-run arenas
+    /// ([`crate::layout::TupleArena`]): one contiguous byte region per page,
+    /// decoded zero-copy out of I/O blocks. Payloads longer than
+    /// `stride - 12` bytes spill to the page's overflow slab.
+    Dense {
+        /// Record stride in bytes (key + descriptor + inline payload area).
+        /// Must be at least [`crate::layout::MIN_DENSE_STRIDE`].
+        stride: usize,
+    },
+}
+
+impl PageLayout {
+    /// A dense layout whose records inline payloads of up to `payload` bytes.
+    pub fn dense_for_payload(payload: usize) -> Self {
+        PageLayout::Dense {
+            stride: (crate::layout::RECORD_HEADER + payload).max(crate::layout::MIN_DENSE_STRIDE),
+        }
+    }
+}
+
+impl fmt::Display for PageLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PageLayout::Owned => write!(f, "owned"),
+            PageLayout::Dense { stride } => write!(f, "dense{stride}"),
+        }
+    }
+}
+
 /// Configuration of a single external sort or sort-merge join.
 #[derive(Clone, Debug, PartialEq)]
 pub struct SortConfig {
@@ -278,6 +315,11 @@ pub struct SortConfig {
     /// charges are identical either way — turning it off exists for A/B
     /// measurement (`exp_merge_kernel`) and regression hunting.
     pub merge_batch: bool,
+    /// The physical layout run pages are built in (default: owned tuples).
+    /// [`PageLayout::Dense`] routes run formation and the merge through the
+    /// arena/zero-copy fast path of [`crate::layout`]; the sorted output is
+    /// tuple-for-tuple identical in either layout.
+    pub layout: PageLayout,
 }
 
 impl Default for SortConfig {
@@ -293,6 +335,7 @@ impl Default for SortConfig {
             io: crate::io::IoConfig::default(),
             cpu_threads: 1,
             merge_batch: true,
+            layout: PageLayout::Owned,
         }
     }
 }
@@ -361,6 +404,16 @@ impl SortConfig {
         self
     }
 
+    /// Builder-style override of the run-page layout.
+    ///
+    /// An undersized dense stride is stored as-is and rejected by
+    /// [`validate`](Self::validate) (i.e. at `SortJobBuilder::build` time)
+    /// rather than panicking here.
+    pub fn with_layout(mut self, layout: PageLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
     /// Builder-style override of the split-phase compute worker count.
     ///
     /// A zero value is stored as-is and rejected by [`validate`](Self::validate)
@@ -415,6 +468,20 @@ impl SortConfig {
                 return Err(SortError::invalid_config(
                     "adaptive replacement needs 1 <= min_block <= max_block",
                 ));
+            }
+        }
+        if let PageLayout::Dense { stride } = self.layout {
+            if stride < crate::layout::MIN_DENSE_STRIDE {
+                return Err(SortError::invalid_config(format!(
+                    "dense layout stride ({stride} B) below the minimum of {} B",
+                    crate::layout::MIN_DENSE_STRIDE
+                )));
+            }
+            if stride > self.page_size {
+                return Err(SortError::invalid_config(format!(
+                    "dense layout stride ({stride} B) exceeds page_size ({} B)",
+                    self.page_size
+                )));
             }
         }
         Ok(())
@@ -508,6 +575,22 @@ mod tests {
         assert!(matches!(err, Err(SortError::InvalidConfig(_))), "{err:?}");
         assert!(SortConfig::default().with_cpu_threads(4).validate().is_ok());
         assert_eq!(SortConfig::default().cpu_threads, 1, "default stays serial");
+    }
+
+    #[test]
+    fn dense_layout_strides_are_validated() {
+        let ok = SortConfig::default().with_layout(PageLayout::dense_for_payload(248));
+        assert!(ok.validate().is_ok());
+        assert_eq!(ok.layout, PageLayout::Dense { stride: 260 });
+        let tiny = SortConfig::default().with_layout(PageLayout::Dense { stride: 8 });
+        assert!(matches!(tiny.validate(), Err(SortError::InvalidConfig(_))));
+        let huge = SortConfig::default()
+            .with_page_size(64)
+            .with_tuple_size(32)
+            .with_layout(PageLayout::Dense { stride: 128 });
+        assert!(matches!(huge.validate(), Err(SortError::InvalidConfig(_))));
+        assert_eq!(PageLayout::default(), PageLayout::Owned);
+        assert_eq!(PageLayout::Dense { stride: 40 }.to_string(), "dense40");
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Adapters for the gensort / sortbenchmark.org record format.
+//!
+//! A gensort record is exactly 100 bytes: a 10-byte key followed by a 90-byte
+//! payload, ordered by memcmp on the key. The adapters here map that format
+//! onto the sort's tuple model so GB-scale benchmark files drive the real
+//! [`crate::FileStore`] pipeline:
+//!
+//! * the tuple *key* is the [`normalized_prefix`] of the 10-byte record key —
+//!   an order-preserving big-endian packing of its first eight bytes;
+//! * the tuple *payload* is the whole 100-byte record, so the remaining two
+//!   key bytes live at payload offsets 8..10 where the
+//!   [`SortOrder::by_normalized_key`] tie-break reads them;
+//! * [`gensort_order`] wires both together: rank comparisons decide on the
+//!   8-byte prefix and only prefix collisions touch the record.
+//!
+//! Round trips are loss-free: a record in is byte-for-byte the record out
+//! ([`record_bytes`]), which is what lets the benchmark rig assert that the
+//! owned and dense layouts produce byte-identical sorted files.
+
+use crate::error::{SortError, SortResult};
+use crate::input::{InputSource, NeverSource, PartitionableSource};
+use crate::order::{normalized_prefix, SortOrder};
+use crate::tuple::{Page, Payload, Tuple};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Size of one gensort record in bytes.
+pub const GENSORT_RECORD_BYTES: usize = 100;
+
+/// Size of a gensort record's key in bytes.
+pub const GENSORT_KEY_BYTES: usize = 10;
+
+/// The sort order of the gensort benchmark: memcmp over the 10-byte record
+/// key, realised as a normalized 8-byte prefix rank plus a 2-byte tie rank.
+pub fn gensort_order() -> SortOrder {
+    SortOrder::by_normalized_key(GENSORT_KEY_BYTES)
+}
+
+/// Convert one 100-byte gensort record into a tuple.
+///
+/// # Panics
+///
+/// Panics if `record` is not exactly [`GENSORT_RECORD_BYTES`] long.
+pub fn tuple_from_record(record: &[u8]) -> Tuple {
+    assert_eq!(
+        record.len(),
+        GENSORT_RECORD_BYTES,
+        "gensort records are exactly {GENSORT_RECORD_BYTES} bytes"
+    );
+    Tuple {
+        key: normalized_prefix(&record[..GENSORT_KEY_BYTES]),
+        payload: Payload::Bytes(record.to_vec()),
+    }
+}
+
+/// The 100-byte gensort record carried by a tuple, or an error if the tuple
+/// did not come from a gensort source.
+pub fn record_bytes(t: &Tuple) -> SortResult<&[u8]> {
+    match &t.payload {
+        Payload::Bytes(b) if b.len() == GENSORT_RECORD_BYTES => Ok(b),
+        other => Err(SortError::invalid_config(format!(
+            "not a gensort tuple: payload holds {} byte(s), expected {GENSORT_RECORD_BYTES}",
+            other.len()
+        ))),
+    }
+}
+
+/// An [`InputSource`] over a file of gensort records.
+#[derive(Debug)]
+pub struct GensortFileSource {
+    reader: BufReader<File>,
+    tuples_per_page: usize,
+    total_records: usize,
+    read_records: usize,
+}
+
+impl GensortFileSource {
+    /// Open `path` and serve its records as pages of `tuples_per_page`
+    /// tuples. Fails if the file length is not a whole number of records.
+    pub fn open(path: &Path, tuples_per_page: usize) -> SortResult<Self> {
+        assert!(tuples_per_page > 0, "tuples_per_page must be positive");
+        let file = File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        if !len.is_multiple_of(GENSORT_RECORD_BYTES) {
+            return Err(SortError::invalid_config(format!(
+                "gensort file {} is {len} bytes, not a multiple of {GENSORT_RECORD_BYTES}",
+                path.display()
+            )));
+        }
+        Ok(GensortFileSource {
+            reader: BufReader::new(file),
+            tuples_per_page,
+            total_records: len / GENSORT_RECORD_BYTES,
+            read_records: 0,
+        })
+    }
+}
+
+impl InputSource for GensortFileSource {
+    fn next_page(&mut self) -> SortResult<Option<Page>> {
+        let n = self
+            .tuples_per_page
+            .min(self.total_records - self.read_records);
+        if n == 0 {
+            return Ok(None);
+        }
+        let mut buf = vec![0u8; n * GENSORT_RECORD_BYTES];
+        self.reader.read_exact(&mut buf)?;
+        self.read_records += n;
+        let tuples = buf
+            .chunks_exact(GENSORT_RECORD_BYTES)
+            .map(tuple_from_record)
+            .collect();
+        Ok(Some(Page::from_tuples(tuples)))
+    }
+
+    fn total_pages(&self) -> Option<usize> {
+        Some(self.total_records.div_ceil(self.tuples_per_page))
+    }
+
+    fn total_tuples(&self) -> Option<usize> {
+        Some(self.total_records)
+    }
+}
+
+impl PartitionableSource for GensortFileSource {
+    type Part = NeverSource;
+
+    /// Always declines: the file is read sequentially so run contents (and
+    /// therefore the sorted output bytes) are deterministic, which the
+    /// layout-comparison rig's byte-identical assertion depends on.
+    fn partition(self, _parts: usize) -> Result<Vec<Self::Part>, Self> {
+        Err(self)
+    }
+}
+
+/// Writes sorted tuples back out as a gensort record file.
+#[derive(Debug)]
+pub struct GensortWriter<W: Write> {
+    inner: W,
+    records: usize,
+}
+
+impl GensortWriter<BufWriter<File>> {
+    /// Create (truncating) a gensort output file at `path`.
+    pub fn create(path: &Path) -> SortResult<Self> {
+        Ok(GensortWriter::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> GensortWriter<W> {
+    /// Wrap an arbitrary writer.
+    pub fn new(inner: W) -> Self {
+        GensortWriter { inner, records: 0 }
+    }
+
+    /// Append one tuple's 100-byte record. Fails on tuples that did not come
+    /// from a gensort source (wrong payload length or synthetic payloads).
+    pub fn write_tuple(&mut self, t: &Tuple) -> SortResult<()> {
+        self.inner.write_all(record_bytes(t)?)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Flush and return the number of records written.
+    pub fn finish(mut self) -> SortResult<usize> {
+        self.inner.flush()?;
+        Ok(self.records)
+    }
+}
+
+/// Write `records` deterministic pseudo-random gensort records to `path`.
+/// The same `seed` always produces the same file.
+pub fn generate_gensort_file(path: &Path, records: usize, seed: u64) -> SortResult<()> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut rec = [0u8; GENSORT_RECORD_BYTES];
+    for _ in 0..records {
+        fill_bytes(&mut rng, &mut rec);
+        w.write_all(&rec)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Fill `buf` with bytes drawn from `rng`, eight at a time.
+fn fill_bytes<R: rand::Rng>(rng: &mut R, buf: &mut [u8]) {
+    let mut chunks = buf.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    let rest = chunks.into_remainder();
+    let tail = rng.next_u64().to_le_bytes();
+    let n = rest.len();
+    rest.copy_from_slice(&tail[..n]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// Minimal self-cleaning temp dir (the workspace has no tempfile crate).
+    struct TempDir(std::path::PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let mut dir = std::env::temp_dir();
+            dir.push(format!(
+                "masort-gensort-{tag}-{}-{:x}",
+                std::process::id(),
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_nanos())
+                    .unwrap_or(0)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+
+        fn path(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn random_records(n: usize, seed: u64) -> Vec<[u8; GENSORT_RECORD_BYTES]> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut rec = [0u8; GENSORT_RECORD_BYTES];
+                fill_bytes(&mut rng, &mut rec);
+                rec
+            })
+            .collect()
+    }
+
+    #[test]
+    fn record_round_trips_byte_for_byte() {
+        for rec in random_records(64, 1) {
+            let t = tuple_from_record(&rec);
+            assert_eq!(record_bytes(&t).unwrap(), &rec[..]);
+        }
+    }
+
+    #[test]
+    fn composite_order_matches_memcmp_on_ten_byte_keys() {
+        // The property the whole adapter rests on: comparing composites is
+        // exactly comparing the 10-byte keys bytewise (the remaining 90
+        // payload bytes never participate).
+        let order = gensort_order();
+        let recs = random_records(256, 2);
+        // Add prefix-colliding pairs so the tie rank is actually exercised.
+        let mut recs: Vec<[u8; GENSORT_RECORD_BYTES]> = recs;
+        for i in 0..32 {
+            let mut a = recs[i];
+            let mut b = a;
+            a[8] = 1;
+            b[8] = 2;
+            b[20] = a[20].wrapping_add(1); // differing payloads must not matter
+            recs.push(a);
+            recs.push(b);
+        }
+        for pair in recs.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            let (ta, tb) = (tuple_from_record(a), tuple_from_record(b));
+            assert_eq!(
+                order.composite_of(&ta).cmp(&order.composite_of(&tb)),
+                a[..GENSORT_KEY_BYTES].cmp(&b[..GENSORT_KEY_BYTES]),
+                "composite order disagrees with memcmp for keys {:?} / {:?}",
+                &a[..GENSORT_KEY_BYTES],
+                &b[..GENSORT_KEY_BYTES],
+            );
+        }
+    }
+
+    #[test]
+    fn file_source_and_writer_round_trip_multiset_and_order() {
+        // Property test for the adapter round trip: generate → sort (both
+        // layouts) → write; the output must be key-sorted by memcmp, a
+        // multiset-identical permutation of the input, and byte-identical
+        // across layouts.
+        let dir = TempDir::new("roundtrip");
+        let input_path = dir.path().join("input.gensort");
+        generate_gensort_file(&input_path, 3_000, 42).unwrap();
+
+        let mut outputs: Vec<Vec<u8>> = Vec::new();
+        for layout in [
+            crate::config::PageLayout::Owned,
+            crate::config::PageLayout::dense_for_payload(GENSORT_RECORD_BYTES),
+        ] {
+            let cfg = crate::config::SortConfig::default()
+                .with_page_size(4096)
+                .with_tuple_size(GENSORT_RECORD_BYTES + crate::tuple::KEY_BYTES)
+                .with_memory_pages(16)
+                .with_layout(layout);
+            let source = GensortFileSource::open(&input_path, cfg.tuples_per_page()).unwrap();
+            let completion = crate::job::SortJob::builder()
+                .config(cfg)
+                .order(gensort_order())
+                .input(source)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            let out_path = dir.path().join(format!("out-{layout}.gensort"));
+            let mut writer = GensortWriter::create(&out_path).unwrap();
+            for t in completion.into_stream() {
+                writer.write_tuple(&t.unwrap()).unwrap();
+            }
+            writer.finish().unwrap();
+            outputs.push(std::fs::read(&out_path).unwrap());
+        }
+        assert_eq!(
+            outputs[0], outputs[1],
+            "owned and dense layouts must produce byte-identical output"
+        );
+
+        let input = std::fs::read(&input_path).unwrap();
+        let sorted = &outputs[0];
+        assert_eq!(sorted.len(), input.len());
+        // Sorted by memcmp on the 10-byte key.
+        let keys: Vec<&[u8]> = sorted
+            .chunks_exact(GENSORT_RECORD_BYTES)
+            .map(|r| &r[..GENSORT_KEY_BYTES])
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "output not sorted");
+        // Multiset of whole records is preserved.
+        let mut counts: HashMap<&[u8], i64> = HashMap::new();
+        for r in input.chunks_exact(GENSORT_RECORD_BYTES) {
+            *counts.entry(r).or_insert(0) += 1;
+        }
+        for r in sorted.chunks_exact(GENSORT_RECORD_BYTES) {
+            *counts.get_mut(r).expect("record not in input") -= 1;
+        }
+        assert!(counts.values().all(|&c| c == 0), "record multiset changed");
+    }
+
+    #[test]
+    fn writer_rejects_non_gensort_tuples() {
+        let mut w = GensortWriter::new(Vec::new());
+        let bad = Tuple::synthetic(1, 100);
+        assert!(matches!(
+            w.write_tuple(&bad),
+            Err(SortError::InvalidConfig(_))
+        ));
+        let short = Tuple {
+            key: 0,
+            payload: Payload::Bytes(vec![0u8; 10]),
+        };
+        assert!(matches!(
+            w.write_tuple(&short),
+            Err(SortError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn file_source_rejects_ragged_files() {
+        let dir = TempDir::new("ragged");
+        let p = dir.path().join("ragged.gensort");
+        std::fs::write(&p, vec![0u8; 150]).unwrap();
+        assert!(matches!(
+            GensortFileSource::open(&p, 8),
+            Err(SortError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let dir = TempDir::new("determinism");
+        let a = dir.path().join("a");
+        let b = dir.path().join("b");
+        generate_gensort_file(&a, 500, 7).unwrap();
+        generate_gensort_file(&b, 500, 7).unwrap();
+        assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
+        assert_eq!(
+            std::fs::metadata(&a).unwrap().len(),
+            (500 * GENSORT_RECORD_BYTES) as u64
+        );
+    }
+}

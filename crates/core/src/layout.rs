@@ -1,0 +1,592 @@
+//! Dense, fixed-stride tuple layout: arenas, slabs and zero-copy pages.
+//!
+//! The classic page representation ([`Page`](crate::tuple::Page) in its
+//! *owned* form) is a `Vec<Tuple>`, so every payload is its own heap
+//! allocation and every decode re-materialises them. This module provides the
+//! cache-conscious alternative used by the raw-speed path:
+//!
+//! * [`TupleArena`] — an append-only arena of **fixed-stride records**. Each
+//!   record is `key (8 bytes LE) | descriptor (4 bytes LE) | inline payload`,
+//!   padded to the arena's stride; payloads that do not fit inline spill into
+//!   a per-arena **overflow slab** and the record stores their offset instead.
+//! * [`DensePage`] — a sealed arena: one contiguous byte region plus a
+//!   count, cheaply cloneable because the bytes live behind an `Arc`. A block
+//!   read decodes *one* buffer and every page in the block borrows slices out
+//!   of it (zero-copy); individual tuples are only materialised on demand.
+//! * [`PayloadRef`] — a borrowed view of one record's payload, so hot paths
+//!   can copy payload bytes arena-to-arena without constructing a
+//!   [`Tuple`].
+//!
+//! The on-disk encoding of a dense page starts with the sentinel word
+//! `0xFFFF_FFFF`, which the classic tuple-at-a-time codec can never produce
+//! as a tuple count, so both encodings coexist in the same run file and the
+//! store dispatches on the first four bytes.
+
+use crate::tuple::{Payload, Tuple, KEY_BYTES};
+use std::sync::Arc;
+
+/// Minimum record stride of a dense layout: key (8) + descriptor (4) +
+/// overflow offset (8). Any payload fits at this stride via the overflow
+/// slab; larger strides inline correspondingly larger payloads.
+pub const MIN_DENSE_STRIDE: usize = 20;
+
+/// Byte offset of a record's payload area (key + descriptor).
+pub const RECORD_HEADER: usize = KEY_BYTES + 4;
+
+/// Sentinel first word of a dense-encoded page. The classic codec writes the
+/// tuple count here, which is bounded by the page geometry and can never be
+/// `u32::MAX`, so the two encodings are distinguishable in-band.
+pub const DENSE_MAGIC: u32 = u32::MAX;
+
+/// Fixed bytes of the dense wire encoding before the record region:
+/// magic, count, stride, overflow length (4 × u32).
+pub const DENSE_HEADER: usize = 16;
+
+const TAG_SHIFT: u32 = 30;
+const LEN_MASK: u32 = (1 << TAG_SHIFT) - 1;
+const TAG_INLINE: u32 = 0;
+const TAG_OVERFLOW: u32 = 1;
+const TAG_SYNTHETIC: u32 = 2;
+
+/// A borrowed view of one record's payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PayloadRef<'a> {
+    /// A synthetic payload of the given nominal size (no bytes exist).
+    Synthetic(u32),
+    /// Real payload bytes, borrowed from an arena or a decoded page.
+    Bytes(&'a [u8]),
+}
+
+impl PayloadRef<'_> {
+    /// Number of payload bytes this payload accounts for.
+    pub fn len(&self) -> usize {
+        match self {
+            PayloadRef::Synthetic(n) => *n as usize,
+            PayloadRef::Bytes(b) => b.len(),
+        }
+    }
+
+    /// True when the payload occupies no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialise an owned [`Payload`].
+    pub fn to_payload(self) -> Payload {
+        match self {
+            PayloadRef::Synthetic(n) => Payload::Synthetic(n),
+            PayloadRef::Bytes(b) => Payload::Bytes(b.to_vec()),
+        }
+    }
+}
+
+impl<'a> From<&'a Payload> for PayloadRef<'a> {
+    fn from(p: &'a Payload) -> Self {
+        match p {
+            Payload::Synthetic(n) => PayloadRef::Synthetic(*n),
+            Payload::Bytes(b) => PayloadRef::Bytes(b),
+        }
+    }
+}
+
+/// An append-only arena of fixed-stride records with an overflow slab.
+///
+/// Push tuples (or raw key/payload pairs) in order, then [`seal`](Self::seal)
+/// the arena into a [`DensePage`]. Sealing leaves the arena empty but keeps
+/// its allocations, so one arena can produce a whole run's pages without
+/// reallocating.
+#[derive(Clone, Debug)]
+pub struct TupleArena {
+    stride: usize,
+    records: Vec<u8>,
+    overflow: Vec<u8>,
+    count: usize,
+    bytes: usize,
+}
+
+impl TupleArena {
+    /// Create an arena with the given record stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `stride < MIN_DENSE_STRIDE`
+    /// ([`SortConfig::validate`](crate::SortConfig::validate) rejects such
+    /// configurations before any arena is built).
+    pub fn new(stride: usize) -> Self {
+        assert!(
+            stride >= MIN_DENSE_STRIDE,
+            "dense stride {stride} below minimum {MIN_DENSE_STRIDE}"
+        );
+        TupleArena {
+            stride,
+            records: Vec::new(),
+            overflow: Vec::new(),
+            count: 0,
+            bytes: 0,
+        }
+    }
+
+    /// The record stride of this arena.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Number of records currently in the arena.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the arena holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Logical bytes (key + payload, as [`Tuple::size`] counts them) of the
+    /// records currently in the arena.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Append a tuple by copying its key and payload into the arena.
+    pub fn push(&mut self, t: &Tuple) {
+        self.push_ref(t.key, PayloadRef::from(&t.payload));
+    }
+
+    /// Append a record from its parts, choosing inline vs overflow placement
+    /// by payload length.
+    pub fn push_ref(&mut self, key: u64, payload: PayloadRef<'_>) {
+        let base = self.records.len();
+        self.records.resize(base + self.stride, 0);
+        self.records[base..base + KEY_BYTES].copy_from_slice(&key.to_le_bytes());
+        let desc = match payload {
+            PayloadRef::Synthetic(n) => {
+                debug_assert!(n <= LEN_MASK, "synthetic payload size overflows descriptor");
+                (TAG_SYNTHETIC << TAG_SHIFT) | (n & LEN_MASK)
+            }
+            PayloadRef::Bytes(b) => {
+                debug_assert!(b.len() as u64 <= LEN_MASK as u64, "payload too large");
+                if b.len() <= self.stride - RECORD_HEADER {
+                    self.records[base + RECORD_HEADER..base + RECORD_HEADER + b.len()]
+                        .copy_from_slice(b);
+                    (TAG_INLINE << TAG_SHIFT) | (b.len() as u32 & LEN_MASK)
+                } else {
+                    let off = self.overflow.len() as u64;
+                    self.overflow.extend_from_slice(b);
+                    self.records[base + RECORD_HEADER..base + RECORD_HEADER + 8]
+                        .copy_from_slice(&off.to_le_bytes());
+                    (TAG_OVERFLOW << TAG_SHIFT) | (b.len() as u32 & LEN_MASK)
+                }
+            }
+        };
+        self.records[base + KEY_BYTES..base + RECORD_HEADER].copy_from_slice(&desc.to_le_bytes());
+        self.count += 1;
+        self.bytes += KEY_BYTES + payload.len();
+    }
+
+    /// Bulk-append `n` records copied verbatim from `page` starting at record
+    /// `from`, when the strides match and none of the records spill to the
+    /// overflow slab — one `memcpy` instead of `n` pushes. Returns `false`
+    /// (copying nothing) when the fast path does not apply; the caller falls
+    /// back to per-record pushes.
+    pub fn extend_from_dense(&mut self, page: &DensePage, from: usize, n: usize) -> bool {
+        if page.stride != self.stride || from + n > page.count {
+            return false;
+        }
+        let mut bytes = 0usize;
+        for i in from..from + n {
+            let desc = page.descriptor(i);
+            if desc >> TAG_SHIFT == TAG_OVERFLOW {
+                return false;
+            }
+            bytes += KEY_BYTES + (desc & LEN_MASK) as usize;
+        }
+        let start = page.records_at + from * page.stride;
+        self.records
+            .extend_from_slice(&page.data[start..start + n * page.stride]);
+        self.count += n;
+        self.bytes += bytes;
+        true
+    }
+
+    /// Seal the arena's contents into a [`DensePage`], leaving the arena
+    /// empty (with its capacity intact) for reuse.
+    pub fn seal(&mut self) -> DensePage {
+        let mut data = Vec::with_capacity(self.records.len() + self.overflow.len());
+        data.extend_from_slice(&self.records);
+        data.extend_from_slice(&self.overflow);
+        let page = DensePage {
+            data: Arc::new(data),
+            records_at: 0,
+            overflow_at: self.records.len(),
+            overflow_len: self.overflow.len(),
+            count: self.count,
+            stride: self.stride,
+            bytes: self.bytes,
+        };
+        self.records.clear();
+        self.overflow.clear();
+        self.count = 0;
+        self.bytes = 0;
+        page
+    }
+}
+
+/// A dense page: `count` fixed-stride records plus an overflow slab, all
+/// borrowed from one reference-counted byte buffer.
+///
+/// Cloning is cheap (it bumps the `Arc`), and pages decoded from the same
+/// I/O block share the block's single allocation.
+#[derive(Clone, Debug)]
+pub struct DensePage {
+    data: Arc<Vec<u8>>,
+    records_at: usize,
+    overflow_at: usize,
+    overflow_len: usize,
+    count: usize,
+    stride: usize,
+    bytes: usize,
+}
+
+impl DensePage {
+    /// Number of records in the page.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True when the page holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The record stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Logical bytes (key + payload per record) of the page's tuples.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// The stored key of record `i` (little-endian u64 at the record start).
+    #[inline]
+    pub fn key(&self, i: usize) -> u64 {
+        let at = self.records_at + i * self.stride;
+        u64::from_le_bytes(self.data[at..at + KEY_BYTES].try_into().unwrap())
+    }
+
+    /// Iterate the stored keys in record order.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        (0..self.count).map(move |i| self.key(i))
+    }
+
+    #[inline]
+    fn descriptor(&self, i: usize) -> u32 {
+        let at = self.records_at + i * self.stride + KEY_BYTES;
+        u32::from_le_bytes(self.data[at..at + 4].try_into().unwrap())
+    }
+
+    /// Borrow the payload of record `i`.
+    ///
+    /// Decoding validates every descriptor up front, so this never reads out
+    /// of bounds on pages that came from [`decode_shared`](Self::decode_shared)
+    /// or a [`TupleArena`].
+    #[inline]
+    pub fn payload_ref(&self, i: usize) -> PayloadRef<'_> {
+        let desc = self.descriptor(i);
+        let len = (desc & LEN_MASK) as usize;
+        let body = self.records_at + i * self.stride + RECORD_HEADER;
+        match desc >> TAG_SHIFT {
+            TAG_INLINE => PayloadRef::Bytes(&self.data[body..body + len]),
+            TAG_OVERFLOW => {
+                let off =
+                    u64::from_le_bytes(self.data[body..body + 8].try_into().unwrap()) as usize;
+                let at = self.overflow_at + off;
+                PayloadRef::Bytes(&self.data[at..at + len])
+            }
+            _ => PayloadRef::Synthetic(len as u32),
+        }
+    }
+
+    /// Materialise record `i` as an owned [`Tuple`].
+    pub fn get(&self, i: usize) -> Tuple {
+        Tuple {
+            key: self.key(i),
+            payload: self.payload_ref(i).to_payload(),
+        }
+    }
+
+    /// Materialise every record as an owned [`Tuple`].
+    pub fn to_tuples(&self) -> Vec<Tuple> {
+        (0..self.count).map(|i| self.get(i)).collect()
+    }
+
+    /// Size in bytes of this page's wire encoding.
+    pub fn encoded_len(&self) -> usize {
+        DENSE_HEADER + self.count * self.stride + self.overflow_len
+    }
+
+    /// Append this page's wire encoding to `buf`.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        buf.reserve(self.encoded_len());
+        buf.extend_from_slice(&DENSE_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&(self.count as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.stride as u32).to_le_bytes());
+        buf.extend_from_slice(&(self.overflow_len as u32).to_le_bytes());
+        buf.extend_from_slice(
+            &self.data[self.records_at..self.records_at + self.count * self.stride],
+        );
+        buf.extend_from_slice(&self.data[self.overflow_at..self.overflow_at + self.overflow_len]);
+    }
+
+    /// True when `buf` starts with the dense-page sentinel.
+    pub fn is_dense_encoding(buf: &[u8]) -> bool {
+        buf.len() >= 4 && buf[..4] == DENSE_MAGIC.to_le_bytes()
+    }
+
+    /// Decode a dense page that occupies `buf[start..start + len]` of a
+    /// shared buffer, borrowing (not copying) the record region.
+    ///
+    /// Every record descriptor is validated here — lengths, tags and overflow
+    /// offsets — so the accessors can index without bounds failures. Returns
+    /// a human-readable description of the first problem found; the store
+    /// wraps it into [`SortError::CorruptRun`](crate::SortError::CorruptRun).
+    pub fn decode_shared(data: &Arc<Vec<u8>>, start: usize, len: usize) -> Result<Self, String> {
+        if start + len > data.len() {
+            return Err("dense page extends past the buffer".into());
+        }
+        let buf = &data[start..start + len];
+        if len < DENSE_HEADER {
+            return Err(format!("dense page shorter than its header: {len} bytes"));
+        }
+        if buf[..4] != DENSE_MAGIC.to_le_bytes() {
+            return Err("missing dense page sentinel".into());
+        }
+        let word = |i: usize| u32::from_le_bytes(buf[i..i + 4].try_into().unwrap());
+        let count = word(4) as usize;
+        let stride = word(8) as usize;
+        let overflow_len = word(12) as usize;
+        if stride < RECORD_HEADER {
+            return Err(format!("dense stride {stride} below record header"));
+        }
+        let records_len = count
+            .checked_mul(stride)
+            .ok_or_else(|| "dense record region overflows".to_string())?;
+        let total = DENSE_HEADER
+            .checked_add(records_len)
+            .and_then(|t| t.checked_add(overflow_len))
+            .ok_or_else(|| "dense page size overflows".to_string())?;
+        if total != len {
+            return Err(format!(
+                "dense page claims {total} bytes but occupies {len}"
+            ));
+        }
+        let mut page = DensePage {
+            data: Arc::clone(data),
+            records_at: start + DENSE_HEADER,
+            overflow_at: start + DENSE_HEADER + records_len,
+            overflow_len,
+            count,
+            stride,
+            bytes: 0,
+        };
+        let mut bytes = 0usize;
+        for i in 0..count {
+            let desc = page.descriptor(i);
+            let plen = (desc & LEN_MASK) as usize;
+            match desc >> TAG_SHIFT {
+                TAG_INLINE => {
+                    if plen > stride - RECORD_HEADER {
+                        return Err(format!(
+                            "record {i}: inline payload of {plen} bytes exceeds stride {stride}"
+                        ));
+                    }
+                }
+                TAG_OVERFLOW => {
+                    if stride < MIN_DENSE_STRIDE {
+                        return Err(format!(
+                            "record {i}: overflow payload at stride {stride} (needs {MIN_DENSE_STRIDE})"
+                        ));
+                    }
+                    let body = page.records_at + i * stride + RECORD_HEADER;
+                    let off = u64::from_le_bytes(page.data[body..body + 8].try_into().unwrap());
+                    let end = off.checked_add(plen as u64);
+                    if end.is_none_or(|e| e > overflow_len as u64) {
+                        return Err(format!(
+                            "record {i}: overflow slice {off}+{plen} exceeds slab of {overflow_len}"
+                        ));
+                    }
+                }
+                TAG_SYNTHETIC => {}
+                _ => return Err(format!("record {i}: invalid payload tag")),
+            }
+            bytes += KEY_BYTES + plen;
+        }
+        page.bytes = bytes;
+        Ok(page)
+    }
+
+    /// Decode a dense page from a buffer it owns outright.
+    pub fn decode_owned(buf: Vec<u8>) -> Result<Self, String> {
+        let len = buf.len();
+        Self::decode_shared(&Arc::new(buf), 0, len)
+    }
+}
+
+/// Pages compare by their logical tuples, like the owned representation.
+impl PartialEq for DensePage {
+    fn eq(&self, other: &Self) -> bool {
+        self.count == other.count && (0..self.count).all(|i| self.get(i) == other.get(i))
+    }
+}
+impl Eq for DensePage {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tuples() -> Vec<Tuple> {
+        vec![
+            Tuple::new(3, vec![1, 2, 3]),
+            Tuple::new(1, Vec::new()),
+            Tuple::synthetic(9, 256),
+            Tuple::new(7, vec![0xAB; 64]), // spills at small strides
+            Tuple::new(2, vec![5; 8]),
+        ]
+    }
+
+    fn seal(tuples: &[Tuple], stride: usize) -> DensePage {
+        let mut arena = TupleArena::new(stride);
+        for t in tuples {
+            arena.push(t);
+        }
+        arena.seal()
+    }
+
+    #[test]
+    fn arena_round_trips_tuples_inline_and_overflow() {
+        let tuples = sample_tuples();
+        for stride in [MIN_DENSE_STRIDE, 32, 128] {
+            let page = seal(&tuples, stride);
+            assert_eq!(page.len(), tuples.len());
+            assert_eq!(page.to_tuples(), tuples, "stride {stride}");
+            let expect: usize = tuples.iter().map(Tuple::size).sum();
+            assert_eq!(page.bytes(), expect);
+            assert_eq!(
+                page.keys().collect::<Vec<_>>(),
+                tuples.iter().map(|t| t.key).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn seal_leaves_the_arena_reusable() {
+        let mut arena = TupleArena::new(32);
+        arena.push(&Tuple::new(1, vec![9; 4]));
+        let first = arena.seal();
+        assert!(arena.is_empty());
+        assert_eq!(arena.bytes(), 0);
+        arena.push(&Tuple::new(2, vec![8; 4]));
+        let second = arena.seal();
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.get(0).key, 2);
+    }
+
+    #[test]
+    fn wire_encoding_round_trips() {
+        let tuples = sample_tuples();
+        let page = seal(&tuples, 24);
+        let mut buf = Vec::new();
+        page.encode_into(&mut buf);
+        assert_eq!(buf.len(), page.encoded_len());
+        assert!(DensePage::is_dense_encoding(&buf));
+        let decoded = DensePage::decode_owned(buf).unwrap();
+        assert_eq!(decoded, page);
+        assert_eq!(decoded.bytes(), page.bytes());
+    }
+
+    #[test]
+    fn block_of_pages_shares_one_buffer() {
+        let a = seal(&sample_tuples(), 24);
+        let b = seal(&[Tuple::new(11, vec![7; 30])], 24);
+        let mut buf = Vec::new();
+        a.encode_into(&mut buf);
+        let split = buf.len();
+        b.encode_into(&mut buf);
+        let shared = Arc::new(buf);
+        let da = DensePage::decode_shared(&shared, 0, split).unwrap();
+        let db = DensePage::decode_shared(&shared, split, shared.len() - split).unwrap();
+        assert_eq!(da, a);
+        assert_eq!(db, b);
+        assert_eq!(Arc::strong_count(&shared), 3);
+    }
+
+    #[test]
+    fn extend_from_dense_fast_path_and_fallbacks() {
+        let inline_only: Vec<Tuple> = (0..6).map(|k| Tuple::new(k, vec![k as u8; 4])).collect();
+        let page = seal(&inline_only, 24);
+        let mut arena = TupleArena::new(24);
+        assert!(arena.extend_from_dense(&page, 1, 4));
+        let got = arena.seal();
+        assert_eq!(got.to_tuples(), inline_only[1..5].to_vec());
+
+        // Stride mismatch declines.
+        let mut other = TupleArena::new(32);
+        assert!(!other.extend_from_dense(&page, 0, 2));
+        assert!(other.is_empty());
+
+        // Overflow records decline.
+        let spilling = seal(&[Tuple::new(1, vec![9; 64])], 24);
+        let mut third = TupleArena::new(24);
+        assert!(!third.extend_from_dense(&spilling, 0, 1));
+
+        // Out-of-range declines.
+        assert!(!third.extend_from_dense(&page, 4, 4));
+    }
+
+    #[test]
+    fn decode_rejects_malformed_pages_without_panicking() {
+        let page = seal(&sample_tuples(), 24);
+        let mut good = Vec::new();
+        page.encode_into(&mut good);
+
+        // Truncation at every prefix length must error, never panic.
+        for cut in 0..good.len() {
+            assert!(
+                DensePage::decode_owned(good[..cut].to_vec()).is_err(),
+                "truncated to {cut} bytes decoded"
+            );
+        }
+
+        // Overclaimed count.
+        let mut bad = good.clone();
+        bad[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(DensePage::decode_owned(bad).is_err());
+
+        // Undersized stride.
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&2u32.to_le_bytes());
+        assert!(DensePage::decode_owned(bad).is_err());
+
+        // Overflow slab length larger than the buffer.
+        let mut bad = good.clone();
+        bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(DensePage::decode_owned(bad).is_err());
+
+        // Invalid tag on the first record.
+        let mut bad = good.clone();
+        bad[DENSE_HEADER + KEY_BYTES + 3] |= 0xC0;
+        assert!(DensePage::decode_owned(bad).is_err());
+
+        // Missing sentinel.
+        let mut bad = good.clone();
+        bad[0] = 0;
+        assert!(DensePage::decode_owned(bad).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "dense stride")]
+    fn arena_rejects_tiny_strides() {
+        TupleArena::new(MIN_DENSE_STRIDE - 1);
+    }
+}

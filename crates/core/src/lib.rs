@@ -95,10 +95,12 @@ pub mod budget;
 pub mod config;
 pub mod env;
 pub mod error;
+pub mod gensort;
 pub mod input;
 pub mod io;
 pub mod job;
 pub mod join;
+pub mod layout;
 pub mod merge;
 pub mod order;
 pub mod run_formation;
@@ -120,9 +122,14 @@ pub mod sync {
 }
 
 pub use budget::{BudgetSnapshot, DelaySample, MemoryBudget, SortPhase};
+pub use config::PageLayout;
 pub use config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig};
 pub use env::{CpuOp, RealEnv, SortEnv};
 pub use error::{SortError, SortResult};
+pub use gensort::{
+    generate_gensort_file, gensort_order, record_bytes, tuple_from_record, GensortFileSource,
+    GensortWriter, GENSORT_KEY_BYTES, GENSORT_RECORD_BYTES,
+};
 pub use input::{
     ChannelClosed, ChannelSink, ChannelSource, GenSource, InputSource, IterSource, NeverSource,
     PartitionableSource, SharedSource, Unsplit, VecSource,
@@ -130,8 +137,9 @@ pub use input::{
 pub use io::{IoConfig, IoHandle, IoPool};
 pub use job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};
 pub use join::{JoinOutcome, SortMergeJoin};
+pub use layout::{DensePage, PayloadRef, TupleArena, MIN_DENSE_STRIDE};
 pub use merge::{MergeStats, StaticPlanSummary};
-pub use order::{SortDirection, SortOrder};
+pub use order::{normalized_prefix, SortDirection, SortOrder};
 pub use run_formation::SplitStats;
 pub use sorter::{ExternalSorter, SortOutcome};
 pub use store::{BlockReadJob, FileStore, MemStore, RunId, RunMeta, RunStore};
@@ -142,7 +150,7 @@ pub use tuple::{Page, Payload, Tuple};
 pub mod prelude {
     pub use crate::budget::{BudgetSnapshot, MemoryBudget, SortPhase};
     pub use crate::config::{
-        AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, SortConfig,
+        AlgorithmSpec, MergeAdaptation, MergePolicy, PageLayout, RunFormation, SortConfig,
     };
     pub use crate::env::{CpuOp, RealEnv, SortEnv};
     pub use crate::error::{SortError, SortResult};

@@ -27,10 +27,39 @@
 use crate::env::{CpuOp, SortEnv};
 use crate::error::{SortError, SortResult};
 use crate::io::{IoHandle, IoPool};
+use crate::layout::{DensePage, PayloadRef, TupleArena};
 use crate::order::SortOrder;
 use crate::store::{RunId, RunStore};
 use crate::tuple::{Page, Tuple};
 use std::collections::VecDeque;
+
+/// The consumption buffer over the currently promoted page: either owned
+/// tuples (the classic path) or a zero-copy view into a dense page, where
+/// records stay encoded in the page's shared block buffer until they actually
+/// leave the cursor.
+#[derive(Debug)]
+enum HeadBuf {
+    /// Materialised tuples — owned pages, and dense pages under a custom key
+    /// extractor (which needs a real [`Tuple`] to dispatch on).
+    Owned(VecDeque<Tuple>),
+    /// Borrowed view into a dense page; `pos` indexes the next unconsumed
+    /// record. Batch moves into a dense output arena copy the record bytes
+    /// straight across without ever building a [`Tuple`].
+    Dense { page: DensePage, pos: usize },
+}
+
+impl HeadBuf {
+    fn len(&self) -> usize {
+        match self {
+            HeadBuf::Owned(q) => q.len(),
+            HeadBuf::Dense { page, pos } => page.len() - pos,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
 
 /// A block read in flight on a background I/O thread.
 #[derive(Debug)]
@@ -51,8 +80,8 @@ pub struct RunCursor {
     /// Index of the next page to read from the store. Staged (prefetched)
     /// pages count as read; shedding them rewinds this.
     pub next_page: usize,
-    /// Tuples of the currently buffered page that have not been consumed yet.
-    buf: VecDeque<Tuple>,
+    /// The currently buffered page's unconsumed tuples (owned or zero-copy).
+    buf: HeadBuf,
     /// Rank column of the buffered page, computed once at page promotion;
     /// `ranks[rank_pos..]` parallels `buf` front to back and is sorted
     /// (runs are rank-ordered by construction).
@@ -88,7 +117,7 @@ impl RunCursor {
         RunCursor {
             run,
             next_page: 0,
-            buf: VecDeque::new(),
+            buf: HeadBuf::Owned(VecDeque::new()),
             ranks: Vec::new(),
             rank_pos: 0,
             consumed: 0,
@@ -183,13 +212,27 @@ impl RunCursor {
     }
 
     /// Promote `page` into the consumption buffer, materialising its rank
-    /// column in a single [`SortOrder`] pass.
+    /// column in one pass. A dense page stays dense — the rank column is read
+    /// straight out of its record region and the tuples are only materialised
+    /// as they leave the cursor — unless a custom key extractor needs real
+    /// [`Tuple`]s to dispatch on.
     fn promote(&mut self, order: &SortOrder, page: Page) {
         self.ranks.clear();
+        self.rank_pos = 0;
+        if !order.has_custom_key() {
+            if let Some(dense) = page.as_dense() {
+                self.ranks
+                    .extend(dense.keys().map(|k| order.rank_from_key(k)));
+                self.buf = HeadBuf::Dense {
+                    page: dense.clone(),
+                    pos: 0,
+                };
+                return;
+            }
+        }
         let tuples = page.into_tuples();
         order.rank_column_into(&tuples, &mut self.ranks);
-        self.rank_pos = 0;
-        self.buf = tuples.into();
+        self.buf = HeadBuf::Owned(tuples.into());
     }
 
     /// Load the next page into the buffer if the buffer is empty and more
@@ -277,6 +320,35 @@ impl RunCursor {
         }
     }
 
+    /// Composite key (rank, then tie rank — see [`SortOrder::composite`]) of
+    /// the next tuple, loading a page if necessary. For exact orders this is
+    /// just the cached rank shifted into the high half; the tie rank is only
+    /// computed for normalized-key orders, and on the dense path it reads the
+    /// borrowed payload slice without materialising a tuple.
+    pub fn peek_composite<S: RunStore, E: SortEnv>(
+        &mut self,
+        order: &SortOrder,
+        store: &mut S,
+        env: &mut E,
+    ) -> SortResult<Option<u128>> {
+        if !self.ensure_loaded(order, store, env)? {
+            return Ok(None);
+        }
+        let rank = self.ranks[self.rank_pos];
+        let tie = if order.rank_is_exact() {
+            0
+        } else {
+            match &self.buf {
+                HeadBuf::Owned(q) => order.tie_rank(q.front().expect("loaded buffer is non-empty")),
+                HeadBuf::Dense { page, pos } => match page.payload_ref(*pos) {
+                    PayloadRef::Bytes(b) => order.tie_rank_bytes(b),
+                    PayloadRef::Synthetic(_) => order.tie_rank_bytes(&[]),
+                },
+            }
+        };
+        Ok(Some(SortOrder::composite(rank, tie)))
+    }
+
     /// Remove and return the next tuple, loading a page if necessary.
     pub fn pop<S: RunStore, E: SortEnv>(
         &mut self,
@@ -287,7 +359,14 @@ impl RunCursor {
         if self.ensure_loaded(order, store, env)? {
             self.consumed += 1;
             self.rank_pos += 1;
-            Ok(self.buf.pop_front())
+            Ok(Some(match &mut self.buf {
+                HeadBuf::Owned(q) => q.pop_front().expect("loaded buffer is non-empty"),
+                HeadBuf::Dense { page, pos } => {
+                    let t = page.get(*pos);
+                    *pos += 1;
+                    t
+                }
+            }))
         } else {
             Ok(None)
         }
@@ -315,7 +394,43 @@ impl RunCursor {
     /// [`gallop_len`](Self::gallop_len), so no page load can be needed).
     pub fn take_batch(&mut self, n: usize, out: &mut Vec<Tuple>) {
         debug_assert!(n <= self.buf.len(), "take_batch past the buffered page");
-        out.extend(self.buf.drain(..n));
+        match &mut self.buf {
+            HeadBuf::Owned(q) => out.extend(q.drain(..n)),
+            HeadBuf::Dense { page, pos } => {
+                out.extend((*pos..*pos + n).map(|i| page.get(i)));
+                *pos += n;
+            }
+        }
+        self.rank_pos += n;
+        self.consumed += n;
+    }
+
+    /// Move the next `n` buffered tuples into a dense output arena (the
+    /// zero-copy counterpart of [`take_batch`](Self::take_batch)). A dense
+    /// head with a matching stride and no overflow records moves as one
+    /// `memcpy` of its record region; otherwise records are re-pushed
+    /// individually, still without materialising a [`Tuple`] on the dense
+    /// path.
+    pub fn take_batch_arena(&mut self, n: usize, arena: &mut TupleArena) {
+        debug_assert!(
+            n <= self.buf.len(),
+            "take_batch_arena past the buffered page"
+        );
+        match &mut self.buf {
+            HeadBuf::Owned(q) => {
+                for t in q.drain(..n) {
+                    arena.push(&t);
+                }
+            }
+            HeadBuf::Dense { page, pos } => {
+                if !arena.extend_from_dense(page, *pos, n) {
+                    for i in *pos..*pos + n {
+                        arena.push_ref(page.key(i), page.payload_ref(i));
+                    }
+                }
+                *pos += n;
+            }
+        }
         self.rank_pos += n;
         self.consumed += n;
     }

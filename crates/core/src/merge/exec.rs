@@ -27,9 +27,10 @@
 //! identical to the per-tuple path.
 
 use crate::budget::MemoryBudget;
-use crate::config::{MergeAdaptation, MergePolicy, SortConfig};
+use crate::config::{MergeAdaptation, MergePolicy, PageLayout, SortConfig};
 use crate::env::{CpuOp, SortEnv};
 use crate::error::SortResult;
+use crate::layout::TupleArena;
 use crate::merge::plan::preliminary_fan_in;
 use crate::merge::select::LoserTree;
 use crate::merge::step::{Input, Side, StepArena};
@@ -183,13 +184,15 @@ struct Exec<'a, S: RunStore, E: SortEnv> {
     /// grants were last recomputed; re-granting is skipped while unchanged so
     /// the per-produce-unit adaptation loop stays cheap.
     pipeline_stamp: Option<(usize, usize, u64)>,
-    /// Loser tree over the active step's inputs, keyed by the cursors' cached
-    /// head ranks — the selection tree the CPU cost model already assumes,
-    /// with no stale-entry retries: after the winner advances its path is
-    /// replayed in O(log fan), and the whole tree is rebuilt only when the
-    /// step's membership changes (splits, switches, exhausted/absorbed
-    /// inputs). Slot `i` of the tree is input `i` of the active step.
-    tree: LoserTree<u64>,
+    /// Loser tree over the active step's inputs, keyed by the cursors' head
+    /// *composite* keys (`rank << 64 | tie_rank`) — the selection tree the
+    /// CPU cost model already assumes, with no stale-entry retries: after the
+    /// winner advances its path is replayed in O(log fan), and the whole tree
+    /// is rebuilt only when the step's membership changes (splits, switches,
+    /// exhausted/absorbed inputs). For exact orders the tie half is zero, so
+    /// the tree degenerates to the plain rank tree. Slot `i` of the tree is
+    /// input `i` of the active step.
+    tree: LoserTree<u128>,
     /// True when `tree` no longer matches the active step's inputs.
     sel_dirty: bool,
     /// Observability handle captured from the environment at construction;
@@ -202,7 +205,7 @@ struct Exec<'a, S: RunStore, E: SortEnv> {
     /// step's membership changes. `None` while the winner keeps alternating,
     /// in which case batching is skipped and selection costs exactly one
     /// path replay per tuple, like the per-tuple reference path.
-    streak: Option<(usize, Option<(usize, u64)>)>,
+    streak: Option<(usize, Option<(usize, u128)>)>,
 }
 
 impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
@@ -623,13 +626,68 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         }
     }
 
+    /// The dense output stride when the configured layout is dense and the
+    /// active step writes to an output run (the root of a join does not).
+    fn dense_out_stride(&self) -> Option<usize> {
+        match self.cfg.layout {
+            PageLayout::Dense { stride } => {
+                self.arena.steps[self.arena.active].output.map(|_| stride)
+            }
+            PageLayout::Owned => None,
+        }
+    }
+
+    /// Seal the step's dense out-arena into one page and append it to the
+    /// step's output run.
+    fn flush_dense_page(&mut self, step: usize) -> SortResult<()> {
+        let out = self.arena.steps[step]
+            .output
+            .expect("dense out-arena implies an output run");
+        let page = self.arena.steps[step]
+            .out_arena
+            .as_mut()
+            .expect("caller checked the arena exists")
+            .seal();
+        self.env.charge_cpu(CpuOp::StartIo, 1);
+        self.store.append_page(out, Page::from_dense(page))?;
+        self.stats.pages_written += 1;
+        Ok(())
+    }
+
+    /// Flush the step's dense out-arena if it reached one page of records,
+    /// maintaining the invariant that the arena holds strictly less than a
+    /// page between produce calls (so a seal always emits exactly one page).
+    fn flush_if_dense_page_full(&mut self, step: usize) -> SortResult<()> {
+        let tpp = self.cfg.tuples_per_page();
+        if self.arena.steps[step]
+            .out_arena
+            .as_ref()
+            .is_some_and(|a| a.len() >= tpp)
+        {
+            self.flush_dense_page(step)?;
+        }
+        Ok(())
+    }
+
     fn flush_active_output(&mut self, force: bool) -> SortResult<()> {
         let tpp = self.cfg.tuples_per_page();
         let active = self.arena.active;
         let Some(out) = self.arena.steps[active].output else {
             self.arena.steps[active].out_buf.clear();
+            self.arena.steps[active].out_arena = None;
             return Ok(());
         };
+        // Dense output: full pages are appended as the arena fills; only a
+        // forced flush (step switch / completion) seals a partial page.
+        self.flush_if_dense_page_full(active)?;
+        if force
+            && self.arena.steps[active]
+                .out_arena
+                .as_ref()
+                .is_some_and(|a| !a.is_empty())
+        {
+            self.flush_dense_page(active)?;
+        }
         loop {
             let len = self.arena.steps[active].out_buf.len();
             if len >= tpp || (force && len > 0) {
@@ -666,19 +724,19 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     /// the same sweep `min_input` performs. After this, slot `i` of the tree
     /// holds input `i`'s cached head rank and every slot is occupied.
     fn rebuild_selection(&mut self) -> SortResult<()> {
-        let mut heads: Vec<Option<u64>> = Vec::new();
+        let mut heads: Vec<Option<u128>> = Vec::new();
         let mut i = 0;
         loop {
             let active = self.arena.active;
             if i >= self.arena.steps[active].inputs.len() {
                 break;
             }
-            let rank = self.arena.steps[active].inputs[i].cursor.peek_rank(
+            let key = self.arena.steps[active].inputs[i].cursor.peek_composite(
                 &self.cfg.order,
                 self.store,
                 self.env,
             )?;
-            match rank {
+            match key {
                 Some(r) => {
                     heads.push(Some(r));
                     i += 1;
@@ -709,19 +767,19 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     }
 
     /// Re-key the just-advanced input `idx` (the tree's current winner) with
-    /// its next head rank and replay its path. The rank comes straight from
-    /// the cursor's cached column — no `SortOrder` round trip; a store read
-    /// only happens when the buffered page ran out. An exhausted input is
-    /// removed (possibly absorbing its producer step), which marks the tree
-    /// for rebuild.
+    /// its next head composite and replay its path. The rank half comes
+    /// straight from the cursor's cached column — no `SortOrder` round trip;
+    /// a store read only happens when the buffered page ran out. An exhausted
+    /// input is removed (possibly absorbing its producer step), which marks
+    /// the tree for rebuild.
     fn rearm_winner(&mut self, idx: usize) -> SortResult<()> {
         let active = self.arena.active;
-        let rank = self.arena.steps[active].inputs[idx].cursor.peek_rank(
+        let key = self.arena.steps[active].inputs[idx].cursor.peek_composite(
             &self.cfg.order,
             self.store,
             self.env,
         )?;
-        match rank {
+        match key {
             Some(r) => self.tree.replay_winner(Some(r)),
             None => self.handle_exhausted_input(idx)?,
         }
@@ -733,10 +791,19 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     fn produce_one(&mut self, idx: usize) -> SortResult<()> {
         self.charge_selection(1);
         let t = self.pop_input(idx)?;
+        let dense = self.dense_out_stride();
         let active = self.arena.active;
-        self.arena.steps[active].out_buf.push(t);
-        self.arena.steps[active].produced_anything = true;
+        let step = &mut self.arena.steps[active];
+        match dense {
+            Some(stride) => step
+                .out_arena
+                .get_or_insert_with(|| TupleArena::new(stride))
+                .push(&t),
+            None => step.out_buf.push(t),
+        }
+        step.produced_anything = true;
         self.stats.tuples_output += 1;
+        self.flush_if_dense_page_full(active)?;
         self.rearm_winner(idx)?;
         Ok(())
     }
@@ -755,17 +822,30 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
     fn produce_batch(
         &mut self,
         idx: usize,
-        challenger: Option<(usize, u64)>,
+        challenger: Option<(usize, u128)>,
         max: usize,
     ) -> SortResult<usize> {
-        // The winner keeps winning while its (rank, index) pair stays below
-        // the challenger's: strictly smaller rank, or a rank tie broken
-        // toward the smaller input index.
+        // The winner keeps winning while its (composite, index) pair stays
+        // below the challenger's. The gallop bound is the challenger's *rank*
+        // (the composite's high half, the only part the cached rank column
+        // can binary-search): strictly smaller ranks always win, and a rank
+        // tie is only surely the winner's when ranks are the whole story —
+        // with tie ranks in play, rank-equal heads go back through the tree.
         let (bound, inclusive) = match challenger {
-            Some((c_idx, c_rank)) => (Some(c_rank), idx < c_idx),
+            Some((c_idx, c)) => (
+                Some((c >> 64) as u64),
+                self.cfg.order.rank_is_exact() && idx < c_idx,
+            ),
             None => (None, false),
         };
+        let dense = self.dense_out_stride();
         let active = self.arena.active;
+        // Dense out-pages seal at exactly one page of records; cap the batch
+        // at the room left so the arena never crosses a page boundary.
+        let max = match (dense, self.arena.steps[active].out_arena.as_ref()) {
+            (Some(_), Some(a)) => max.min(self.cfg.tuples_per_page() - a.len()),
+            _ => max,
+        };
         let n = self.arena.steps[active].inputs[idx]
             .cursor
             .gallop_len(bound, inclusive, max)
@@ -778,10 +858,20 @@ impl<'a, S: RunStore, E: SortEnv> Exec<'a, S, E> {
         }
         self.env.charge_cpu(CpuOp::CopyTuple, n as u64);
         let step = &mut self.arena.steps[active];
-        let (inputs, out_buf) = (&mut step.inputs, &mut step.out_buf);
-        inputs[idx].cursor.take_batch(n, out_buf);
+        match dense {
+            Some(stride) => {
+                let (inputs, out_arena) = (&mut step.inputs, &mut step.out_arena);
+                let arena = out_arena.get_or_insert_with(|| TupleArena::new(stride));
+                inputs[idx].cursor.take_batch_arena(n, arena);
+            }
+            None => {
+                let (inputs, out_buf) = (&mut step.inputs, &mut step.out_buf);
+                inputs[idx].cursor.take_batch(n, out_buf);
+            }
+        }
         step.produced_anything = true;
         self.stats.tuples_output += n as u64;
+        self.flush_if_dense_page_full(active)?;
         self.rearm_winner(idx)?;
         Ok(n)
     }

@@ -14,6 +14,7 @@
 //! is dormant. This module only manages the structure; the execution loop
 //! lives in [`super::exec`].
 
+use crate::layout::TupleArena;
 use crate::merge::cursor::RunCursor;
 use crate::store::{RunId, RunStore};
 use crate::tuple::Tuple;
@@ -62,8 +63,13 @@ pub struct MergeStep {
     /// Run that this step appends its merged output to. The root step of a
     /// sort owns the final result run; the root of a join has no output run.
     pub output: Option<RunId>,
-    /// Output page under construction.
+    /// Output page under construction (the owned-layout path).
     pub out_buf: Vec<Tuple>,
+    /// Dense-layout output page under construction, created lazily by the
+    /// executor when the configured [`crate::config::PageLayout`] is dense and
+    /// this step has an output run. Holds strictly less than one page of
+    /// records between flushes, so sealing always emits exactly one page.
+    pub out_arena: Option<TupleArena>,
     /// Parent step (the step that consumes our output), if any.
     pub parent: Option<StepId>,
     /// True once every input has been consumed and the output flushed.
@@ -107,6 +113,7 @@ impl StepArena {
                 inputs,
                 output,
                 out_buf: Vec::new(),
+                out_arena: None,
                 parent: None,
                 completed: false,
                 produced_anything: false,
@@ -173,6 +180,7 @@ impl StepArena {
             inputs: moved,
             output: Some(child_output),
             out_buf: Vec::new(),
+            out_arena: None,
             parent: Some(parent_id),
             completed: false,
             produced_anything: false,

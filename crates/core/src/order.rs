@@ -10,10 +10,46 @@
 //! of the payload, a field decoded from the payload bytes, ...). Because all
 //! machinery compares ranks with plain `<=`, one code path serves every
 //! ordering.
+//!
+//! ## Normalized keys longer than eight bytes
+//!
+//! [`SortOrder::by_normalized_key`] supports records whose sort key is a
+//! byte string of up to 16 bytes (e.g. the 10-byte keys of the gensort
+//! format): the caller stores the big-endian u64 of the first eight key
+//! bytes in [`Tuple::key`] — an order-preserving fixed-width prefix the
+//! algorithms compare memcmp-style — and the order derives a second u64
+//! *tie rank* from the remaining key bytes of the payload. The hot paths
+//! compare the prefix column first and consult the tie rank only through
+//! the composite key ([`SortOrder::composite`]), so records are touched
+//! beyond their prefix only when prefixes collide.
 
-use crate::tuple::Tuple;
+use crate::tuple::{Payload, Tuple};
+use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
+
+/// Widest normalized key (in bytes) representable by the prefix + tie-rank
+/// pair: eight bytes in [`Tuple::key`] plus eight more from the payload.
+pub const MAX_NORMALIZED_KEY: usize = 16;
+
+/// Pack up to eight leading bytes of `key` into an order-preserving u64
+/// (big-endian, left-aligned, zero-padded): `normalized_prefix(a) <
+/// normalized_prefix(b)` whenever `a < b` bytewise. Callers building
+/// normalized-key tuples store this in [`Tuple::key`].
+pub fn normalized_prefix(key: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    let n = key.len().min(8);
+    buf[..n].copy_from_slice(&key[..n]);
+    u64::from_be_bytes(buf)
+}
+
+/// Where a normalized order finds its tie-breaking key bytes: a slice of the
+/// payload starting at `offset`, `len` bytes long (missing bytes read as 0).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct TieBreak {
+    offset: usize,
+    len: usize,
+}
 
 /// The function type of a custom key extractor.
 pub type KeyExtractor = dyn Fn(&Tuple) -> u64 + Send + Sync;
@@ -35,6 +71,7 @@ pub enum SortDirection {
 pub struct SortOrder {
     direction: SortDirection,
     key_fn: Option<Arc<KeyExtractor>>,
+    tie: Option<TieBreak>,
 }
 
 impl SortOrder {
@@ -43,6 +80,7 @@ impl SortOrder {
         SortOrder {
             direction: SortDirection::Ascending,
             key_fn: None,
+            tie: None,
         }
     }
 
@@ -51,6 +89,7 @@ impl SortOrder {
         SortOrder {
             direction: SortDirection::Descending,
             key_fn: None,
+            tie: None,
         }
     }
 
@@ -62,6 +101,33 @@ impl SortOrder {
         SortOrder {
             direction: SortDirection::Ascending,
             key_fn: Some(Arc::new(f)),
+            tie: None,
+        }
+    }
+
+    /// Ascending order on a normalized byte-string key of `key_len` bytes
+    /// (1 ≤ `key_len` ≤ [`MAX_NORMALIZED_KEY`]).
+    ///
+    /// The tuple's [`Tuple::key`] must hold [`normalized_prefix`] of the key
+    /// bytes, and — when `key_len > 8` — the payload must carry the full
+    /// record with the key at its start, so the tie rank can read key bytes
+    /// `8..key_len` from `payload[8..key_len]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `key_len` is 0 or exceeds [`MAX_NORMALIZED_KEY`].
+    pub fn by_normalized_key(key_len: usize) -> Self {
+        assert!(
+            (1..=MAX_NORMALIZED_KEY).contains(&key_len),
+            "normalized key length {key_len} outside 1..={MAX_NORMALIZED_KEY}"
+        );
+        SortOrder {
+            direction: SortDirection::Ascending,
+            key_fn: None,
+            tie: (key_len > 8).then_some(TieBreak {
+                offset: 8,
+                len: key_len - 8,
+            }),
         }
     }
 
@@ -125,11 +191,93 @@ impl SortOrder {
         }
     }
 
+    /// True when the rank alone totally determines this order — i.e. equal
+    /// ranks mean order-equivalent tuples. False only for normalized keys
+    /// longer than eight bytes, where a [`tie_rank`](Self::tie_rank) breaks
+    /// prefix collisions; batch moves that steal rank-equal tuples must then
+    /// stay conservative.
+    #[inline]
+    pub fn rank_is_exact(&self) -> bool {
+        self.tie.is_none()
+    }
+
+    /// The tie rank of `t`: a second u64 compared after [`rank`](Self::rank).
+    /// Always 0 for exact orders ([`rank_is_exact`](Self::rank_is_exact)).
+    #[inline]
+    pub fn tie_rank(&self, t: &Tuple) -> u64 {
+        match &t.payload {
+            Payload::Bytes(b) => self.tie_rank_bytes(b),
+            Payload::Synthetic(_) => self.tie_rank_bytes(&[]),
+        }
+    }
+
+    /// The tie rank derived from raw payload bytes (missing bytes read as 0).
+    /// This is the zero-copy twin of [`tie_rank`](Self::tie_rank): dense
+    /// cursors feed it a borrowed payload slice.
+    #[inline]
+    pub fn tie_rank_bytes(&self, payload: &[u8]) -> u64 {
+        let Some(tie) = self.tie else { return 0 };
+        let mut buf = [0u8; 8];
+        let start = tie.offset.min(payload.len());
+        let end = (tie.offset + tie.len).min(payload.len());
+        buf[..end - start].copy_from_slice(&payload[start..end]);
+        let x = u64::from_be_bytes(buf);
+        match self.direction {
+            SortDirection::Ascending => x,
+            SortDirection::Descending => !x,
+        }
+    }
+
+    /// Combine a rank and a tie rank into the single u128 the merge kernel's
+    /// loser tree compares: ascending composite order is exactly
+    /// `(rank, tie_rank)` lexicographic order. For exact orders the tie is 0
+    /// and composite comparisons degenerate to rank comparisons.
+    #[inline]
+    pub fn composite(rank: u64, tie: u64) -> u128 {
+        ((rank as u128) << 64) | tie as u128
+    }
+
+    /// The composite key of `t` (see [`composite`](Self::composite)).
+    #[inline]
+    pub fn composite_of(&self, t: &Tuple) -> u128 {
+        let tie = if self.tie.is_some() {
+            self.tie_rank(t)
+        } else {
+            0
+        };
+        Self::composite(self.rank(t), tie)
+    }
+
+    /// The rank a *stored* key maps to under this order. Only meaningful for
+    /// orders without a custom extractor (the dense fast path, which reads
+    /// keys straight out of the record region, is gated on
+    /// [`has_custom_key`](Self::has_custom_key) being false).
+    #[inline]
+    pub fn rank_from_key(&self, key: u64) -> u64 {
+        debug_assert!(
+            self.key_fn.is_none(),
+            "rank_from_key with a custom extractor"
+        );
+        match self.direction {
+            SortDirection::Ascending => key,
+            SortDirection::Descending => !key,
+        }
+    }
+
+    /// Compare two tuples under this order (rank, then tie rank).
+    #[inline]
+    pub fn cmp(&self, a: &Tuple, b: &Tuple) -> Ordering {
+        match self.rank(a).cmp(&self.rank(b)) {
+            Ordering::Equal if self.tie.is_some() => self.tie_rank(a).cmp(&self.tie_rank(b)),
+            ord => ord,
+        }
+    }
+
     /// True if `tuples` is sorted according to this order.
     pub fn is_sorted(&self, tuples: &[Tuple]) -> bool {
         tuples
             .windows(2)
-            .all(|w| self.rank(&w[0]) <= self.rank(&w[1]))
+            .all(|w| self.cmp(&w[0], &w[1]) != Ordering::Greater)
     }
 }
 
@@ -140,15 +288,18 @@ impl fmt::Debug for SortOrder {
         f.debug_struct("SortOrder")
             .field("direction", &self.direction)
             .field("custom_key", &self.key_fn.is_some())
+            .field("tie", &self.tie)
             .finish()
     }
 }
 
-/// Two orders are equal when they have the same direction and the same
-/// extractor identity (both none, or literally the same `Arc`).
+/// Two orders are equal when they have the same direction, the same tie
+/// specification, and the same extractor identity (both none, or literally
+/// the same `Arc`).
 impl PartialEq for SortOrder {
     fn eq(&self, other: &Self) -> bool {
         self.direction == other.direction
+            && self.tie == other.tie
             && match (&self.key_fn, &other.key_fn) {
                 (None, None) => true,
                 (Some(a), Some(b)) => Arc::ptr_eq(a, b),
@@ -239,5 +390,133 @@ mod tests {
     fn debug_shows_direction() {
         let s = format!("{:?}", SortOrder::descending());
         assert!(s.contains("Descending"));
+    }
+
+    /// Build a tuple the way a normalized-key adapter does: prefix in the
+    /// stored key, full record (key bytes first) in the payload.
+    fn norm(key: &[u8]) -> Tuple {
+        Tuple::new(normalized_prefix(key), key.to_vec())
+    }
+
+    #[test]
+    fn normalized_prefix_preserves_byte_order() {
+        // Order-preserving, not strict: zero padding lets `"a"` and `"a\0"`
+        // share a prefix, which the tie rank (or the caller's fixed-width
+        // keys) disambiguates. `a <= b` bytewise must imply prefix(a) <=
+        // prefix(b); equal-length keys of <= 8 bytes order strictly.
+        let keys: [&[u8]; 7] = [
+            b"",
+            b"\x00",
+            b"abc",
+            b"abd",
+            b"abcdefgh",
+            b"abcdefghij",
+            b"\xFF\xFF",
+        ];
+        for a in keys {
+            for b in keys {
+                if a <= b {
+                    assert!(
+                        normalized_prefix(a) <= normalized_prefix(b),
+                        "{a:?} vs {b:?}"
+                    );
+                }
+                if a.len() == b.len() && a.len() <= 8 {
+                    assert_eq!(
+                        normalized_prefix(a).cmp(&normalized_prefix(b)),
+                        a.cmp(b),
+                        "{a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_key_composite_orders_like_memcmp() {
+        let order = SortOrder::by_normalized_key(10);
+        assert!(!order.rank_is_exact());
+        let keys: Vec<Vec<u8>> = vec![
+            b"aaaaaaaa\x00\x01".to_vec(),
+            b"aaaaaaaa\x00\x02".to_vec(),
+            b"aaaaaaaa\xFF\x00".to_vec(),
+            b"aaaaaaab\x00\x00".to_vec(),
+            b"zzzzzzzz\x01\x01".to_vec(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate() {
+                let (ta, tb) = (norm(a), norm(b));
+                assert_eq!(
+                    order.composite_of(&ta).cmp(&order.composite_of(&tb)),
+                    i.cmp(&j),
+                    "{a:?} vs {b:?}"
+                );
+                assert_eq!(order.cmp(&ta, &tb), i.cmp(&j));
+            }
+        }
+        // Equal prefixes, different tie bytes: ranks collide, composites don't.
+        let (ta, tb) = (norm(&keys[0]), norm(&keys[2]));
+        assert_eq!(order.rank(&ta), order.rank(&tb));
+        assert!(order.composite_of(&ta) < order.composite_of(&tb));
+    }
+
+    #[test]
+    fn normalized_key_descending_reverses_composites() {
+        let order = SortOrder::by_normalized_key(10).reversed();
+        let small = norm(b"aaaaaaaa\x00\x01");
+        let big = norm(b"aaaaaaaa\x00\x09");
+        assert!(order.composite_of(&big) < order.composite_of(&small));
+        assert!(order.is_sorted(&[big, small]));
+    }
+
+    #[test]
+    fn short_normalized_keys_have_exact_ranks() {
+        let order = SortOrder::by_normalized_key(8);
+        assert!(order.rank_is_exact());
+        assert_eq!(order.tie_rank(&norm(b"abcdefgh")), 0);
+    }
+
+    #[test]
+    fn tie_rank_bytes_matches_tuple_tie_rank() {
+        let order = SortOrder::by_normalized_key(12);
+        let t = norm(b"aaaaaaaabcde");
+        let Payload::Bytes(b) = &t.payload else {
+            unreachable!()
+        };
+        assert_eq!(order.tie_rank_bytes(b), order.tie_rank(&t));
+        // Truncated payloads zero-pad instead of panicking.
+        assert_eq!(order.tie_rank_bytes(&[]), 0);
+        assert_eq!(
+            order.tie_rank_bytes(b"aaaaaaaab"),
+            u64::from_be_bytes([b'b', 0, 0, 0, 0, 0, 0, 0])
+        );
+    }
+
+    #[test]
+    fn rank_from_key_matches_rank_for_plain_orders() {
+        for order in [SortOrder::ascending(), SortOrder::descending()] {
+            let tup = t(0xDEAD_BEEF);
+            assert_eq!(order.rank_from_key(tup.key), order.rank(&tup));
+        }
+    }
+
+    #[test]
+    fn equality_distinguishes_tie_specs() {
+        assert_eq!(
+            SortOrder::by_normalized_key(10),
+            SortOrder::by_normalized_key(10)
+        );
+        assert_ne!(
+            SortOrder::by_normalized_key(10),
+            SortOrder::by_normalized_key(12)
+        );
+        assert_ne!(SortOrder::by_normalized_key(10), SortOrder::ascending());
+        assert_eq!(SortOrder::by_normalized_key(8), SortOrder::ascending());
+    }
+
+    #[test]
+    #[should_panic(expected = "normalized key length")]
+    fn oversized_normalized_keys_are_rejected() {
+        SortOrder::by_normalized_key(MAX_NORMALIZED_KEY + 1);
     }
 }

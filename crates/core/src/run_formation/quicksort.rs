@@ -14,7 +14,7 @@ use crate::env::{CpuOp, SortEnv};
 use crate::error::SortResult;
 use crate::input::InputSource;
 use crate::store::RunStore;
-use crate::tuple::{paginate, Tuple};
+use crate::tuple::{paginate_with, Tuple};
 
 use super::SplitStats;
 
@@ -114,8 +114,24 @@ where
                 .iter()
                 .map(|&(_, i)| src[i as usize].take().expect("each index gathered once"))
                 .collect();
-        } else {
+        } else if order.rank_is_exact() {
             mem.sort_unstable_by_key(|t| order.rank(t));
+        } else {
+            // Normalized-key orders: the rank only covers the key prefix, so
+            // sort on the full (rank, tie-rank) composite — computed once per
+            // tuple (a tie rank reads payload bytes; recomputing it per
+            // comparison inside the sort would dominate the split phase).
+            let mut column: Vec<(u128, u32)> = mem
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (order.composite_of(t), i as u32))
+                .collect();
+            let mut src: Vec<Option<Tuple>> = mem.into_iter().map(Some).collect();
+            column.sort_unstable();
+            mem = column
+                .iter()
+                .map(|&(_, i)| src[i as usize].take().expect("each index gathered once"))
+                .collect();
         }
 
         // ------------------------------------------------------------------
@@ -124,7 +140,7 @@ where
         // can the buffers be handed back — this is why Quicksort reacts to
         // memory shortages so much more slowly than replacement selection.
         // ------------------------------------------------------------------
-        let pages = paginate(mem, tpp);
+        let pages = paginate_with(mem, tpp, cfg.layout);
         let run = store.create_run()?;
         env.charge_cpu(CpuOp::StartIo, 1);
         env.charge_cpu(CpuOp::CopyTuple, pages.iter().map(|p| p.len() as u64).sum());

@@ -13,10 +13,11 @@
 //!
 //! # The selection structure
 //!
-//! The heap holds compact `(run_no, rank, slot)` entries over an **arena** of
-//! tuples instead of the tuples themselves: ranks are computed once at
+//! The heap holds compact `(run_no, composite, slot)` entries over an
+//! **arena** of tuples instead of the tuples themselves: composite keys
+//! (rank, then tie rank — see [`SortOrder::composite`]) are computed once at
 //! insertion (the merge kernel's cached-rank discipline), and every sift
-//! moves a 16-byte packed entry rather than a full [`Tuple`] with its payload
+//! moves a small packed entry rather than a full [`Tuple`] with its payload
 //! vector. A binary heap — not the merge's loser tree
 //! ([`crate::merge::select`]) — is the right tournament here because run
 //! formation inserts whole input pages *between* pop streaks: a loser tree
@@ -27,24 +28,25 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use crate::budget::MemoryBudget;
-use crate::config::SortConfig;
+use crate::config::{PageLayout, SortConfig};
 use crate::env::{CpuOp, SortEnv};
 use crate::error::SortResult;
 use crate::input::InputSource;
 use crate::order::SortOrder;
 use crate::store::{RunId, RunStore};
-use crate::tuple::{paginate, Tuple};
+use crate::tuple::{paginate_with, Tuple};
 
 use super::SplitStats;
 
-/// Compact heap entry: `(run_no, rank, slot)`, popped smallest-first through
-/// [`Reverse`]. Ordering by (run number, rank) keeps the current run's
-/// smallest-ranked tuple on top while next-run tuples sink below every
-/// current-run one; the slot index breaks rank ties deterministically and
-/// locates the tuple in the arena. The *rank* is the configured
-/// [`SortOrder`]'s comparison value, so descending and custom-key sorts use
-/// the same heap.
-type Entry = (u32, u64, u32);
+/// Compact heap entry: `(run_no, composite, slot)`, popped smallest-first
+/// through [`Reverse`]. Ordering by (run number, composite) keeps the current
+/// run's smallest tuple on top while next-run tuples sink below every
+/// current-run one; the slot index breaks ties deterministically and locates
+/// the tuple in the arena. The *composite* is the configured [`SortOrder`]'s
+/// comparison value (`rank << 64 | tie_rank` — the tie half is zero except
+/// for long normalized keys), so descending, custom-key and normalized-key
+/// sorts all use the same heap.
+type Entry = (u32, u128, u32);
 
 /// The tuple arena behind the selection heap: slots are allocated on insert,
 /// emptied on pop, and recycled through a free list so the arena's footprint
@@ -104,13 +106,14 @@ struct State<'a, S: RunStore> {
     tpp: usize,
     block_tuples: usize,
     order: SortOrder,
+    layout: PageLayout,
     heap: BinaryHeap<Reverse<Entry>>,
     arena: Arena,
     out_buf: Vec<Tuple>,
     current_run_no: u32,
     current_run_id: Option<RunId>,
-    /// Rank of the last tuple written to the current run.
-    last_out: Option<u64>,
+    /// Composite key of the last tuple written to the current run.
+    last_out: Option<u128>,
 }
 
 impl<'a, S: RunStore> State<'a, S> {
@@ -143,7 +146,7 @@ impl<'a, S: RunStore> State<'a, S> {
         };
         let tuples = std::mem::take(&mut self.out_buf);
         env.charge_cpu(CpuOp::StartIo, 1);
-        let pages = paginate(tuples, self.tpp);
+        let pages = paginate_with(tuples, self.tpp, self.layout);
         stats.pages_written += pages.len();
         stats.block_writes += 1;
         self.store.append_block(run, pages)?;
@@ -183,12 +186,12 @@ impl<'a, S: RunStore> State<'a, S> {
     fn emit_up_to<E: SortEnv>(&mut self, env: &mut E, limit_tuples: usize) -> bool {
         while self.out_buf.len() < limit_tuples {
             match self.heap.peek() {
-                Some(Reverse((run_no, rank, slot))) if *run_no == self.current_run_no => {
-                    let (rank, slot) = (*rank, *slot);
+                Some(Reverse((run_no, key, slot))) if *run_no == self.current_run_no => {
+                    let (key, slot) = (*key, *slot);
                     self.heap.pop();
                     env.charge_cpu(CpuOp::HeapRemove, 1);
                     env.charge_cpu(CpuOp::CopyTuple, 1);
-                    self.last_out = Some(rank);
+                    self.last_out = Some(key);
                     self.out_buf.push(self.arena.take(slot));
                 }
                 Some(_) => return true, // only next-run tuples remain
@@ -202,15 +205,16 @@ impl<'a, S: RunStore> State<'a, S> {
         env.charge_cpu(CpuOp::StartIo, 1);
         env.charge_cpu(CpuOp::HeapInsert, page.len() as u64);
         for tuple in page.into_tuples() {
-            // Rank computed once per tuple (one `SortOrder` dispatch); every
-            // later heap comparison reads the cached value from the entry.
-            let rank = self.order.rank(&tuple);
+            // Composite computed once per tuple (one `SortOrder` dispatch);
+            // every later heap comparison reads the cached value from the
+            // entry.
+            let key = self.order.composite_of(&tuple);
             let run_no = match self.last_out {
-                Some(last) if rank < last => self.current_run_no + 1,
+                Some(last) if key < last => self.current_run_no + 1,
                 _ => self.current_run_no,
             };
             let slot = self.arena.insert(tuple);
-            self.heap.push(Reverse((run_no, rank, slot)));
+            self.heap.push(Reverse((run_no, key, slot)));
         }
     }
 }
@@ -294,6 +298,7 @@ where
         tpp,
         block_tuples: policy.block_pages(budget.target().max(1)) * tpp,
         order: cfg.order.clone(),
+        layout: cfg.layout,
         heap: BinaryHeap::new(),
         arena: Arena::default(),
         out_buf: Vec::new(),

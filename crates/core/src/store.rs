@@ -17,12 +17,14 @@
 
 use crate::error::{SortError, SortResult};
 use crate::io::{IoHandle, IoPool};
+use crate::layout::DensePage;
 use crate::tuple::{Page, Payload, Tuple};
 use masort_trace::EventKind;
 use std::collections::{HashMap, VecDeque};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A one-shot batched read that can execute on a background thread: reads and
@@ -70,6 +72,24 @@ pub trait RunStore {
 
     /// Read page `idx` of `run`.
     fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page>;
+
+    /// Read page `idx` of `run`, reusing `scratch` as the raw I/O buffer.
+    ///
+    /// Streaming consumers ([`crate::SortedStream`], `verify::collect_run`)
+    /// read one page at a time for the life of a run; routing those reads
+    /// through a caller-held scratch buffer lets stores that hit a real
+    /// device (e.g. [`FileStore`]) reuse one allocation per stream instead
+    /// of allocating per page. The default ignores `scratch` and delegates
+    /// to [`read_page`](Self::read_page).
+    fn read_page_with_scratch(
+        &mut self,
+        run: RunId,
+        idx: usize,
+        scratch: &mut Vec<u8>,
+    ) -> SortResult<Page> {
+        let _ = scratch;
+        self.read_page(run, idx)
+    }
 
     /// Read `len` consecutive pages of `run` starting at page `start` (a
     /// *block read*). Implementations that talk to real devices should issue
@@ -287,13 +307,23 @@ impl RunStore for MemStore {
 
 /// Simple length-prefixed binary page format used by [`FileStore`].
 ///
-/// Page layout: `u32` tuple count, then per tuple: `u64` key, `u8` payload tag
-/// (0 = synthetic, 1 = bytes), `u32` payload length, payload bytes (only for
-/// tag 1).
-fn encode_page(page: &Page, buf: &mut Vec<u8>) {
-    buf.clear();
+/// Classic page layout: `u32` tuple count, then per tuple: `u64` key, `u8`
+/// payload tag (0 = synthetic, 1 = bytes), `u32` payload length, payload
+/// bytes (only for tag 1). Dense pages ([`crate::layout::DensePage`]) use
+/// their own framing, starting with the sentinel word `0xFFFF_FFFF` — a
+/// value the classic format can never produce as a tuple count — so both
+/// encodings coexist in one run file and every decode path dispatches on the
+/// leading word.
+///
+/// Appends the encoding to `buf` (callers sizing a block preallocate once
+/// and encode every page straight into it).
+fn encode_page_into(page: &Page, buf: &mut Vec<u8>) {
+    if let Some(dense) = page.as_dense() {
+        dense.encode_into(buf);
+        return;
+    }
     buf.extend_from_slice(&(page.len() as u32).to_le_bytes());
-    for t in page.tuples() {
+    for t in page.tuples().iter() {
         buf.extend_from_slice(&t.key.to_le_bytes());
         match &t.payload {
             Payload::Synthetic(n) => {
@@ -307,6 +337,13 @@ fn encode_page(page: &Page, buf: &mut Vec<u8>) {
             }
         }
     }
+}
+
+/// Encode one page into `buf`, replacing its previous contents.
+#[cfg(test)]
+fn encode_page(page: &Page, buf: &mut Vec<u8>) {
+    buf.clear();
+    encode_page_into(page, buf);
 }
 
 /// Length-checked cursor over an encoded page; every read validates that the
@@ -351,8 +388,29 @@ impl<'a> Decoder<'a> {
     }
 }
 
-/// Decode one page, validating every length along the way.
+/// Decode one page, validating every length along the way. Dense pages are
+/// recognised by their sentinel; working from a borrowed slice, this copies
+/// the page bytes into a fresh buffer — the zero-copy entry points are
+/// [`decode_page_vec`] (single page, buffer handed over) and [`decode_block`]
+/// (whole block shared behind one `Arc`).
 fn decode_page(buf: &[u8]) -> Result<Page, String> {
+    if DensePage::is_dense_encoding(buf) {
+        return DensePage::decode_owned(buf.to_vec()).map(Page::from_dense);
+    }
+    decode_page_classic(buf)
+}
+
+/// Decode one page from a buffer the caller hands over: a dense page takes
+/// ownership of it (no copy), a classic page materialises its tuples.
+fn decode_page_vec(buf: Vec<u8>) -> Result<Page, String> {
+    if DensePage::is_dense_encoding(&buf) {
+        return DensePage::decode_owned(buf).map(Page::from_dense);
+    }
+    decode_page_classic(&buf)
+}
+
+/// Decode one classic (tuple-at-a-time) page.
+fn decode_page_classic(buf: &[u8]) -> Result<Page, String> {
     let mut d = Decoder { buf, pos: 0 };
     let count = d.u32()? as usize;
     // A page's tuples each occupy at least 13 encoded bytes; an absurd count
@@ -393,6 +451,9 @@ fn decode_page(buf: &[u8]) -> Result<Page, String> {
 /// without encoding — lets write-behind reserve index entries up front and
 /// move the actual encoding onto a background thread.
 fn encoded_page_len(page: &Page) -> usize {
+    if let Some(dense) = page.as_dense() {
+        return dense.encoded_len();
+    }
     4 + page
         .tuples()
         .iter()
@@ -407,15 +468,16 @@ fn encoded_page_len(page: &Page) -> usize {
         .sum::<usize>()
 }
 
-/// Encode `pages` back to back into one contiguous buffer (one block).
+/// Encode `pages` back to back into one contiguous buffer (one block),
+/// preallocated to its exact size and written in a single pass — no
+/// per-page staging buffer.
 fn encode_pages(pages: &[Page]) -> Vec<u8> {
     let total: usize = pages.iter().map(encoded_page_len).sum();
     let mut buf = Vec::with_capacity(total);
-    let mut tmp = Vec::new();
     for p in pages {
-        encode_page(p, &mut tmp);
-        buf.extend_from_slice(&tmp);
+        encode_page_into(p, &mut buf);
     }
+    debug_assert_eq!(buf.len(), total, "encoded_page_len disagrees with encoder");
     buf
 }
 
@@ -739,6 +801,34 @@ impl FileStore {
         self.runs.get_mut(&run).ok_or(SortError::UnknownRun(run))
     }
 
+    /// Read the raw encoded bytes of page `idx` into `buf` (resized to the
+    /// page's exact encoded length), draining pending writes first.
+    fn read_page_raw(&mut self, run: RunId, idx: usize, buf: &mut Vec<u8>) -> SortResult<()> {
+        self.drain_run(run)?;
+        let r = self.run_mut(run)?;
+        let &(off, len) = r
+            .index
+            .get(idx)
+            .ok_or_else(|| SortError::corrupt(run, format!("page {idx} out of range")))?;
+        buf.resize(len as usize, 0);
+        r.file.seek(SeekFrom::Start(off))?;
+        r.file.read_exact(buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                SortError::corrupt(
+                    run,
+                    format!("page {idx} truncated: expected {len} byte(s) at offset {off}"),
+                )
+            } else {
+                SortError::Io(e)
+            }
+        })?;
+        self.trace.emit(EventKind::IoRead {
+            run: run.into(),
+            pages: 1,
+        });
+        Ok(())
+    }
+
     /// Retry deleting any run files whose earlier removal failed.
     fn sweep_trash(&mut self) {
         self.trash.retain(|path| match std::fs::remove_file(path) {
@@ -926,29 +1016,28 @@ impl RunStore for FileStore {
     }
 
     fn read_page(&mut self, run: RunId, idx: usize) -> SortResult<Page> {
-        self.drain_run(run)?;
-        let r = self.run_mut(run)?;
-        let &(off, len) = r
-            .index
-            .get(idx)
-            .ok_or_else(|| SortError::corrupt(run, format!("page {idx} out of range")))?;
-        let mut buf = vec![0u8; len as usize];
-        r.file.seek(SeekFrom::Start(off))?;
-        r.file.read_exact(&mut buf).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
-                SortError::corrupt(
-                    run,
-                    format!("page {idx} truncated: expected {len} byte(s) at offset {off}"),
-                )
-            } else {
-                SortError::Io(e)
-            }
-        })?;
-        self.trace.emit(EventKind::IoRead {
-            run: run.into(),
-            pages: 1,
-        });
-        decode_page(&buf).map_err(|detail| SortError::corrupt(run, format!("page {idx}: {detail}")))
+        let mut buf = Vec::new();
+        self.read_page_raw(run, idx, &mut buf)?;
+        decode_page_vec(buf)
+            .map_err(|detail| SortError::corrupt(run, format!("page {idx}: {detail}")))
+    }
+
+    fn read_page_with_scratch(
+        &mut self,
+        run: RunId,
+        idx: usize,
+        scratch: &mut Vec<u8>,
+    ) -> SortResult<Page> {
+        self.read_page_raw(run, idx, scratch)?;
+        // A dense page takes ownership of its buffer, so handing the scratch
+        // over skips a full-page copy; the next read re-allocates it, which
+        // costs no more than the copy did. Classic pages keep reusing it.
+        if DensePage::is_dense_encoding(scratch) {
+            return decode_page_vec(std::mem::take(scratch))
+                .map_err(|detail| SortError::corrupt(run, format!("page {idx}: {detail}")));
+        }
+        decode_page(scratch)
+            .map_err(|detail| SortError::corrupt(run, format!("page {idx}: {detail}")))
     }
 
     fn read_block(&mut self, run: RunId, start: usize, len: usize) -> SortResult<Vec<Page>> {
@@ -986,7 +1075,7 @@ impl RunStore for FileStore {
             run: run.into(),
             pages: len,
         });
-        decode_block(run, start, first_off, &entries, &buf)
+        decode_block(run, start, first_off, &entries, buf)
     }
 
     #[cfg(unix)]
@@ -1022,7 +1111,7 @@ impl RunStore for FileStore {
                 run: run.into(),
                 pages: len,
             });
-            decode_block(run, start, first_off, &entries, &buf)
+            decode_block(run, start, first_off, &entries, buf)
         }))
     }
 
@@ -1113,18 +1202,32 @@ impl RunStore for FileStore {
 
 /// Decode the pages of one contiguous block given its index `entries` and the
 /// raw `buf` that starts at file offset `first_off`.
+///
+/// The block buffer moves behind an `Arc` exactly once; every dense page in
+/// the block then *borrows* its record region out of that one shared
+/// allocation (the zero-copy decode path), while classic pages materialise
+/// their tuples as before.
 fn decode_block(
     run: RunId,
     start: usize,
     first_off: u64,
     entries: &[(u64, u32)],
-    buf: &[u8],
+    buf: Vec<u8>,
 ) -> SortResult<Vec<Page>> {
+    let shared = Arc::new(buf);
     let mut out = Vec::with_capacity(entries.len());
     for (i, &(off, len)) in entries.iter().enumerate() {
         let s = (off - first_off) as usize;
-        let page = decode_page(&buf[s..s + len as usize])
-            .map_err(|detail| SortError::corrupt(run, format!("page {}: {detail}", start + i)))?;
+        let slice = &shared[s..s + len as usize];
+        let corrupt =
+            |detail: String| SortError::corrupt(run, format!("page {}: {detail}", start + i));
+        let page = if DensePage::is_dense_encoding(slice) {
+            DensePage::decode_shared(&shared, s, len as usize)
+                .map(Page::from_dense)
+                .map_err(corrupt)?
+        } else {
+            decode_page_classic(slice).map_err(corrupt)?
+        };
         out.push(page);
     }
     Ok(out)

@@ -36,6 +36,10 @@ pub struct SortedStream<S: RunStore> {
     /// True once the run has been deleted from the store (fully drained).
     /// Error-fused streams leave this false so `Drop` still reclaims.
     reclaimed: bool,
+    /// Decode scratch reused across page reads (see
+    /// [`RunStore::read_page_with_scratch`]): one encoded-page allocation per
+    /// stream instead of one per page.
+    scratch: Vec<u8>,
 }
 
 impl<S: RunStore> SortedStream<S> {
@@ -49,6 +53,7 @@ impl<S: RunStore> SortedStream<S> {
             yielded: 0,
             done: false,
             reclaimed: false,
+            scratch: Vec::new(),
         }
     }
 
@@ -110,7 +115,7 @@ impl<S: RunStore> Iterator for SortedStream<S> {
                 let _ = store.delete_run(self.run);
                 return None;
             }
-            match store.read_page(self.run, self.next_page) {
+            match store.read_page_with_scratch(self.run, self.next_page, &mut self.scratch) {
                 Ok(page) => {
                     self.next_page += 1;
                     self.buf = page.into_tuples().into_iter();

@@ -5,6 +5,18 @@
 //! to each tuple; the simulation harness uses a *synthetic* payload that only
 //! records its nominal size so that multi-gigabyte workloads can be simulated
 //! without materialising the bytes.
+//!
+//! A [`Page`] has two physical representations behind one logical interface:
+//! the classic **owned** form (`Vec<Tuple>`, every payload its own
+//! allocation) and the **dense** form (a fixed-stride byte region from
+//! [`crate::layout`], materialising tuples only on demand). Code that does
+//! not care reads tuples through [`Page::tuples`]; the hot paths in the
+//! store and the merge kernel branch on [`Page::as_dense`] to stay on the
+//! zero-copy representation.
+
+use crate::config::PageLayout;
+use crate::layout::{DensePage, TupleArena};
+use std::borrow::Cow;
 
 /// The payload carried by a [`Tuple`] in addition to its sort key.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,26 +89,47 @@ impl Tuple {
 /// Number of bytes occupied by the key.
 pub const KEY_BYTES: usize = 8;
 
+/// The physical representation behind a [`Page`].
+#[derive(Clone, Debug)]
+enum Repr {
+    /// A vector of owned tuples (the classic representation).
+    Owned(Vec<Tuple>),
+    /// A dense fixed-stride record region (see [`crate::layout`]).
+    Dense(DensePage),
+}
+
 /// A page: a bounded group of tuples, the unit of I/O.
 ///
 /// The page caches its total byte size, maintained by [`Page::push`] and
 /// [`Page::from_tuples`], so store accounting ([`Page::bytes`]) is O(1)
-/// instead of a full walk over the tuples. The tuple vector is therefore
-/// only reachable through [`Page::tuples`] (read) and [`Page::into_tuples`]
-/// (consume) — in-place mutation that could let the cache go stale is not
-/// expressible.
-#[derive(Clone, Debug, Default)]
+/// instead of a full walk over the tuples. Byte accounting is *logical*
+/// (key + payload per tuple) in both representations, so budgets and merge
+/// planning behave identically whichever layout a sort runs with.
+#[derive(Clone, Debug)]
 pub struct Page {
-    /// Tuples stored in this page.
-    tuples: Vec<Tuple>,
-    /// Cached total of `tuples.iter().map(Tuple::size)`.
+    repr: Repr,
+    /// Cached total of the tuples' logical sizes.
     bytes: usize,
 }
 
-/// Pages compare by their tuples; the byte cache is derived state.
+impl Default for Page {
+    fn default() -> Self {
+        Page {
+            repr: Repr::Owned(Vec::new()),
+            bytes: 0,
+        }
+    }
+}
+
+/// Pages compare by their logical tuples; representation and the byte cache
+/// are derived state.
 impl PartialEq for Page {
     fn eq(&self, other: &Self) -> bool {
-        self.tuples == other.tuples
+        match (&self.repr, &other.repr) {
+            (Repr::Owned(a), Repr::Owned(b)) => a == b,
+            (Repr::Dense(a), Repr::Dense(b)) => a == b,
+            _ => self.len() == other.len() && self.tuples().iter().eq(other.tuples().iter()),
+        }
     }
 }
 impl Eq for Page {}
@@ -110,7 +143,7 @@ impl Page {
     /// Create an empty page with room reserved for `n` tuples.
     pub fn with_capacity(n: usize) -> Self {
         Page {
-            tuples: Vec::with_capacity(n),
+            repr: Repr::Owned(Vec::with_capacity(n)),
             bytes: 0,
         }
     }
@@ -118,27 +151,65 @@ impl Page {
     /// Build a page directly from a vector of tuples.
     pub fn from_tuples(tuples: Vec<Tuple>) -> Self {
         let bytes = tuples.iter().map(Tuple::size).sum();
-        Page { tuples, bytes }
+        Page {
+            repr: Repr::Owned(tuples),
+            bytes,
+        }
+    }
+
+    /// Build a page from a dense record region.
+    pub fn from_dense(dense: DensePage) -> Self {
+        let bytes = dense.bytes();
+        Page {
+            repr: Repr::Dense(dense),
+            bytes,
+        }
     }
 
     /// The tuples stored in this page.
-    pub fn tuples(&self) -> &[Tuple] {
-        &self.tuples
+    ///
+    /// Borrows the owned representation directly; a dense page materialises
+    /// its tuples into the returned [`Cow`]. Hot paths that must not pay the
+    /// materialisation use [`Page::as_dense`] instead.
+    pub fn tuples(&self) -> Cow<'_, [Tuple]> {
+        match &self.repr {
+            Repr::Owned(tuples) => Cow::Borrowed(tuples),
+            Repr::Dense(dense) => Cow::Owned(dense.to_tuples()),
+        }
     }
 
-    /// Consume the page, yielding its tuples.
+    /// Consume the page, yielding its tuples (materialising a dense page).
     pub fn into_tuples(self) -> Vec<Tuple> {
-        self.tuples
+        match self.repr {
+            Repr::Owned(tuples) => tuples,
+            Repr::Dense(dense) => dense.to_tuples(),
+        }
+    }
+
+    /// The dense record region behind this page, when it has one.
+    pub fn as_dense(&self) -> Option<&DensePage> {
+        match &self.repr {
+            Repr::Dense(dense) => Some(dense),
+            Repr::Owned(_) => None,
+        }
+    }
+
+    /// True when this page uses the dense representation.
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, Repr::Dense(_))
     }
 
     /// Number of tuples in the page.
     pub fn len(&self) -> usize {
-        self.tuples.len()
+        match &self.repr {
+            Repr::Owned(tuples) => tuples.len(),
+            Repr::Dense(dense) => dense.len(),
+        }
     }
 
     /// True when the page holds no tuples.
     pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty()
+        self.len() == 0
     }
 
     /// Total bytes occupied by the tuples in this page (cached; O(1)).
@@ -147,14 +218,27 @@ impl Page {
     }
 
     /// Append a tuple to the page.
+    ///
+    /// A dense page converts to the owned representation first — pushing is
+    /// a build-time operation; sealed dense pages are immutable.
     pub fn push(&mut self, t: Tuple) {
         self.bytes += t.size();
-        self.tuples.push(t);
+        match &mut self.repr {
+            Repr::Owned(tuples) => tuples.push(t),
+            Repr::Dense(dense) => {
+                let mut tuples = dense.to_tuples();
+                tuples.push(t);
+                self.repr = Repr::Owned(tuples);
+            }
+        }
     }
 
     /// True when tuples appear in non-decreasing key order.
     pub fn is_sorted(&self) -> bool {
-        self.tuples.windows(2).all(|w| w[0].key <= w[1].key)
+        match &self.repr {
+            Repr::Owned(tuples) => tuples.windows(2).all(|w| w[0].key <= w[1].key),
+            Repr::Dense(dense) => (1..dense.len()).all(|i| dense.key(i - 1) <= dense.key(i)),
+        }
     }
 }
 
@@ -175,6 +259,30 @@ pub fn paginate(tuples: Vec<Tuple>, tuples_per_page: usize) -> Vec<Page> {
     }
     if !cur.is_empty() {
         pages.push(cur);
+    }
+    pages
+}
+
+/// Like [`paginate`], but building pages in the requested [`PageLayout`]:
+/// owned pages for [`PageLayout::Owned`], sealed arenas for
+/// [`PageLayout::Dense`]. Both run-formation paths flush through this so a
+/// sort's run pages are born in the configured layout.
+pub fn paginate_with(tuples: Vec<Tuple>, tuples_per_page: usize, layout: PageLayout) -> Vec<Page> {
+    let stride = match layout {
+        PageLayout::Owned => return paginate(tuples, tuples_per_page),
+        PageLayout::Dense { stride } => stride,
+    };
+    assert!(tuples_per_page > 0, "tuples_per_page must be positive");
+    let mut pages = Vec::with_capacity(tuples.len().div_ceil(tuples_per_page));
+    let mut arena = TupleArena::new(stride);
+    for t in &tuples {
+        arena.push(t);
+        if arena.len() == tuples_per_page {
+            pages.push(Page::from_dense(arena.seal()));
+        }
+    }
+    if !arena.is_empty() {
+        pages.push(Page::from_dense(arena.seal()));
     }
     pages
 }
@@ -249,7 +357,7 @@ mod tests {
         assert_eq!(pages[2].len(), 2);
         let flat: Vec<u64> = pages
             .iter()
-            .flat_map(|p| p.tuples.iter().map(|t| t.key))
+            .flat_map(|p| p.tuples().iter().map(|t| t.key).collect::<Vec<_>>())
             .collect();
         assert_eq!(flat, (0..10).collect::<Vec<_>>());
     }
@@ -258,5 +366,46 @@ mod tests {
     #[should_panic(expected = "tuples_per_page")]
     fn paginate_rejects_zero_capacity() {
         paginate(vec![Tuple::synthetic(1, 16)], 0);
+    }
+
+    #[test]
+    fn dense_and_owned_pages_compare_logically() {
+        let tuples: Vec<Tuple> = (0..5).map(|k| Tuple::new(k, vec![k as u8; 12])).collect();
+        let owned = Page::from_tuples(tuples.clone());
+        let dense = paginate_with(tuples.clone(), 8, PageLayout::Dense { stride: 24 });
+        assert_eq!(dense.len(), 1);
+        assert!(dense[0].is_dense());
+        assert_eq!(dense[0], owned, "representations compare by tuples");
+        assert_eq!(dense[0].bytes(), owned.bytes());
+        assert_eq!(dense[0].tuples().to_vec(), tuples);
+        assert_eq!(dense[0].clone().into_tuples(), tuples);
+        assert!(dense[0].is_sorted());
+    }
+
+    #[test]
+    fn paginate_with_dense_splits_like_owned() {
+        let tuples: Vec<Tuple> = (0..10).map(|k| Tuple::synthetic(k, 16)).collect();
+        let layout = PageLayout::Dense { stride: 20 };
+        let pages = paginate_with(tuples.clone(), 4, layout);
+        assert_eq!(pages.len(), 3);
+        assert_eq!(
+            pages.iter().map(Page::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        let owned = paginate(tuples, 4);
+        assert_eq!(pages, owned);
+    }
+
+    #[test]
+    fn pushing_into_a_dense_page_converts_it() {
+        let layout = PageLayout::Dense { stride: 20 };
+        let mut page = paginate_with(vec![Tuple::synthetic(1, 16)], 4, layout)
+            .pop()
+            .unwrap();
+        assert!(page.is_dense());
+        page.push(Tuple::synthetic(2, 16));
+        assert!(!page.is_dense());
+        assert_eq!(page.len(), 2);
+        assert_eq!(page.bytes(), 32);
     }
 }

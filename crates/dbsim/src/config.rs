@@ -120,6 +120,9 @@ impl SimConfig {
             // The batched kernel charges the identical simulated CPU cost per
             // tuple, so figures do not depend on this; keep the default.
             merge_batch: true,
+            // Simulated pages carry synthetic payloads; the owned layout is
+            // the representation the paper's cost model is calibrated on.
+            layout: masort_core::PageLayout::Owned,
         }
     }
 }

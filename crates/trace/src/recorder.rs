@@ -86,8 +86,11 @@ impl Recorder {
 
     /// Record `kind` on `span`, stamped with the current time.
     pub fn record(&self, span: SpanId, kind: EventKind) {
-        let ts = self.now();
+        // Stamp under the lock: append order then agrees with timestamp
+        // order, so a drained timeline is non-decreasing even when one
+        // span's events come from several threads.
         let mut buf = self.lock();
+        let ts = self.now();
         if buf.events.len() >= self.inner.cap {
             buf.dropped += 1;
             return;
