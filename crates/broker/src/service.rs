@@ -30,6 +30,11 @@ const LATENCY_BUCKETS: &[f64] = &[0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0]
 /// Bucket bounds (tuples/second) for `merge_tuples_per_sec`.
 const THROUGHPUT_BUCKETS: &[f64] = &[1e3, 1e4, 1e5, 1e6, 1e7, 1e8];
 
+/// Bucket bounds (tuples) for `masort_runs_length` — run lengths span from a
+/// page's worth under tiny budgets to whole-input natural runs under adaptive
+/// formation.
+const RUN_LENGTH_BUCKETS: &[f64] = &[1e2, 1e3, 1e4, 1e5, 1e6, 1e7];
+
 /// Where a job's runs (and its output run) are stored.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum RunStorage {
@@ -798,6 +803,7 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
         Ok(completion) => {
             let delays = &completion.outcome.delays;
             let merge = &completion.outcome.merge;
+            let split = &completion.outcome.split;
             let stats = JobStats {
                 job,
                 tenant: tenant.clone(),
@@ -816,6 +822,12 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
                 sync_loads: merge.sync_block_loads,
                 prefetch_joins: merge.prefetch_block_joins,
                 io_peak_depth: shared.io_pool.as_ref().map_or(0, IoPool::peak_queued),
+                runs_emitted: split.run_count(),
+                min_run_tuples: split.min_run_tuples(),
+                max_run_tuples: split.max_run_tuples(),
+                avg_run_tuples: split.avg_run_tuples(),
+                natural_runs: split.natural_runs,
+                natural_tuples: split.natural_tuples,
             };
             st.stats.completed += 1;
             st.stats.total_reallocations += reallocations;
@@ -883,6 +895,10 @@ fn run_admitted(shared: &Shared, admitted: Admitted) {
                         metrics
                             .histogram("merge_tuples_per_sec", None, THROUGHPUT_BUCKETS)
                             .observe(merge.tuples_output as f64 / duration);
+                    }
+                    let lengths = metrics.histogram("masort_runs_length", None, RUN_LENGTH_BUCKETS);
+                    for run in &report.completion.outcome.split.runs {
+                        lengths.observe(run.tuples as f64);
                     }
                     metrics
                         .gauge("io_pool_peak_depth", None)

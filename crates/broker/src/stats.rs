@@ -61,6 +61,21 @@ pub struct JobStats {
     /// this job's completion (0 when the service runs without a pool). A
     /// pool-lifetime high-water mark, not a per-job figure.
     pub io_peak_depth: usize,
+    /// Sorted runs the split phase emitted.
+    pub runs_emitted: usize,
+    /// Tuples in the shortest run (0 if no runs were formed).
+    pub min_run_tuples: usize,
+    /// Tuples in the longest run (0 if no runs were formed).
+    pub max_run_tuples: usize,
+    /// Mean tuples per run (0 if no runs were formed).
+    pub avg_run_tuples: f64,
+    /// Natural (pre-existing) runs the split phase detected in its input —
+    /// populated only when the job ran with
+    /// [`adaptive_runs`](masort_core::SortConfig::adaptive_runs) on.
+    pub natural_runs: usize,
+    /// Tuples absorbed through the order-detection fast path (see
+    /// `natural_runs`); 0 for classic formation.
+    pub natural_tuples: usize,
 }
 
 impl JobStats {
@@ -176,6 +191,12 @@ mod tests {
             sync_loads: 0,
             prefetch_joins: 0,
             io_peak_depth: 0,
+            runs_emitted: 0,
+            min_run_tuples: 0,
+            max_run_tuples: 0,
+            avg_run_tuples: 0.0,
+            natural_runs: 0,
+            natural_tuples: 0,
         };
         assert_eq!(s.mean_delay(), 0.0);
         assert!((s.response_time() - 2.0).abs() < 1e-12);

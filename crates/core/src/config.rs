@@ -320,6 +320,16 @@ pub struct SortConfig {
     /// arena/zero-copy fast path of [`crate::layout`]; the sorted output is
     /// tuple-for-tuple identical in either layout.
     pub layout: PageLayout,
+    /// Presortedness-aware run formation (default off here; the
+    /// [`SortJob`](crate::job::SortJob) builder turns it on). When enabled,
+    /// replacement-selection formations detect natural runs in the input
+    /// (streaks that already ascend or descend in rank order) and alternate
+    /// ascending/descending output runs, so pre-existing order in *either*
+    /// direction extends runs instead of cutting them. The sorted output is
+    /// tuple-for-tuple identical with the knob on or off; only run boundaries
+    /// (and therefore merge fan-in and I/O volume) change. Quicksort run
+    /// formation ignores the knob.
+    pub adaptive_runs: bool,
 }
 
 impl Default for SortConfig {
@@ -336,6 +346,10 @@ impl Default for SortConfig {
             cpu_threads: 1,
             merge_batch: true,
             layout: PageLayout::Owned,
+            // Off by default so the paper's classic algorithms (and every
+            // simulated figure) reproduce bit-identically; `SortJob::builder`
+            // enables it for the real environment.
+            adaptive_runs: false,
         }
     }
 }
@@ -411,6 +425,12 @@ impl SortConfig {
     /// rather than panicking here.
     pub fn with_layout(mut self, layout: PageLayout) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Builder-style override of presortedness-aware run formation.
+    pub fn with_adaptive_runs(mut self, adaptive: bool) -> Self {
+        self.adaptive_runs = adaptive;
         self
     }
 

@@ -186,6 +186,37 @@ pub fn generate_gensort_file(path: &Path, records: usize, seed: u64) -> SortResu
     Ok(())
 }
 
+/// Write `records` deterministic gensort records whose key order follows a
+/// [`GenOrder`](crate::GenOrder) profile — partially sorted, reversed,
+/// clustered or sawtooth benchmark files for presortedness-adaptive run
+/// formation. Payload bytes (and the last two key bytes, the memcmp
+/// tie-break) stay pseudo-random; only the 8-byte key prefix is rewritten,
+/// big-endian so byte order equals numeric order. `GenOrder::Random` produces
+/// exactly the same file as [`generate_gensort_file`].
+pub fn generate_gensort_file_ordered(
+    path: &Path,
+    records: usize,
+    seed: u64,
+    order: crate::GenOrder,
+) -> SortResult<()> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut w = BufWriter::new(File::create(path)?);
+    let mut rec = [0u8; GENSORT_RECORD_BYTES];
+    for index in 0..records {
+        fill_bytes(&mut rng, &mut rec);
+        if order != crate::GenOrder::Random {
+            let draw = u64::from_be_bytes(rec[..8].try_into().expect("8-byte prefix"));
+            let key = order.key_for(draw, index, records);
+            rec[..8].copy_from_slice(&key.to_be_bytes());
+        }
+        w.write_all(&rec)?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
 /// Fill `buf` with bytes drawn from `rng`, eight at a time.
 fn fill_bytes<R: rand::Rng>(rng: &mut R, buf: &mut [u8]) {
     let mut chunks = buf.chunks_exact_mut(8);
@@ -387,5 +418,43 @@ mod tests {
             std::fs::metadata(&a).unwrap().len(),
             (500 * GENSORT_RECORD_BYTES) as u64
         );
+    }
+
+    #[test]
+    fn ordered_generator_follows_the_profile() {
+        let dir = TempDir::new("ordered");
+
+        // Random profile: byte-identical to the plain generator.
+        let plain = dir.path().join("plain");
+        let random = dir.path().join("random");
+        generate_gensort_file(&plain, 300, 11).unwrap();
+        generate_gensort_file_ordered(&random, 300, 11, crate::GenOrder::Random).unwrap();
+        assert_eq!(
+            std::fs::read(&plain).unwrap(),
+            std::fs::read(&random).unwrap()
+        );
+
+        // Reversed profile: record keys strictly descend under memcmp.
+        let rev = dir.path().join("rev");
+        generate_gensort_file_ordered(&rev, 300, 11, crate::GenOrder::Reversed).unwrap();
+        let bytes = std::fs::read(&rev).unwrap();
+        let keys: Vec<&[u8]> = bytes
+            .chunks_exact(GENSORT_RECORD_BYTES)
+            .map(|r| &r[..GENSORT_KEY_BYTES])
+            .collect();
+        assert_eq!(keys.len(), 300);
+        assert!(keys.windows(2).all(|w| w[0] > w[1]));
+
+        // And the tuple adapter sees the same descending order.
+        let mut src = GensortFileSource::open(&rev, 32).unwrap();
+        let mut prev: Option<u64> = None;
+        while let Some(page) = src.next_page().unwrap() {
+            for t in page.tuples().iter() {
+                if let Some(p) = prev {
+                    assert!(t.key < p);
+                }
+                prev = Some(t.key);
+            }
+        }
     }
 }

@@ -323,11 +323,95 @@ impl<I: Iterator<Item = Tuple> + Send + 'static> PartitionableSource for IterSou
     }
 }
 
+/// Key-order profile of a [`GenSource`] relation: how much pre-existing
+/// order the generated key stream carries. The default is fully random; the
+/// other profiles exercise presortedness-adaptive run formation
+/// ([`crate::SortConfig::adaptive_runs`]) from its best case (long ascending
+/// stretches) to its adversarial case (sawtooth ramps shorter than memory).
+///
+/// Every profile consumes exactly **one** random draw per tuple, so a
+/// profiled source partitions exactly like a random one — part `i` replays
+/// and discards the draws of the parts before it, and the union of the parts
+/// is tuple-for-tuple the sequential stream regardless of profile.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum GenOrder {
+    /// Uniformly-random 64-bit keys (the paper's synthetic relations).
+    #[default]
+    Random,
+    /// A fraction `presortedness` of the tuples sit in globally ascending
+    /// position; the rest are displaced to uniformly random *positions* in
+    /// the same key range (so noise tuples are out of place, not out of
+    /// scale). `0.0` is fully shuffled, `1.0` fully sorted.
+    PartiallySorted {
+        /// Fraction of tuples in sorted position, clamped to `[0, 1]`.
+        presortedness: f64,
+    },
+    /// Strictly descending keys — the classic worst case for one-directional
+    /// replacement selection, and the best case for down-run detection.
+    Reversed,
+    /// Keys ascend across `clusters` equal spans of the relation but are
+    /// random within each span: global order with local disorder.
+    Clustered {
+        /// Number of ascending clusters (clamped to at least 1).
+        clusters: usize,
+    },
+    /// Ascending ramps of `period` tuples that reset to the bottom of the
+    /// key space — adversarial for run detection whenever `period` is
+    /// shorter than the sort's memory.
+    Sawtooth {
+        /// Tuples per ramp (clamped to at least 2).
+        period: usize,
+    },
+}
+
+impl GenOrder {
+    /// Map one random draw to this profile's key for global tuple `index`
+    /// out of `total` tuples. Public so the gensort file generator
+    /// ([`crate::gensort::generate_gensort_file_ordered`]) reuses the exact
+    /// same profiles.
+    pub fn key_for(self, draw: u64, index: usize, total: usize) -> u64 {
+        // Position-derived keys keep the draw's high bits as tie noise so
+        // keys stay (almost surely) distinct within a position.
+        let noise = draw >> 32;
+        match self {
+            GenOrder::Random => draw,
+            GenOrder::PartiallySorted { presortedness } => {
+                let p = presortedness.clamp(0.0, 1.0);
+                // Low bits of the draw decide sorted-vs-random; the key
+                // itself reads the untouched upper bits.
+                let frac = (draw % (1 << 20)) as f64 / (1u64 << 20) as f64;
+                if frac < p {
+                    ((index as u64) << 32) | noise
+                } else {
+                    // Displace to a random position *within* the key range:
+                    // an out-of-scale key would sit at the heap maximum for
+                    // a whole memory load and mask the surrounding order.
+                    let h = draw.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let pos = (h >> 32) % total.max(1) as u64;
+                    (pos << 32) | (h & 0xFFFF_FFFF)
+                }
+            }
+            GenOrder::Reversed => (((total - 1 - index) as u64) << 32) | noise,
+            GenOrder::Clustered { clusters } => {
+                let width = total.div_ceil(clusters.max(1)).max(1);
+                let cluster = (index / width) as u64;
+                (cluster << 48) | (draw & 0xFFFF_FFFF_FFFF)
+            }
+            GenOrder::Sawtooth { period } => {
+                let pos = (index % period.max(2)) as u64;
+                (pos << 32) | noise
+            }
+        }
+    }
+}
+
 /// A synthetic relation generator: `total_pages` pages of tuples with
 /// uniformly-random 64-bit keys, each tuple `tuple_size` bytes nominally.
 ///
 /// This mirrors the paper's synthetic relations (RelSize, TupleSize in
-/// Table 2) and is deterministic for a given seed.
+/// Table 2) and is deterministic for a given seed. [`GenSource::with_order`]
+/// selects a different key-order profile ([`GenOrder`]) over the same
+/// one-draw-per-tuple stream.
 #[derive(Debug, Clone)]
 pub struct GenSource {
     remaining: usize,
@@ -335,6 +419,12 @@ pub struct GenSource {
     tuples_per_page: usize,
     tuple_size: usize,
     rng: StdRng,
+    order: GenOrder,
+    /// Global index of the next tuple this part generates.
+    next_index: usize,
+    /// Tuples in the whole (unpartitioned) relation — position-derived
+    /// profiles need the global span, not this part's.
+    grand_total: usize,
 }
 
 impl GenSource {
@@ -347,7 +437,17 @@ impl GenSource {
             tuples_per_page,
             tuple_size,
             rng: StdRng::seed_from_u64(seed),
+            order: GenOrder::Random,
+            next_index: 0,
+            grand_total: total_pages * tuples_per_page,
         }
+    }
+
+    /// Generate keys under `order` instead of fully random. Set this before
+    /// consuming or partitioning the source.
+    pub fn with_order(mut self, order: GenOrder) -> Self {
+        self.order = order;
+        self
     }
 }
 
@@ -367,6 +467,7 @@ impl PartitionableSource for GenSource {
         let extra = total % parts;
         let mut out = Vec::with_capacity(parts);
         let mut rng = self.rng;
+        let mut next_index = self.next_index;
         for i in 0..parts {
             let len = base + usize::from(i < extra);
             out.push(GenSource {
@@ -375,11 +476,15 @@ impl PartitionableSource for GenSource {
                 tuples_per_page: self.tuples_per_page,
                 tuple_size: self.tuple_size,
                 rng: rng.clone(),
+                order: self.order,
+                next_index,
+                grand_total: self.grand_total,
             });
             // Skip this part's draws so the next part starts where it ends.
             for _ in 0..len * self.tuples_per_page {
                 let _ = rng.gen::<u64>();
             }
+            next_index += len * self.tuples_per_page;
         }
         Ok(out)
     }
@@ -393,7 +498,11 @@ impl InputSource for GenSource {
         self.remaining -= 1;
         let mut page = Page::with_capacity(self.tuples_per_page);
         for _ in 0..self.tuples_per_page {
-            page.push(Tuple::synthetic(self.rng.gen::<u64>(), self.tuple_size));
+            let key = self
+                .order
+                .key_for(self.rng.gen::<u64>(), self.next_index, self.grand_total);
+            self.next_index += 1;
+            page.push(Tuple::synthetic(key, self.tuple_size));
         }
         Ok(Some(page))
     }
@@ -656,6 +765,70 @@ mod tests {
             assert_eq!(split.len(), parts);
             let concat: Vec<u64> = split.into_iter().flat_map(drain_keys).collect();
             assert_eq!(concat, whole, "{parts}-way split changed the stream");
+        }
+    }
+
+    #[test]
+    fn gen_order_profiles_partition_like_the_sequential_stream() {
+        let profiles = [
+            GenOrder::PartiallySorted { presortedness: 0.9 },
+            GenOrder::Reversed,
+            GenOrder::Clustered { clusters: 5 },
+            GenOrder::Sawtooth { period: 20 },
+        ];
+        for order in profiles {
+            for parts in [2, 3] {
+                let whole = drain_keys(GenSource::new(7, 8, 256, 99).with_order(order));
+                let split = GenSource::new(7, 8, 256, 99)
+                    .with_order(order)
+                    .partition(parts)
+                    .expect("gen sources split");
+                let concat: Vec<u64> = split.into_iter().flat_map(drain_keys).collect();
+                assert_eq!(
+                    concat, whole,
+                    "{order:?} {parts}-way split changed the stream"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gen_order_profiles_have_their_shape() {
+        let n = 8 * 64;
+        let keys = |order| drain_keys(GenSource::new(8, 64, 256, 7).with_order(order));
+
+        // Reversed: strictly descending.
+        let rev = keys(GenOrder::Reversed);
+        assert!(rev.windows(2).all(|w| w[0] > w[1]));
+
+        // Partially sorted at 0.9: ~90% of adjacent pairs ascend.
+        let part = keys(GenOrder::PartiallySorted { presortedness: 0.9 });
+        let asc = part.windows(2).filter(|w| w[0] <= w[1]).count();
+        assert!(asc > n * 7 / 10, "only {asc}/{n} ascending pairs");
+
+        // Fully presorted: globally ascending.
+        let sorted = keys(GenOrder::PartiallySorted { presortedness: 1.0 });
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+
+        // Clustered: cluster ids ascend with position, disorder within.
+        let clustered = keys(GenOrder::Clustered { clusters: 4 });
+        let ids: Vec<u64> = clustered.iter().map(|k| k >> 48).collect();
+        assert!(ids.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ids.iter().filter(|&&c| c == 0).count(), n / 4);
+        let first: Vec<u64> = clustered[..n / 4].to_vec();
+        assert!(
+            first.windows(2).any(|w| w[0] > w[1]),
+            "clusters too orderly"
+        );
+
+        // Sawtooth: ascending inside each period, resets at boundaries.
+        let saw = keys(GenOrder::Sawtooth { period: 16 });
+        for (i, w) in saw.windows(2).enumerate() {
+            if (i + 1) % 16 == 0 {
+                assert!(w[0] > w[1], "no reset at {i}");
+            } else {
+                assert!(w[0] <= w[1], "ramp broken at {i}");
+            }
         }
     }
 

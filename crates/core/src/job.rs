@@ -93,7 +93,11 @@ impl SortJob<VecSource, MemStore, RealEnv> {
     /// `config.memory_pages` pages.
     pub fn builder() -> SortJobBuilder<TupleInput, MemStore, RealEnv> {
         SortJobBuilder {
-            cfg: SortConfig::default(),
+            // Presortedness-adaptive run formation is on for the real
+            // environment; `config()` replaces the whole configuration, so
+            // callers supplying one opt in via `SortConfig::adaptive_runs`
+            // (or the `adaptive_runs` builder method) instead.
+            cfg: SortConfig::default().with_adaptive_runs(true),
             input: TupleInput(Vec::new()),
             store: MemStore::new(),
             env: RealEnv::new(),
@@ -246,6 +250,20 @@ where
     /// for A/B measurement.
     pub fn merge_batch(mut self, batch: bool) -> Self {
         self.cfg.merge_batch = batch;
+        self
+    }
+
+    /// Toggle presortedness-adaptive run formation (default on).
+    ///
+    /// When on, replacement-selection formations detect natural runs in the
+    /// input and alternate ascending/descending output runs, so pre-existing
+    /// order in either direction makes runs longer and the sort faster. The
+    /// sorted output is identical with the knob on or off. Note that
+    /// [`config`](Self::config) replaces the whole configuration including
+    /// this flag ([`SortConfig::default`] carries `adaptive_runs: false`), so
+    /// call this after `config()` to re-enable it.
+    pub fn adaptive_runs(mut self, adaptive: bool) -> Self {
+        self.cfg.adaptive_runs = adaptive;
         self
     }
 

@@ -127,12 +127,12 @@ pub use config::{AlgorithmSpec, MergeAdaptation, MergePolicy, RunFormation, Sort
 pub use env::{CpuOp, RealEnv, SortEnv};
 pub use error::{SortError, SortResult};
 pub use gensort::{
-    generate_gensort_file, gensort_order, record_bytes, tuple_from_record, GensortFileSource,
-    GensortWriter, GENSORT_KEY_BYTES, GENSORT_RECORD_BYTES,
+    generate_gensort_file, generate_gensort_file_ordered, gensort_order, record_bytes,
+    tuple_from_record, GensortFileSource, GensortWriter, GENSORT_KEY_BYTES, GENSORT_RECORD_BYTES,
 };
 pub use input::{
-    ChannelClosed, ChannelSink, ChannelSource, GenSource, InputSource, IterSource, NeverSource,
-    PartitionableSource, SharedSource, Unsplit, VecSource,
+    ChannelClosed, ChannelSink, ChannelSource, GenOrder, GenSource, InputSource, IterSource,
+    NeverSource, PartitionableSource, SharedSource, Unsplit, VecSource,
 };
 pub use io::{IoConfig, IoHandle, IoPool};
 pub use job::{IntoInputSource, SortCompletion, SortJob, SortJobBuilder, TupleInput};
@@ -142,7 +142,7 @@ pub use merge::{MergeStats, StaticPlanSummary};
 pub use order::{normalized_prefix, SortDirection, SortOrder};
 pub use run_formation::SplitStats;
 pub use sorter::{ExternalSorter, SortOutcome};
-pub use store::{BlockReadJob, FileStore, MemStore, RunId, RunMeta, RunStore};
+pub use store::{BlockReadJob, FileStore, MemStore, RunDirection, RunId, RunMeta, RunStore};
 pub use stream::SortedStream;
 pub use tuple::{Page, Payload, Tuple};
 
@@ -155,7 +155,7 @@ pub mod prelude {
     pub use crate::env::{CpuOp, RealEnv, SortEnv};
     pub use crate::error::{SortError, SortResult};
     pub use crate::input::{
-        ChannelSink, ChannelSource, GenSource, InputSource, IterSource, NeverSource,
+        ChannelSink, ChannelSource, GenOrder, GenSource, InputSource, IterSource, NeverSource,
         PartitionableSource, SharedSource, Unsplit, VecSource,
     };
     pub use crate::io::{IoConfig, IoPool};
@@ -163,7 +163,7 @@ pub mod prelude {
     pub use crate::join::{JoinOutcome, SortMergeJoin};
     pub use crate::order::{SortDirection, SortOrder};
     pub use crate::sorter::{ExternalSorter, SortOutcome};
-    pub use crate::store::{FileStore, MemStore, RunId, RunMeta, RunStore};
+    pub use crate::store::{FileStore, MemStore, RunDirection, RunId, RunMeta, RunStore};
     pub use crate::stream::SortedStream;
     pub use crate::tuple::{Page, Payload, Tuple};
 }

@@ -29,7 +29,7 @@ use crate::error::{SortError, SortResult};
 use crate::io::{IoHandle, IoPool};
 use crate::layout::{DensePage, PayloadRef, TupleArena};
 use crate::order::SortOrder;
-use crate::store::{RunId, RunStore};
+use crate::store::{RunDirection, RunId, RunMeta, RunStore};
 use crate::tuple::{Page, Tuple};
 use std::collections::VecDeque;
 
@@ -65,21 +65,32 @@ impl HeadBuf {
 #[derive(Debug)]
 struct PendingBlock {
     handle: IoHandle<SortResult<Vec<Page>>>,
-    /// First page index of the block (always equals `next_page` at issue
-    /// time; re-checked at completion in case the cursor was shed/reset).
+    /// The cursor's logical fetch position (`next_page`) at issue time;
+    /// re-checked at completion in case the cursor was shed/reset.
     start: usize,
     len: usize,
 }
 
 /// Cursor over a run held in a [`RunStore`], buffering one page of tuples
 /// (plus optional rented read-ahead pages).
+///
+/// A cursor created from metadata tagged [`RunDirection::Reversed`] reads the
+/// run *back-to-front* — last page first, last tuple of each page first — so
+/// a descending run from adaptive up/down replacement selection presents the
+/// same ascending rank stream as any forward run. Everything downstream (the
+/// loser tree, the cached rank column, gallop batch moves, both layouts) is
+/// direction-blind.
 #[derive(Debug)]
 pub struct RunCursor {
     /// The run being read.
     pub run: RunId,
-    /// Index of the next page to read from the store. Staged (prefetched)
-    /// pages count as read; shedding them rewinds this.
+    /// Number of pages fetched from the store so far. For forward runs this
+    /// is also the physical index of the next page to read; for backward
+    /// runs the next physical page is `run_pages - 1 - next_page`. Staged
+    /// (prefetched) pages count as fetched; shedding them rewinds this.
     pub next_page: usize,
+    /// Read the run back-to-front (the run is stored in reverse rank order).
+    backward: bool,
     /// The currently buffered page's unconsumed tuples (owned or zero-copy).
     buf: HeadBuf,
     /// Rank column of the buffered page, computed once at page promotion;
@@ -112,11 +123,22 @@ pub struct RunCursor {
 }
 
 impl RunCursor {
-    /// Create a cursor positioned at the beginning of `run`.
+    /// Create a cursor positioned at the beginning of `run`, reading forward.
     pub fn new(run: RunId) -> Self {
+        Self::with_direction(run, RunDirection::Forward)
+    }
+
+    /// Create a cursor honouring the run's recorded direction: a
+    /// [`RunDirection::Reversed`] run is consumed back-to-front.
+    pub fn from_meta(meta: RunMeta) -> Self {
+        Self::with_direction(meta.id, meta.dir)
+    }
+
+    fn with_direction(run: RunId, dir: RunDirection) -> Self {
         RunCursor {
             run,
             next_page: 0,
+            backward: dir == RunDirection::Reversed,
             buf: HeadBuf::Owned(VecDeque::new()),
             ranks: Vec::new(),
             rank_pos: 0,
@@ -200,7 +222,15 @@ impl RunCursor {
         if len < 2 {
             return;
         }
-        if let Some(job) = store.block_read_job(self.run, self.next_page, len) {
+        let phys_start = if self.backward {
+            // The next `len` logical pages are the physical block ending at
+            // the first not-yet-fetched page from the back. Backward runs are
+            // fully written before merging begins, so `total` is stable.
+            total - self.next_page - len
+        } else {
+            self.next_page
+        };
+        if let Some(job) = store.block_read_job(self.run, phys_start, len) {
             // Urgent: the merge will block on this read soon; it must not
             // queue behind bulk write-behind blocks.
             self.pending = Some(PendingBlock {
@@ -223,6 +253,12 @@ impl RunCursor {
             if let Some(dense) = page.as_dense() {
                 self.ranks
                     .extend(dense.keys().map(|k| order.rank_from_key(k)));
+                if self.backward {
+                    // The page stays dense (records are indexed from the back
+                    // as they leave); only the rank column flips so it is
+                    // sorted in consumption order.
+                    self.ranks.reverse();
+                }
                 self.buf = HeadBuf::Dense {
                     page: dense.clone(),
                     pos: 0,
@@ -230,7 +266,10 @@ impl RunCursor {
                 return;
             }
         }
-        let tuples = page.into_tuples();
+        let mut tuples = page.into_tuples();
+        if self.backward {
+            tuples.reverse();
+        }
         order.rank_column_into(&tuples, &mut self.ranks);
         self.buf = HeadBuf::Owned(tuples.into());
     }
@@ -257,7 +296,7 @@ impl RunCursor {
                 let result = pending.handle.wait();
                 self.io_stall += env.now() - t0;
                 self.prefetch_joins += 1;
-                let pages = match result {
+                let mut pages = match result {
                     Some(r) => r?,
                     None => {
                         return Err(SortError::Io(std::io::Error::other(
@@ -266,6 +305,11 @@ impl RunCursor {
                     }
                 };
                 if pending.start == self.next_page {
+                    if self.backward {
+                        // The block was read in physical order; logical
+                        // consumption order is the reverse.
+                        pages.reverse();
+                    }
                     self.pages_read += pages.len();
                     self.next_page += pending.len;
                     self.staged.extend(pages);
@@ -280,14 +324,22 @@ impl RunCursor {
             }
             // Synchronous (possibly batched) load of up to 1 + depth pages.
             let want = (1 + self.depth).min(total - self.next_page);
+            let phys_start = if self.backward {
+                total - self.next_page - want
+            } else {
+                self.next_page
+            };
             env.charge_cpu(CpuOp::StartIo, 1);
             self.sync_loads += 1;
             let t0 = env.now();
             let mut pages = if want > 1 {
-                store.read_block(self.run, self.next_page, want)?
+                store.read_block(self.run, phys_start, want)?
             } else {
-                vec![store.read_page(self.run, self.next_page)?]
+                vec![store.read_page(self.run, phys_start)?]
             };
+            if self.backward {
+                pages.reverse();
+            }
             self.io_stall += env.now() - t0;
             self.pages_read += pages.len();
             self.next_page += want;
@@ -340,10 +392,17 @@ impl RunCursor {
         } else {
             match &self.buf {
                 HeadBuf::Owned(q) => order.tie_rank(q.front().expect("loaded buffer is non-empty")),
-                HeadBuf::Dense { page, pos } => match page.payload_ref(*pos) {
-                    PayloadRef::Bytes(b) => order.tie_rank_bytes(b),
-                    PayloadRef::Synthetic(_) => order.tie_rank_bytes(&[]),
-                },
+                HeadBuf::Dense { page, pos } => {
+                    let idx = if self.backward {
+                        page.len() - 1 - *pos
+                    } else {
+                        *pos
+                    };
+                    match page.payload_ref(idx) {
+                        PayloadRef::Bytes(b) => order.tie_rank_bytes(b),
+                        PayloadRef::Synthetic(_) => order.tie_rank_bytes(&[]),
+                    }
+                }
             }
         };
         Ok(Some(SortOrder::composite(rank, tie)))
@@ -359,10 +418,17 @@ impl RunCursor {
         if self.ensure_loaded(order, store, env)? {
             self.consumed += 1;
             self.rank_pos += 1;
+            let backward = self.backward;
             Ok(Some(match &mut self.buf {
                 HeadBuf::Owned(q) => q.pop_front().expect("loaded buffer is non-empty"),
                 HeadBuf::Dense { page, pos } => {
-                    let t = page.get(*pos);
+                    // `pos` counts consumed records; backward cursors index
+                    // the dense page from its end.
+                    let t = page.get(if backward {
+                        page.len() - 1 - *pos
+                    } else {
+                        *pos
+                    });
                     *pos += 1;
                     t
                 }
@@ -394,10 +460,16 @@ impl RunCursor {
     /// [`gallop_len`](Self::gallop_len), so no page load can be needed).
     pub fn take_batch(&mut self, n: usize, out: &mut Vec<Tuple>) {
         debug_assert!(n <= self.buf.len(), "take_batch past the buffered page");
+        let backward = self.backward;
         match &mut self.buf {
             HeadBuf::Owned(q) => out.extend(q.drain(..n)),
             HeadBuf::Dense { page, pos } => {
-                out.extend((*pos..*pos + n).map(|i| page.get(i)));
+                if backward {
+                    let last = page.len() - 1;
+                    out.extend((*pos..*pos + n).map(|i| page.get(last - i)));
+                } else {
+                    out.extend((*pos..*pos + n).map(|i| page.get(i)));
+                }
                 *pos += n;
             }
         }
@@ -416,6 +488,7 @@ impl RunCursor {
             n <= self.buf.len(),
             "take_batch_arena past the buffered page"
         );
+        let backward = self.backward;
         match &mut self.buf {
             HeadBuf::Owned(q) => {
                 for t in q.drain(..n) {
@@ -423,7 +496,15 @@ impl RunCursor {
                 }
             }
             HeadBuf::Dense { page, pos } => {
-                if !arena.extend_from_dense(page, *pos, n) {
+                if backward {
+                    // Records leave in reverse physical order, so the
+                    // contiguous-region memcpy cannot apply; re-push each
+                    // record (still zero-copy on the dense path).
+                    let last = page.len() - 1;
+                    for i in *pos..*pos + n {
+                        arena.push_ref(page.key(last - i), page.payload_ref(last - i));
+                    }
+                } else if !arena.extend_from_dense(page, *pos, n) {
                     for i in *pos..*pos + n {
                         arena.push_ref(page.key(i), page.payload_ref(i));
                     }
@@ -672,5 +753,171 @@ mod tests {
             c.pop(&asc, &mut store, &mut env),
             Err(crate::error::SortError::CorruptRun { .. })
         ));
+    }
+
+    // -- direction-aware (backward) consumption --------------------------
+
+    /// Store a descending run (keys n-1..0) under the given layout and return
+    /// a cursor that reads it back-to-front.
+    fn setup_reversed(
+        n: usize,
+        per_page: usize,
+        layout: crate::config::PageLayout,
+    ) -> (MemStore, RunCursor) {
+        let mut s = MemStore::new();
+        let r = s.create_run().unwrap();
+        let tuples: Vec<Tuple> = (0..n as u64)
+            .rev()
+            .map(|k| Tuple::synthetic(k, 32))
+            .collect();
+        for p in crate::tuple::paginate_with(tuples, per_page, layout) {
+            s.append_page(r, p).unwrap();
+        }
+        let mut meta = s.meta(r);
+        meta.dir = crate::store::RunDirection::Reversed;
+        (s, RunCursor::from_meta(meta))
+    }
+
+    #[test]
+    fn backward_cursor_streams_descending_run_ascending() {
+        for layout in [
+            crate::config::PageLayout::Owned,
+            crate::config::PageLayout::Dense { stride: 32 },
+        ] {
+            let (mut store, mut c) = setup_reversed(10, 3, layout);
+            let mut env = CountingEnv::new();
+            let asc = SortOrder::ascending();
+            let mut got = Vec::new();
+            while let Some(t) = c.pop(&asc, &mut store, &mut env).unwrap() {
+                got.push(t.key);
+            }
+            assert_eq!(got, (0..10).collect::<Vec<u64>>(), "layout {layout:?}");
+            assert!(c.exhausted(&store));
+            assert_eq!(c.pages_read, 4);
+            assert_eq!(c.consumed, 10);
+        }
+    }
+
+    #[test]
+    fn backward_cursor_peek_matches_pop() {
+        for layout in [
+            crate::config::PageLayout::Owned,
+            crate::config::PageLayout::Dense { stride: 32 },
+        ] {
+            let (mut store, mut c) = setup_reversed(7, 2, layout);
+            let mut env = CountingEnv::new();
+            let asc = SortOrder::ascending();
+            for expect in 0..7u64 {
+                assert_eq!(
+                    c.peek_rank(&asc, &mut store, &mut env).unwrap(),
+                    Some(expect)
+                );
+                assert_eq!(
+                    c.pop(&asc, &mut store, &mut env).unwrap().unwrap().key,
+                    expect
+                );
+            }
+            assert_eq!(c.peek_rank(&asc, &mut store, &mut env).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn backward_take_batch_dense_preserves_order() {
+        let (mut store, mut c) =
+            setup_reversed(12, 6, crate::config::PageLayout::Dense { stride: 32 });
+        let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
+        let mut got = Vec::new();
+        while c.ensure_loaded(&asc, &mut store, &mut env).unwrap() {
+            // Drain the buffered page in two uneven batches to exercise
+            // mid-page positions.
+            let n = c.buf.len();
+            let first = n.div_ceil(2);
+            c.take_batch(first, &mut got);
+            c.take_batch(n - first, &mut got);
+        }
+        assert_eq!(
+            got.iter().map(|t| t.key).collect::<Vec<_>>(),
+            (0..12).collect::<Vec<u64>>()
+        );
+    }
+
+    #[test]
+    fn backward_take_batch_arena_dense_preserves_order() {
+        let (mut store, mut c) =
+            setup_reversed(9, 4, crate::config::PageLayout::Dense { stride: 32 });
+        let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
+        let mut arena = TupleArena::new(32);
+        while c.ensure_loaded(&asc, &mut store, &mut env).unwrap() {
+            let n = c.buf.len();
+            c.take_batch_arena(n, &mut arena);
+        }
+        let got: Vec<u64> = arena.seal().keys().collect();
+        assert_eq!(got, (0..9).collect::<Vec<u64>>());
+    }
+
+    /// Property test: a descending run of random length, paginated with a
+    /// random page size and layout, written through a [`crate::FileStore`]
+    /// (encode), read back in random block sizes (block read), and consumed
+    /// through a reversed cursor — always yields the ascending stream.
+    #[test]
+    fn descending_runs_round_trip_through_file_store() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xD0C5);
+        for trial in 0..20 {
+            let n = rng.gen_range(1..400usize);
+            let per_page = rng.gen_range(1..32usize);
+            let depth = rng.gen_range(0..5usize);
+            let dense = rng.gen_bool(0.5);
+            let layout = if dense {
+                crate::config::PageLayout::Dense { stride: 32 }
+            } else {
+                crate::config::PageLayout::Owned
+            };
+            let dir = std::env::temp_dir()
+                .join(format!("masort-revcursor-{}-{trial}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let mut store = crate::store::FileStore::new(&dir).unwrap();
+            let run = store.create_run().unwrap();
+            let tuples: Vec<Tuple> = (0..n as u64)
+                .rev()
+                .map(|k| Tuple::synthetic(k, 32))
+                .collect();
+            for p in crate::tuple::paginate_with(tuples, per_page, layout) {
+                store.append_page(run, p).unwrap();
+            }
+            let mut meta = store.meta(run);
+            meta.dir = crate::store::RunDirection::Reversed;
+            let mut c = RunCursor::from_meta(meta);
+            c.set_pipeline(depth, None);
+            let mut env = CountingEnv::new();
+            let asc = SortOrder::ascending();
+            let mut got = Vec::new();
+            while let Some(t) = c.pop(&asc, &mut store, &mut env).unwrap() {
+                got.push(t.key);
+            }
+            assert_eq!(
+                got,
+                (0..n as u64).collect::<Vec<u64>>(),
+                "trial {trial}: n={n} per_page={per_page} depth={depth} dense={dense}"
+            );
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn forward_meta_cursor_matches_plain_cursor() {
+        let (mut store, run) = setup(10, 3);
+        let mut env = CountingEnv::new();
+        let asc = SortOrder::ascending();
+        let mut c = RunCursor::from_meta(store.meta(run));
+        let mut got = Vec::new();
+        while let Some(t) = c.pop(&asc, &mut store, &mut env).unwrap() {
+            got.push(t.key);
+        }
+        assert_eq!(got, (0..10).collect::<Vec<u64>>());
     }
 }

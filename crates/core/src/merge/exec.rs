@@ -1079,7 +1079,7 @@ pub fn execute_merge<S: RunStore, E: SortEnv>(
     let output = store.create_run()?;
     let inputs: Vec<Input> = runs
         .iter()
-        .map(|r| Input::from_run(r.id, Side::Left))
+        .map(|r| Input::from_meta(*r, Side::Left))
         .collect();
     let mut exec = Exec::new(
         cfg,
@@ -1109,12 +1109,8 @@ pub fn execute_join_merge<S: RunStore, E: SortEnv>(
     on_match: &mut dyn FnMut(&Tuple, &Tuple),
 ) -> SortResult<MergeStats> {
     let mut inputs: Vec<Input> = Vec::with_capacity(left_runs.len() + right_runs.len());
-    inputs.extend(left_runs.iter().map(|r| Input::from_run(r.id, Side::Left)));
-    inputs.extend(
-        right_runs
-            .iter()
-            .map(|r| Input::from_run(r.id, Side::Right)),
-    );
+    inputs.extend(left_runs.iter().map(|r| Input::from_meta(*r, Side::Left)));
+    inputs.extend(right_runs.iter().map(|r| Input::from_meta(*r, Side::Right)));
     let mut exec = Exec::new(
         cfg,
         budget,

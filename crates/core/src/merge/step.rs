@@ -45,10 +45,21 @@ pub struct Input {
 }
 
 impl Input {
-    /// An input over an ordinary (already fully written) run.
+    /// An input over an ordinary (already fully written) forward run.
     pub fn from_run(run: RunId, side: Side) -> Self {
         Input {
             cursor: RunCursor::new(run),
+            side,
+            producer: None,
+        }
+    }
+
+    /// An input honouring the run's recorded direction: a
+    /// [`RunDirection::Reversed`](crate::store::RunDirection::Reversed) run
+    /// is consumed back-to-front so it merges like any other.
+    pub fn from_meta(meta: crate::store::RunMeta, side: Side) -> Self {
+        Input {
+            cursor: RunCursor::from_meta(meta),
             side,
             producer: None,
         }

@@ -44,6 +44,13 @@ pub struct SplitStats {
     pub finished_at: f64,
     /// Number of times the method had to shed pages due to a memory shortage.
     pub shrink_events: usize,
+    /// Natural-run streaks detected in the input (adaptive run formation
+    /// only; always 0 with [`SortConfig::adaptive_runs`] off).
+    pub natural_runs: usize,
+    /// Tuples absorbed through the O(1) natural-run path instead of the
+    /// selection heap (adaptive run formation only; always 0 with the knob
+    /// off).
+    pub natural_tuples: usize,
 }
 
 impl SplitStats {
@@ -70,6 +77,25 @@ impl SplitStats {
     pub fn total_tuples(&self) -> usize {
         self.runs.iter().map(|r| r.tuples).sum()
     }
+
+    /// Shortest run in tuples (0 if no runs were produced).
+    pub fn min_run_tuples(&self) -> usize {
+        self.runs.iter().map(|r| r.tuples).min().unwrap_or(0)
+    }
+
+    /// Longest run in tuples (0 if no runs were produced).
+    pub fn max_run_tuples(&self) -> usize {
+        self.runs.iter().map(|r| r.tuples).max().unwrap_or(0)
+    }
+
+    /// Average run length in tuples (0 if no runs were produced).
+    pub fn avg_run_tuples(&self) -> f64 {
+        if self.runs.is_empty() {
+            0.0
+        } else {
+            self.total_tuples() as f64 / self.runs.len() as f64
+        }
+    }
 }
 
 /// Run the split phase with the configured in-memory sorting method.
@@ -89,9 +115,18 @@ where
 {
     match cfg.algorithm.formation {
         RunFormation::Quicksort => quicksort::form_runs(cfg, budget, input, store, env),
+        RunFormation::ReplacementSelect { block_pages } if cfg.adaptive_runs => {
+            replacement::form_runs_ordered(cfg, budget, input, store, env, block_pages)
+        }
         RunFormation::ReplacementSelect { block_pages } => {
             replacement::form_runs(cfg, budget, input, store, env, block_pages)
         }
+        RunFormation::AdaptiveReplacement {
+            min_block,
+            max_block,
+        } if cfg.adaptive_runs => replacement::form_runs_ordered_adaptive(
+            cfg, budget, input, store, env, min_block, max_block,
+        ),
         RunFormation::AdaptiveReplacement {
             min_block,
             max_block,

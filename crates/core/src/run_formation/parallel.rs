@@ -279,6 +279,8 @@ where
         merged.pages_written += stats.pages_written;
         merged.block_writes += stats.block_writes;
         merged.shrink_events += stats.shrink_events;
+        merged.natural_runs += stats.natural_runs;
+        merged.natural_tuples += stats.natural_tuples;
         merged.started_at = merged.started_at.min(stats.started_at);
         merged.finished_at = merged.finished_at.max(stats.finished_at);
         for run in stats.runs {
@@ -287,7 +289,11 @@ where
                     "parallel worker produced a run the store never saw",
                 ))
             })?;
-            merged.runs.push(store.meta(real));
+            // The store's snapshot knows sizes but not direction; carry the
+            // worker-recorded direction across the id remap.
+            let mut meta = store.meta(real);
+            meta.dir = run.dir;
+            merged.runs.push(meta);
         }
     }
     if let Some(e) = first_err {

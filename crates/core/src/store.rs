@@ -35,6 +35,24 @@ pub type BlockReadJob = Box<dyn FnOnce() -> SortResult<Vec<Page>> + Send + 'stat
 /// Identifier of a run within a [`RunStore`].
 pub type RunId = u32;
 
+/// Physical key order of a stored run's pages.
+///
+/// Classic run formation always writes runs in output order (`Forward`).
+/// Adaptive (up/down) replacement selection additionally emits runs whose
+/// ranks *descend* through the file (`Reversed`); the merge layer reads such
+/// runs back-to-front so every cursor still presents an ascending rank
+/// stream. The flag is pure metadata riding on [`RunMeta`] — page encodings
+/// are identical either way, so forward and reversed runs coexist in one
+/// store the same way Owned and Dense pages do.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RunDirection {
+    /// Pages (and tuples within pages) are stored in output order.
+    #[default]
+    Forward,
+    /// Pages and tuples are stored in reverse output order; read back-to-front.
+    Reversed,
+}
+
 /// Summary information about a finished run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct RunMeta {
@@ -44,6 +62,8 @@ pub struct RunMeta {
     pub pages: usize,
     /// Number of tuples in the run.
     pub tuples: usize,
+    /// Physical key order of the stored pages.
+    pub dir: RunDirection,
 }
 
 /// Abstract storage for sorted runs.
@@ -154,11 +174,15 @@ pub trait RunStore {
     fn delete_run(&mut self, run: RunId) -> SortResult<()>;
 
     /// Metadata snapshot for `run`.
+    /// Metadata snapshot for `run`. Stores only track sizes, so the snapshot
+    /// always reports [`RunDirection::Forward`]; run formation overrides the
+    /// direction on the metadata it records in its statistics.
     fn meta(&self, run: RunId) -> RunMeta {
         RunMeta {
             id: run,
             pages: self.run_pages(run),
             tuples: self.run_tuples(run),
+            dir: RunDirection::Forward,
         }
     }
 }

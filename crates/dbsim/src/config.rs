@@ -123,6 +123,9 @@ impl SimConfig {
             // Simulated pages carry synthetic payloads; the owned layout is
             // the representation the paper's cost model is calibrated on.
             layout: masort_core::PageLayout::Owned,
+            // The figures reproduce the paper's classic run formation; the
+            // presortedness-adaptive mode stays off in the simulator.
+            adaptive_runs: false,
         }
     }
 }

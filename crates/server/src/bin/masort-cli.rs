@@ -4,7 +4,8 @@
 //! masort-cli [sort] [--addr HOST:PORT] [--tenant NAME] [--priority N]
 //!            [--budget PAGES] [--min-pages N] [--max-pages N]
 //!            [--page-size BYTES] [--tuple-size BYTES] [--cpu-threads N]
-//!            [--spill] [--descending]          < input > output
+//!            [--spill] [--descending] [--adaptive|--no-adaptive]
+//!            < input > output
 //! masort-cli shutdown [--addr HOST:PORT]
 //! masort-cli stats    [--addr HOST:PORT]
 //! masort-cli metrics  [--addr HOST:PORT] [--prometheus]
@@ -37,7 +38,8 @@ fn usage() -> &'static str {
     "usage: masort-cli [sort] [--addr HOST:PORT] [--tenant NAME] [--priority N]\n\
      \u{20}                 [--budget PAGES] [--min-pages N] [--max-pages N]\n\
      \u{20}                 [--page-size BYTES] [--tuple-size BYTES] [--cpu-threads N]\n\
-     \u{20}                 [--spill] [--descending]  < input > output\n\
+     \u{20}                 [--spill] [--descending] [--adaptive|--no-adaptive]\n\
+     \u{20}                 < input > output\n\
      \u{20}      masort-cli shutdown [--addr HOST:PORT]\n\
      \u{20}      masort-cli stats    [--addr HOST:PORT]\n\
      \u{20}      masort-cli metrics  [--addr HOST:PORT] [--prometheus]\n\
@@ -114,6 +116,8 @@ fn run() -> Result<(), String> {
             }
             "--spill" => spec.spill = true,
             "--descending" => spec.descending = true,
+            "--adaptive" => spec.adaptive = Some(true),
+            "--no-adaptive" => spec.adaptive = Some(false),
             "--prometheus" => prometheus = true,
             "--json" => raw_json = true,
             "--help" | "-h" => {
@@ -236,6 +240,16 @@ fn sort(addr: &str, tenant: Option<&str>, spec: SubmitSpec) -> Result<(), String
             summary.reallocations,
             summary.initial_grant,
         );
+        if summary.runs_formed > 0 {
+            eprintln!(
+                "run lengths: min {} / avg {:.1} / max {} tuples, \
+                 {} natural runs detected",
+                summary.min_run_tuples,
+                summary.avg_run_tuples,
+                summary.max_run_tuples,
+                summary.natural_runs,
+            );
+        }
     }
     Ok(())
 }

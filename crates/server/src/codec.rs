@@ -106,6 +106,13 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_u64(&mut buf, spec.expected_tuples);
             buf.push(spec.spill as u8);
             buf.push(spec.descending as u8);
+            // Tri-state, matching the "zero = server default" idiom of the
+            // numeric fields: 0 = default, 1 = force on, 2 = force off.
+            buf.push(match spec.adaptive {
+                None => 0u8,
+                Some(true) => 1,
+                Some(false) => 2,
+            });
         }
         Frame::Accepted { job } => put_u64(&mut buf, *job),
         Frame::Ingest(tuples) | Frame::Egress(tuples) => put_tuples(&mut buf, tuples),
@@ -121,6 +128,10 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             put_f64(&mut buf, s.total_delay);
             put_u64(&mut buf, s.runs_formed);
             put_u64(&mut buf, s.merge_steps);
+            put_u64(&mut buf, s.natural_runs);
+            put_u64(&mut buf, s.min_run_tuples);
+            put_u64(&mut buf, s.max_run_tuples);
+            put_f64(&mut buf, s.avg_run_tuples);
         }
         Frame::Error(e) => {
             buf.push(e.code as u8);
@@ -317,6 +328,17 @@ pub fn decode_frame(body: &[u8]) -> io::Result<Frame> {
             expected_tuples: c.u64("SUBMIT expected_tuples")?,
             spill: c.bool("SUBMIT spill")?,
             descending: c.bool("SUBMIT descending")?,
+            adaptive: match c.u8("SUBMIT adaptive")? {
+                0 => None,
+                1 => Some(true),
+                2 => Some(false),
+                other => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed frame: SUBMIT adaptive {other}"),
+                    ))
+                }
+            },
         }),
         0x04 => Frame::Accepted {
             job: c.u64("ACCEPTED job")?,
@@ -335,6 +357,10 @@ pub fn decode_frame(body: &[u8]) -> io::Result<Frame> {
             total_delay: c.f64("STATS total_delay")?,
             runs_formed: c.u64("STATS runs_formed")?,
             merge_steps: c.u64("STATS merge_steps")?,
+            natural_runs: c.u64("STATS natural_runs")?,
+            min_run_tuples: c.u64("STATS min_run_tuples")?,
+            max_run_tuples: c.u64("STATS max_run_tuples")?,
+            avg_run_tuples: c.f64("STATS avg_run_tuples")?,
         }),
         0x09 => {
             let raw = c.u8("ERR code")?;
@@ -513,6 +539,7 @@ mod tests {
             expected_tuples: 100_000,
             spill: true,
             descending: true,
+            adaptive: Some(false),
         }));
         round_trip(Frame::Accepted { job: 42 });
         round_trip(Frame::Ingest(vec![
@@ -533,6 +560,10 @@ mod tests {
             total_delay: 0.125,
             runs_formed: 4,
             merge_steps: 1,
+            natural_runs: 2,
+            min_run_tuples: 8,
+            max_run_tuples: 640,
+            avg_run_tuples: 76.5,
         }));
         round_trip(Frame::Error(WireError {
             code: ErrorCode::BudgetStarved,

@@ -150,6 +150,11 @@ pub struct SubmitSpec {
     pub spill: bool,
     /// Sort descending instead of ascending.
     pub descending: bool,
+    /// Presortedness-adaptive run formation
+    /// ([`SortConfig::adaptive_runs`](masort_core::SortConfig::adaptive_runs)):
+    /// `None` keeps the server's base configuration (on by default),
+    /// `Some(x)` forces it for this job.
+    pub adaptive: Option<bool>,
 }
 
 impl Default for SubmitSpec {
@@ -165,6 +170,7 @@ impl Default for SubmitSpec {
             expected_tuples: 0,
             spill: false,
             descending: false,
+            adaptive: None,
         }
     }
 }
@@ -193,6 +199,15 @@ pub struct JobSummary {
     pub runs_formed: u64,
     /// Merge steps executed.
     pub merge_steps: u64,
+    /// Natural (pre-existing) runs adaptive formation detected in the input
+    /// (0 under classic formation).
+    pub natural_runs: u64,
+    /// Tuples in the shortest run (0 if no runs were formed).
+    pub min_run_tuples: u64,
+    /// Tuples in the longest run (0 if no runs were formed).
+    pub max_run_tuples: u64,
+    /// Mean tuples per run (0 if no runs were formed).
+    pub avg_run_tuples: f64,
 }
 
 /// Service-wide counters delivered in a `SERVER_STATS` frame.

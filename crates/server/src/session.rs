@@ -218,6 +218,9 @@ fn run_sort<W: Write>(
     if spec.descending {
         cfg = cfg.with_order(SortOrder::descending());
     }
+    if let Some(adaptive) = spec.adaptive {
+        cfg = cfg.with_adaptive_runs(adaptive);
+    }
     let page_cap = quota.map(|q| q.max_pages).unwrap_or(0);
     if page_cap != 0 {
         if spec.min_pages as usize > page_cap {
@@ -386,6 +389,10 @@ fn run_sort<W: Write>(
         total_delay: stats.total_delay,
         runs_formed: outcome.split.runs.len() as u64,
         merge_steps: outcome.merge.steps_executed as u64,
+        natural_runs: stats.natural_runs as u64,
+        min_run_tuples: stats.min_run_tuples as u64,
+        max_run_tuples: stats.max_run_tuples as u64,
+        avg_run_tuples: stats.avg_run_tuples,
     };
     // Keep each EGRESS frame comfortably under the frame cap even for
     // pathological payload sizes.

@@ -62,6 +62,11 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             expected_tuples: rng.next_u64(),
             spill: rng.gen_bool(0.5),
             descending: rng.gen_bool(0.5),
+            adaptive: match rng.next_u64() % 3 {
+                0 => None,
+                1 => Some(true),
+                _ => Some(false),
+            },
         }),
         3 => Frame::Accepted {
             job: rng.next_u64(),
@@ -80,6 +85,10 @@ fn random_frame(rng: &mut StdRng) -> Frame {
             total_delay: rng.gen_range(0.0..=1.0e6),
             runs_formed: rng.next_u64(),
             merge_steps: rng.next_u64(),
+            natural_runs: rng.next_u64(),
+            min_run_tuples: rng.next_u64(),
+            max_run_tuples: rng.next_u64(),
+            avg_run_tuples: rng.gen_range(0.0..=1.0e9),
         }),
         8 => Frame::Error(WireError {
             code: random_error_code(rng),

@@ -93,6 +93,16 @@ pub enum EventKind {
         /// Store-assigned run id.
         run: u64,
     },
+    /// Run formation closed (emitted) a sorted run.
+    RunEmit {
+        /// Store-assigned run id.
+        run: u64,
+        /// Tuples in the run.
+        tuples: u64,
+        /// Whether the run was written in reverse rank order (a descending
+        /// run from adaptive up/down replacement selection).
+        reversed: bool,
+    },
     /// Pages were read from storage.
     IoRead {
         /// Run read from.
@@ -151,6 +161,7 @@ impl EventKind {
             EventKind::Switch => "switch",
             EventKind::RunCreate { .. } => "run_create",
             EventKind::RunDelete { .. } => "run_delete",
+            EventKind::RunEmit { .. } => "run_emit",
             EventKind::IoRead { .. } => "io_read",
             EventKind::IoWrite { .. } => "io_write",
             EventKind::IoStall { .. } => "io_stall",
@@ -192,6 +203,15 @@ impl EventKind {
             EventKind::RunCreate { run } | EventKind::RunDelete { run } => {
                 vec![("run", JsonValue::Number(*run as f64))]
             }
+            EventKind::RunEmit {
+                run,
+                tuples,
+                reversed,
+            } => vec![
+                ("run", JsonValue::Number(*run as f64)),
+                ("tuples", JsonValue::Number(*tuples as f64)),
+                ("reversed", JsonValue::Number(u64::from(*reversed) as f64)),
+            ],
             EventKind::IoRead { run, pages } | EventKind::IoWrite { run, pages } => {
                 vec![
                     ("run", JsonValue::Number(*run as f64)),
@@ -268,6 +288,11 @@ impl EventKind {
             "run_delete" => EventKind::RunDelete {
                 run: num("run")? as u64,
             },
+            "run_emit" => EventKind::RunEmit {
+                run: num("run")? as u64,
+                tuples: num("tuples")? as u64,
+                reversed: num("reversed")? != 0.0,
+            },
             "io_read" => EventKind::IoRead {
                 run: num("run")? as u64,
                 pages: us("pages")?,
@@ -326,6 +351,11 @@ mod tests {
             EventKind::Switch,
             EventKind::RunCreate { run: 11 },
             EventKind::RunDelete { run: 11 },
+            EventKind::RunEmit {
+                run: 11,
+                tuples: 640,
+                reversed: true,
+            },
             EventKind::IoRead { run: 2, pages: 8 },
             EventKind::IoWrite { run: 3, pages: 16 },
             EventKind::IoStall { seconds: 0.01 },

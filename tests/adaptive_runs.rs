@@ -1,0 +1,136 @@
+//! Presortedness-adaptive run formation, end to end: with `adaptive_runs` on,
+//! every algorithm combination produces the *bit-identical* sorted output of
+//! its classic counterpart — across ascending, descending and custom-key
+//! orders, both page layouts, and single- and multi-worker splits — while
+//! descending (reversed) runs round-trip through the file store.
+
+use memory_adaptive_sort::core::GenOrder;
+use memory_adaptive_sort::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tuples(n: usize, seed: u64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Tuple::synthetic(rng.gen::<u64>() >> 8, 64))
+        .collect()
+}
+
+fn cfg(spec: AlgorithmSpec, layout: PageLayout, workers: usize, adaptive: bool) -> SortConfig {
+    SortConfig::default()
+        .with_page_size(512)
+        .with_tuple_size(64)
+        .with_memory_pages(5)
+        .with_algorithm(spec)
+        .with_layout(layout)
+        .with_cpu_threads(workers)
+        .with_adaptive_runs(adaptive)
+}
+
+fn sort_with(base: SortConfig, order: &SortOrder, input: &[Tuple]) -> Vec<Tuple> {
+    SortJob::builder()
+        .config(base.with_order(order.clone()))
+        .tuples(input.to_vec())
+        .build()
+        .unwrap()
+        .run()
+        .unwrap()
+        .into_sorted_vec()
+        .unwrap()
+}
+
+/// The tentpole's contract: the adaptive knob changes run boundaries, run
+/// directions and fan-in — never the output. Exercised over all 18 algorithm
+/// combinations x 3 sort orders x both layouts x {1, 2, 4} workers.
+#[test]
+fn adaptive_output_is_bit_identical_across_the_matrix() {
+    // A mix of presorted stretches and noise so adaptive formation actually
+    // detects natural runs instead of degenerating to the classic path.
+    let mut input = random_tuples(1_500, 42);
+    input[300..700].sort_unstable_by_key(|t| t.key);
+    input[900..1200].sort_unstable_by_key(|t| std::cmp::Reverse(t.key));
+
+    // The custom key is bijective (byte-swap), so ranks are unique and
+    // bit-identity is well-defined under every order.
+    let orders: [(&str, SortOrder); 3] = [
+        ("asc", SortOrder::ascending()),
+        ("desc", SortOrder::descending()),
+        ("custom", SortOrder::by_key(|t: &Tuple| t.key.swap_bytes())),
+    ];
+    for spec in AlgorithmSpec::all(6) {
+        for (name, order) in &orders {
+            for layout in [PageLayout::Owned, PageLayout::dense_for_payload(64)] {
+                for workers in [1usize, 2, 4] {
+                    let classic = sort_with(cfg(spec, layout, workers, false), order, &input);
+                    let adaptive = sort_with(cfg(spec, layout, workers, true), order, &input);
+                    assert_eq!(
+                        classic, adaptive,
+                        "adaptive output diverged: {spec:?} {name} {layout:?} {workers}w"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A fully presorted input collapses to a single natural run; a fully
+/// reversed one to a single *descending* run — and the merge reads the
+/// latter back-to-front from the file store, so the sorted stream is intact.
+#[test]
+fn reversed_input_round_trips_through_the_file_store() {
+    for layout in [PageLayout::Owned, PageLayout::dense_for_payload(64)] {
+        let base = cfg(AlgorithmSpec::recommended(), layout, 1, true);
+        let tpp = base.tuples_per_page();
+        let input = GenSource::new(120, tpp, 64, 9).with_order(GenOrder::Reversed);
+        let completion = SortJob::builder()
+            .config(base)
+            .input(input)
+            .store(FileStore::in_temp_dir().unwrap())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let split = completion.outcome.split.clone();
+        assert_eq!(split.run_count(), 1, "reversed input should be one run");
+        assert!(
+            split.natural_tuples > 0,
+            "order detection never engaged ({layout:?})"
+        );
+        let sorted = completion.into_sorted_vec().unwrap();
+        assert_eq!(sorted.len(), 120 * tpp);
+        assert!(sorted.windows(2).all(|w| w[0].key <= w[1].key));
+    }
+}
+
+/// Natural-run statistics surface through the job outcome — and stay zero
+/// with the knob off, so classic runs are observably classic.
+#[test]
+fn natural_run_statistics_reach_the_outcome() {
+    let mut input = random_tuples(3_000, 11);
+    input.sort_unstable_by_key(|t| t.key);
+    for (adaptive, workers) in [(true, 1), (true, 2), (false, 1)] {
+        let completion = SortJob::builder()
+            .config(cfg(
+                AlgorithmSpec::recommended(),
+                PageLayout::Owned,
+                workers,
+                adaptive,
+            ))
+            .tuples(input.clone())
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let split = &completion.outcome.split;
+        if adaptive {
+            assert!(split.natural_runs >= 1, "{workers}w: no natural runs");
+            assert!(split.natural_tuples > input.len() / 2);
+            assert!(split.max_run_tuples() >= split.min_run_tuples());
+            assert!(split.avg_run_tuples() > 0.0);
+        } else {
+            assert_eq!(split.natural_runs, 0);
+            assert_eq!(split.natural_tuples, 0);
+        }
+        assert_eq!(split.total_tuples(), input.len());
+    }
+}
